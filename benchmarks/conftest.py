@@ -1,0 +1,87 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on a scaled-down
+synthetic scenario (see ``DESIGN.md`` for the per-experiment index and
+``EXPERIMENTS.md`` for the paper-vs-measured comparison).  Experiments are
+expensive, so results are cached per (scenario, config) key and shared across
+benchmarks within one pytest session: the first benchmark that needs a given
+experiment pays for it, the others reuse the result.
+
+Environment knobs:
+
+``REPRO_BENCH_SCENARIO``  — ``small`` (default) or ``benchmark`` / ``paper``.
+``REPRO_BENCH_EPISODES``  — override the RL episode budget per split.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Tuple
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.config import ScenarioConfig
+from repro.evaluation.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+_CACHE: Dict[Tuple, ExperimentResult] = {}
+
+
+def bench_scenario() -> ScenarioConfig:
+    """The scenario used by the benchmark harness."""
+    name = os.environ.get("REPRO_BENCH_SCENARIO", "small")
+    return getattr(ScenarioConfig, name)()
+
+
+def default_experiment_config() -> ExperimentConfig:
+    """Full-quality config used for the headline cost–benefit benchmark."""
+    config = ExperimentConfig()
+    episodes = os.environ.get("REPRO_BENCH_EPISODES")
+    if episodes:
+        config = config.with_overrides(rl_episodes=int(episodes))
+    return config
+
+
+def sweep_experiment_config() -> ExperimentConfig:
+    """Cheaper config used for the parameter sweeps (Figures 5 and 7)."""
+    config = ExperimentConfig.fast()
+    episodes = os.environ.get("REPRO_BENCH_EPISODES")
+    if episodes:
+        config = config.with_overrides(rl_episodes=int(episodes))
+    return config
+
+
+def cached_experiment(
+    scenario: ScenarioConfig, config: ExperimentConfig, key_extra: str = ""
+) -> ExperimentResult:
+    """Run (or reuse) an experiment for the given scenario/config pair."""
+    key = (
+        scenario.name,
+        scenario.seed,
+        scenario.evaluation.mitigation_cost_node_minutes,
+        scenario.evaluation.restartable,
+        config.rl_episodes,
+        config.rl_hyperparam_trials,
+        config.job_scaling_factor,
+        config.manufacturer,
+        config.include_rl,
+        key_extra,
+    )
+    if key not in _CACHE:
+        _CACHE[key] = run_experiment(scenario, config)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def scenario() -> ScenarioConfig:
+    return bench_scenario()
+
+
+@pytest.fixture(scope="session")
+def headline_experiment(scenario) -> ExperimentResult:
+    """The 2-node-minute experiment shared by Figures 3, 4, 6 and Table 2."""
+    return cached_experiment(scenario, default_experiment_config())

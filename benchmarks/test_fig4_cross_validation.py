@@ -1,0 +1,62 @@
+"""Figure 4 — per-split total cost over the time-series nested cross-validation
+(2 node–minute mitigation cost, starting from untrained models).
+
+Paper result: the relative ordering of the approaches is stable over time;
+Never-mitigate has the highest cost in every period except the first, SC20-RF
+beats Always-mitigate in all six periods, and RL is the best realistic
+approach in four of the six periods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.report import format_series
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_per_split_costs(benchmark, headline_experiment):
+    result = benchmark.pedantic(lambda: headline_experiment, rounds=1, iterations=1)
+
+    labels = result.split_labels()
+    total = result.per_split_series("total")
+    print()
+    print(format_series(total, labels, title="Figure 4 — per-split total cost (node-hours)"))
+    print()
+    print(
+        format_series(
+            result.per_split_series("mitigation"),
+            labels,
+            title="Figure 4 — per-split mitigation + training cost (node-hours)",
+        )
+    )
+
+    never_ue = result.per_split_series("ue")["Never-mitigate"]
+    oracle_ue = result.per_split_series("ue")["Oracle"]
+    never = total["Never-mitigate"]
+    sc20 = total["SC20-RF"]
+
+    # The Oracle never loses more node-hours to UEs than Never-mitigate in
+    # any period (its total can exceed Never's only by its tiny mitigation
+    # overhead, in periods where no UE is avoidable).
+    assert all(n >= o - 1e-6 for n, o in zip(never_ue, oracle_ue))
+    # Never-mitigate is the most expensive approach in at least half of the
+    # periods that contain any avoidable UE cost.
+    worst_count = sum(
+        1
+        for i in range(len(labels))
+        if never[i] >= max(series[i] for series in total.values()) - 1e-6
+    )
+    neutral_periods = sum(
+        1 for n, o in zip(never_ue, oracle_ue) if n - o < 1.0
+    )
+    assert worst_count + neutral_periods >= len(labels) // 2
+
+    # SC20-RF (optimal threshold) never does worse than Never-mitigate on any
+    # split by more than its own overhead.
+    assert all(
+        s <= n + overhead + 1e-6
+        for s, n, overhead in zip(
+            sc20, never, result.per_split_series("mitigation")["SC20-RF"]
+        )
+    )

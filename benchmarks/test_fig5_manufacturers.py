@@ -1,0 +1,73 @@
+"""Figure 5 — total cost per DRAM manufacturer (MN/All, MN/A, MN/B, MN/C and
+their sum MN/ABC) at a 2 node–minute mitigation cost.
+
+Paper result: the relative effectiveness of the approaches is broadly similar
+whether the method is trained on the whole machine or separately per
+manufacturer; MN/ABC (three separately trained models) is slightly worse than
+MN/All because it cannot generalise across manufacturers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_experiment, sweep_experiment_config
+from repro.evaluation.report import format_cost_table, format_series
+
+MANUFACTURERS = {"MN/A": 0, "MN/B": 1, "MN/C": 2}
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_per_manufacturer_costs(benchmark, scenario, headline_experiment):
+    config = sweep_experiment_config()
+
+    def run():
+        results = {"MN/All": headline_experiment}
+        for label, manufacturer in MANUFACTURERS.items():
+            results[label] = cached_experiment(
+                scenario, config.with_overrides(manufacturer=manufacturer)
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    series = {}
+    for label, result in results.items():
+        costs = result.total_costs()
+        print(format_cost_table(costs, title=f"Figure 5 — {label}"))
+        print()
+        series[label] = costs
+
+    # MN/ABC is the sum of the three per-manufacturer subsystems.
+    approaches = list(series["MN/A"].keys())
+    abc = {
+        name: series["MN/A"][name] + series["MN/B"][name] + series["MN/C"][name]
+        for name in approaches
+    }
+    print(format_cost_table(abc, title="Figure 5 — MN/ABC (sum of per-manufacturer models)"))
+
+    rows = {
+        label: [series[label][name].total for name in approaches]
+        for label in results
+    }
+    rows["MN/ABC"] = [abc[name].total for name in approaches]
+    print()
+    print(format_series(rows, approaches, title="Figure 5 — totals by subsystem"))
+
+    # Shape checks: in every subsystem the Oracle pays the least for UEs (its
+    # total can only exceed another approach's by its tiny mitigation
+    # overhead) and Never-mitigate pays the largest UE cost.
+    for label, costs in list(series.items()) + [("MN/ABC", abc)]:
+        oracle = costs["Oracle"]
+        never = costs["Never-mitigate"]
+        assert oracle.ue_cost <= min(c.ue_cost for c in costs.values()) + 1e-6, label
+        assert (
+            oracle.total
+            <= min(c.total for c in costs.values()) + oracle.mitigation_cost + 1e-6
+        ), label
+        assert never.ue_cost >= max(c.ue_cost for c in costs.values()) - 1e-6, label
+
+    # The per-manufacturer UE counts add up to (at most) the whole machine's.
+    total_ues_abc = sum(abc[name].n_ues for name in ["Never-mitigate"])
+    assert total_ues_abc <= series["MN/All"]["Never-mitigate"].n_ues + 2

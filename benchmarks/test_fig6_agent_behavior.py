@@ -1,0 +1,61 @@
+"""Figure 6 — RL agent behaviour as a function of the potential UE cost and
+the likelihood of a UE (proxied by the SC20 random-forest probability).
+
+Paper result: the agent rarely mitigates when both the potential UE cost
+(< ~100 node–hours) and the predicted UE probability (< ~50 %) are low, almost
+always mitigates when the cost exceeds ~1000 node–hours even at low
+probability, almost always mitigates at high probability, and generalises to
+costs one to two orders of magnitude beyond anything seen in training.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.behavior import behavior_grid
+from repro.evaluation.report import format_behavior_grid
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_behavior_grid(benchmark, headline_experiment):
+    result = headline_experiment
+    assert result.final_rl_policy is not None, "the experiment must train an RL policy"
+    assert result.final_sc20_policy is not None
+    assert result.final_test_features is not None
+
+    features = result.final_test_features
+    if len(features) > 150:
+        features = features[:: max(1, len(features) // 150)]
+
+    def run():
+        return behavior_grid(
+            result.final_rl_policy,
+            result.final_sc20_policy,
+            features,
+            ue_cost_range=(1.0, 1e6),
+            n_cost_bins=12,
+            n_probability_bins=8,
+            costs_per_event=6,
+            seed=5,
+        )
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(format_behavior_grid(grid))
+    print(
+        f"\nmean mitigation fraction for cost >= 1000 node-h: "
+        f"{grid.mean_fraction_for_cost_above(1000.0):.2f}"
+    )
+    print(
+        f"mean mitigation fraction for cost < 100 node-h:   "
+        f"{grid.mean_fraction_for_cost_below(100.0):.2f}"
+    )
+
+    # Shape check: the agent mitigates much more readily when the potential UE
+    # cost is large (>= 1000 node-hours) than when it is small (< 100), which
+    # is the adaptivity property Figure 6 illustrates.
+    high = grid.mean_fraction_for_cost_above(1000.0)
+    low = grid.mean_fraction_for_cost_below(100.0)
+    assert high >= low - 0.05
+    assert high > 0.05

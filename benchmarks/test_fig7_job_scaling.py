@@ -1,0 +1,115 @@
+"""Figure 7 — job-size sensitivity analysis (total cost, 7a, and mitigation
+cost, 7b) for scaling factors of 0.1×, 0.3×, 1×, 3× and 10×, at a fixed
+2 node–minute mitigation cost.
+
+Paper result: the UE cost — and therefore the benefit of mitigation — grows
+proportionally with the job size; Always-mitigate's fixed mitigation overhead
+makes Never-mitigate the better static policy below roughly one third of the
+MareNostrum job sizes; the prediction-based approaches beat both static
+policies across the whole range, adapt their mitigation cost to the job size
+(SC20-RF through its externally tuned threshold, Myopic-RF and RL
+automatically), and the RL agent keeps the lowest mitigation cost of the
+realistic approaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_experiment, sweep_experiment_config
+from repro.evaluation.report import format_series
+from repro.workload.scaling import PAPER_SCALING_FACTORS
+
+
+@pytest.fixture(scope="module")
+def scaling_results(scenario):
+    config = sweep_experiment_config()
+    return {
+        factor: cached_experiment(
+            scenario, config.with_overrides(job_scaling_factor=factor)
+        )
+        for factor in PAPER_SCALING_FACTORS
+    }
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_total_cost_vs_job_scaling(benchmark, scaling_results):
+    results = benchmark.pedantic(lambda: scaling_results, rounds=1, iterations=1)
+
+    labels = [f"x{factor:g}" for factor in PAPER_SCALING_FACTORS]
+    approaches = results[1.0].approach_names
+    series = {
+        name: [results[factor].total_costs()[name].total for factor in PAPER_SCALING_FACTORS]
+        for name in approaches
+    }
+    print()
+    print(format_series(series, labels, title="Figure 7a — total cost vs job-size scaling"))
+
+    never = series["Never-mitigate"]
+    always = series["Always-mitigate"]
+    sc20 = series["SC20-RF"]
+    rl = series["RL"]
+    oracle = series["Oracle"]
+
+    # Never-mitigate's cost is proportional to the scaling factor.
+    assert never[-1] == pytest.approx(never[2] * 10.0, rel=0.05)
+    assert never[0] == pytest.approx(never[2] * 0.1, rel=0.05)
+    # At large job sizes mitigation wins big; at the smallest size the fixed
+    # overhead of Always-mitigate erodes (or reverses) its advantage, so the
+    # ratio Always/Never grows as jobs shrink.
+    assert always[-1] < 0.8 * never[-1]
+    assert (always[0] / never[0]) > (always[-1] / never[-1])
+    # Prediction-based approaches track the Oracle across the whole range
+    # (the Oracle's total can only exceed theirs by its negligible
+    # mitigation overhead).
+    oracle_overhead = [
+        results[factor].total_costs()["Oracle"].mitigation_cost
+        for factor in PAPER_SCALING_FACTORS
+    ]
+    sc20_overhead = [
+        results[factor].total_costs()["SC20-RF"].overhead_cost
+        for factor in PAPER_SCALING_FACTORS
+    ]
+    for i in range(len(labels)):
+        assert oracle[i] <= min(always[i], sc20[i], rl[i]) + oracle_overhead[i] + 1e-6
+        assert sc20[i] <= never[i] + sc20_overhead[i] + 1e-6
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_mitigation_cost_vs_job_scaling(benchmark, scaling_results):
+    results = benchmark.pedantic(lambda: scaling_results, rounds=1, iterations=1)
+
+    labels = [f"x{factor:g}" for factor in PAPER_SCALING_FACTORS]
+    approaches = results[1.0].approach_names
+    series = {
+        name: [
+            results[factor].total_costs()[name].mitigation_cost
+            for factor in PAPER_SCALING_FACTORS
+        ]
+        for name in approaches
+    }
+    print()
+    print(
+        format_series(
+            series, labels,
+            title="Figure 7b — mitigation cost vs job-size scaling",
+            value_format="{:>12,.1f}",
+        )
+    )
+
+    never = series["Never-mitigate"]
+    always = series["Always-mitigate"]
+    oracle = series["Oracle"]
+    rl = series["RL"]
+    sc20 = series["SC20-RF"]
+
+    # Static policies have job-size-independent mitigation costs.
+    assert all(v == 0.0 for v in never)
+    assert max(always) - min(always) <= 0.05 * max(always) + 1e-6
+    assert max(oracle) <= min(always) + 1e-6
+    # The adaptive approaches never spend more on mitigations than
+    # Always-mitigate, and the RL agent stays below the SC20 baseline's
+    # overhead at the reference scale.
+    for i in range(len(labels)):
+        assert rl[i] <= always[i] + 1e-6
+        assert sc20[i] <= always[i] + 1e-6

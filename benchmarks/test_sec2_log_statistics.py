@@ -1,0 +1,62 @@
+"""Section 2 — properties of the telemetry substrate.
+
+The paper's environment description (Section 2.1) quantifies the MareNostrum 3
+logs: 4.5 M corrected errors and 333 raw UEs over two years, reduced to 67
+first-of-burst UEs (a ~5× burst factor); 259,270 merged decision events, i.e.
+a class imbalance of ~3.5 orders of magnitude; and 25 of the 67 UEs without a
+single event in the preceding day.  This benchmark regenerates the same
+statistics for the synthetic substrate so the substitution can be judged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.burst import burstiness_coefficient, inter_arrival_times, ue_burst_statistics
+from repro.analysis.stats import manufacturer_breakdown, summarize_log
+from repro.telemetry.generator import TelemetryGenerator
+from repro.telemetry.records import EventKind
+from repro.telemetry.reduction import prepare_log
+
+
+@pytest.mark.benchmark(group="sec2")
+def test_sec2_log_statistics(benchmark, scenario):
+    def run():
+        generator = TelemetryGenerator(
+            scenario.topology,
+            scenario.fault_model,
+            scenario.duration_seconds,
+            seed=scenario.seed,
+        )
+        raw = generator.generate()
+        reduced, report = prepare_log(raw)
+        return raw, reduced, report
+
+    raw, reduced, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    summary = summarize_log(reduced)
+    bursts = ue_burst_statistics(raw)
+    ce_gaps = inter_arrival_times(reduced, reduced.kind == int(EventKind.CE))
+
+    print()
+    print("Section 2 statistics (synthetic substrate vs paper):")
+    print(f"  corrected errors            : {summary.n_corrected_errors:>10,}   (paper: 4,500,000)")
+    print(f"  raw uncorrected errors      : {report.raw_ues:>10,}   (paper: 333)")
+    print(f"  first-of-burst UEs          : {report.reduced_ues:>10,}   (paper: 67)")
+    print(f"  UE burst reduction factor   : {bursts.reduction_factor:>10.1f}   (paper: ~5.0)")
+    print(f"  merged decision events      : {summary.n_merged_events:>10,}   (paper: 259,270)")
+    print(
+        f"  events-per-UE imbalance     : {summary.class_imbalance_orders_of_magnitude:>10.2f}"
+        "   orders of magnitude (paper: ~3.5)"
+    )
+    print(f"  silent-UE fraction (1 day)  : {summary.silent_ue_fraction:>10.2f}   (paper: 25/67 = 0.37)")
+    print(f"  CE inter-arrival burstiness : {burstiness_coefficient(ce_gaps):>10.1f}   (>1 means bursty)")
+    print(f"  retired DIMMs removed       : {report.retired_dimms:>10,}   (paper: 51)")
+    print("  per-manufacturer breakdown  :", manufacturer_breakdown(reduced))
+
+    # The properties the mitigation study depends on must hold.
+    assert report.raw_ues > 1.5 * report.reduced_ues
+    assert summary.class_imbalance_orders_of_magnitude > 1.0
+    assert 0.05 < summary.silent_ue_fraction < 0.7
+    assert burstiness_coefficient(ce_gaps) > 1.0
+    assert len(manufacturer_breakdown(reduced)) == 3

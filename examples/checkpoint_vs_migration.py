@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Checkpointing versus live-migration deployments.
+
+The method's only user-supplied parameters are the mitigation cost and whether
+the job can restart from the mitigation point (Section 3.2).  This example
+contrasts the two deployment modes the paper discusses:
+
+* **checkpointing** — the mitigation writes a checkpoint, so a later UE only
+  loses the work since that checkpoint (restartable = True), at 2, 5 and 10
+  node-minutes per checkpoint;
+* **live migration / node cloning without restart semantics** — the mitigation
+  moves the job away from the suspect node, but if the UE still strikes the
+  original job context nothing was saved (restartable = False): only UEs that
+  were *correctly anticipated and moved* are avoided.
+
+It trains one agent per deployment mode and reports the resulting lost
+node-hours, illustrating how the same code covers both.
+"""
+
+from __future__ import annotations
+
+from repro.config import ScenarioConfig
+from repro.evaluation import ExperimentConfig, format_series, run_experiment
+
+
+def main() -> None:
+    config = ExperimentConfig.fast()
+    rows = {}
+    labels = []
+
+    for mitigation_cost in (2.0, 5.0, 10.0):
+        for restartable in (True, False):
+            mode = "checkpoint" if restartable else "no-restart"
+            label = f"{mitigation_cost:g} node-min / {mode}"
+            labels.append(label)
+            print(f"Running experiment: {label} ...")
+            scenario = (
+                ScenarioConfig.small(seed=7)
+                .with_mitigation_cost(mitigation_cost)
+                .with_restartable(restartable)
+            )
+            result = run_experiment(scenario, config)
+            costs = result.total_costs()
+            for name in ("Never-mitigate", "Always-mitigate", "SC20-RF", "RL", "Oracle"):
+                rows.setdefault(name, []).append(costs[name].total)
+
+    print()
+    print(
+        format_series(
+            rows,
+            labels,
+            title="Total lost node-hours by mitigation cost and restart semantics",
+        )
+    )
+    print(
+        "\nWith restartable mitigations (checkpointing) every anticipated UE only "
+        "costs the time since the last checkpoint; without restart semantics the "
+        "benefit comes purely from moving work off nodes that were about to fail, "
+        "so all approaches save less and the gap between them narrows."
+    )
+
+
+if __name__ == "__main__":
+    main()

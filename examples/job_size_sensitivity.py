@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Job-size sensitivity study (the scenario behind Figure 7).
+
+HPC job sizes differ by orders of magnitude between systems: the paper argues
+that the RL mitigation policy adapts automatically, so that deploying it on a
+machine with 10× larger (or smaller) jobs keeps it ahead of the static
+policies without retuning.  This example sweeps the scaling factor, reruns the
+experiment for each value and prints the total and mitigation costs, i.e. the
+data behind Figures 7a and 7b.
+
+Run time: a few minutes (five reduced-budget experiments).
+"""
+
+from __future__ import annotations
+
+from repro.config import ScenarioConfig
+from repro.evaluation import ExperimentConfig, format_series, run_experiment
+from repro.workload.scaling import PAPER_SCALING_FACTORS
+
+
+def main() -> None:
+    scenario = ScenarioConfig.small(seed=7)
+    config = ExperimentConfig.fast()
+
+    results = {}
+    for factor in PAPER_SCALING_FACTORS:
+        print(f"Running experiment with job sizes scaled by x{factor:g} ...")
+        results[factor] = run_experiment(
+            scenario, config.with_overrides(job_scaling_factor=factor)
+        )
+
+    labels = [f"x{factor:g}" for factor in PAPER_SCALING_FACTORS]
+    approaches = results[1.0].approach_names
+
+    total = {
+        name: [results[f].total_costs()[name].total for f in PAPER_SCALING_FACTORS]
+        for name in approaches
+    }
+    mitigation = {
+        name: [results[f].total_costs()[name].mitigation_cost for f in PAPER_SCALING_FACTORS]
+        for name in approaches
+    }
+
+    print()
+    print(format_series(total, labels, title="Total cost (node-hours) vs job-size scaling (Fig. 7a)"))
+    print()
+    print(
+        format_series(
+            mitigation, labels,
+            title="Mitigation cost (node-hours) vs job-size scaling (Fig. 7b)",
+            value_format="{:>12,.1f}",
+        )
+    )
+
+    never = total["Never-mitigate"]
+    always = total["Always-mitigate"]
+    crossover = [
+        label for label, n, a in zip(labels, never, always) if a >= n
+    ]
+    print()
+    if crossover:
+        print(
+            "Always-mitigate is no better than Never-mitigate at scaling factors: "
+            + ", ".join(crossover)
+            + " — a static policy must be re-tuned per system, the adaptive ones need not."
+        )
+    else:
+        print(
+            "Always-mitigate still beats Never-mitigate at every factor in this "
+            "scaled-down scenario; on the paper's full-size logs the crossover "
+            "appears below one third of the MareNostrum job sizes."
+        )
+
+
+if __name__ == "__main__":
+    main()

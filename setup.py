@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships an older setuptools without the ``wheel``
+package, so PEP-517 editable installs fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) work offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Quantitative log analysis (Section 2.1.5, in the spirit of Zivanovic et al.).
+
+These statistics are used for two purposes: to validate that the synthetic
+telemetry generator reproduces the load-bearing properties of the
+MareNostrum 3 logs (class imbalance, burstiness, manufacturer skew, silent
+UEs), and to report the Section 2 summary numbers alongside the reproduced
+figures in ``EXPERIMENTS.md``.
+"""
+
+from repro.analysis.burst import BurstStatistics, inter_arrival_times, ue_burst_statistics
+from repro.analysis.stats import (
+    LogSummary,
+    class_imbalance_ratio,
+    manufacturer_breakdown,
+    silent_ue_fraction,
+    summarize_log,
+)
+
+__all__ = [
+    "BurstStatistics",
+    "LogSummary",
+    "class_imbalance_ratio",
+    "inter_arrival_times",
+    "manufacturer_breakdown",
+    "silent_ue_fraction",
+    "summarize_log",
+    "ue_burst_statistics",
+]

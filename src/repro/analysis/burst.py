@@ -1,0 +1,105 @@
+"""Burstiness analysis of corrected and uncorrected errors (Section 2.1.3).
+
+Uncorrected errors tend to appear in bursts: once a node fails it keeps
+failing while it is tested, so only the first UE of each burst matters for a
+production workload.  Corrected errors are also strongly clustered in time
+on the failing DIMM.  These helpers quantify both effects so that the
+synthetic generator can be validated against the paper's description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.reduction import reduce_ue_bursts
+from repro.utils.timeutils import WEEK
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BurstStatistics:
+    """Summary of UE burst behaviour in a log."""
+
+    n_raw_ues: int
+    n_first_ues: int
+    mean_burst_size: float
+    max_burst_size: int
+    burst_window_seconds: float
+
+    @property
+    def reduction_factor(self) -> float:
+        """Raw-to-first UE ratio (paper: 333 / 67 ≈ 5)."""
+        if self.n_first_ues == 0:
+            return 0.0
+        return self.n_raw_ues / self.n_first_ues
+
+
+def inter_arrival_times(log: ErrorLog, kind_mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-node inter-arrival times of (a subset of) events, in seconds.
+
+    Used to show that CE arrivals are heavy-tailed / bursty: the coefficient
+    of variation of the inter-arrival times is far above 1 for a clustered
+    process and about 1 for a Poisson process.
+    """
+    if kind_mask is None:
+        kind_mask = np.ones(len(log), dtype=bool)
+    gaps = []
+    for node in np.unique(log.node[kind_mask]):
+        times = np.sort(log.time[kind_mask & (log.node == node)])
+        if times.size > 1:
+            gaps.append(np.diff(times))
+    if not gaps:
+        return np.empty(0)
+    return np.concatenate(gaps)
+
+
+def burstiness_coefficient(inter_arrivals: np.ndarray) -> float:
+    """Coefficient of variation of inter-arrival times (>1 means bursty)."""
+    inter_arrivals = np.asarray(inter_arrivals, dtype=float)
+    if inter_arrivals.size < 2:
+        return 0.0
+    mean = inter_arrivals.mean()
+    if mean <= 0:
+        return 0.0
+    return float(inter_arrivals.std() / mean)
+
+
+def ue_burst_statistics(
+    log: ErrorLog, window_seconds: float = WEEK
+) -> BurstStatistics:
+    """Group UEs into per-node bursts and summarise their sizes."""
+    check_positive("window_seconds", window_seconds)
+    ue_mask = log.is_ue_mask
+    n_raw = int(np.count_nonzero(ue_mask))
+    reduced = reduce_ue_bursts(log, window_seconds)
+    n_first = reduced.count_ues()
+
+    burst_sizes = []
+    for node in np.unique(log.node[ue_mask]):
+        times = np.sort(log.time[ue_mask & (log.node == node)])
+        if times.size == 0:
+            continue
+        current = 1
+        last_start = times[0]
+        for t in times[1:]:
+            if t - last_start < window_seconds:
+                current += 1
+            else:
+                burst_sizes.append(current)
+                current = 1
+                last_start = t
+        burst_sizes.append(current)
+
+    if not burst_sizes:
+        return BurstStatistics(0, 0, 0.0, 0, window_seconds)
+    return BurstStatistics(
+        n_raw_ues=n_raw,
+        n_first_ues=n_first,
+        mean_burst_size=float(np.mean(burst_sizes)),
+        max_burst_size=int(np.max(burst_sizes)),
+        burst_window_seconds=window_seconds,
+    )

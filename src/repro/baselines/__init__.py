@@ -1,0 +1,41 @@
+"""Baseline mitigation policies evaluated against the RL agent (Section 4.2).
+
+* :class:`NeverMitigatePolicy` and :class:`AlwaysMitigatePolicy` — the two
+  static baselines bounding the cost range.
+* :class:`OraclePolicy` — mitigates exactly on the last event before each UE;
+  the unrealisable optimum used to quantify the room for improvement.
+* :class:`RandomForestClassifier` — a from-scratch random forest (CART trees,
+  bagging, feature subsampling) standing in for the scikit-learn model used
+  by the SC20 predictor.
+* :class:`SC20RandomForestPolicy` — the state-of-the-art threshold-based
+  predictor of Boixaderas et al. (SC20), with optimal or perturbed thresholds.
+* :class:`MyopicRFPolicy` — the expected-cost extension of SC20-RF.
+"""
+
+from repro.baselines.dataset import PredictionDataset, build_prediction_dataset
+from repro.baselines.decision_tree import DecisionTreeClassifier
+from repro.baselines.myopic import MyopicRFPolicy
+from repro.baselines.random_forest import RandomForestClassifier
+from repro.baselines.sampling import random_undersample
+from repro.baselines.sc20 import SC20RandomForestPolicy, train_sc20_forest
+from repro.baselines.static import (
+    AlwaysMitigatePolicy,
+    NeverMitigatePolicy,
+    OraclePolicy,
+    PeriodicMitigatePolicy,
+)
+
+__all__ = [
+    "AlwaysMitigatePolicy",
+    "DecisionTreeClassifier",
+    "MyopicRFPolicy",
+    "NeverMitigatePolicy",
+    "OraclePolicy",
+    "PeriodicMitigatePolicy",
+    "PredictionDataset",
+    "RandomForestClassifier",
+    "SC20RandomForestPolicy",
+    "build_prediction_dataset",
+    "random_undersample",
+    "train_sc20_forest",
+]

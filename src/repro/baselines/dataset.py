@@ -1,0 +1,123 @@
+"""Supervised prediction dataset for the random-forest baselines.
+
+The SC20-RF predictor is a classifier over the same telemetry features the
+RL agent observes (Table 1 minus the potential UE cost): each merged non-UE
+event is a sample, labelled positive when an uncorrected error occurs on the
+same node within the prediction window (1 day, Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.features import N_FEATURES, NodeFeatureTrack
+from repro.utils.timeutils import DAY
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PredictionDataset:
+    """Feature matrix / label vector with provenance columns."""
+
+    X: np.ndarray
+    y: np.ndarray
+    nodes: np.ndarray
+    times: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            self.X.shape[0] == self.y.shape[0] == self.nodes.shape[0] == self.times.shape[0]
+        ):
+            raise ValueError("dataset columns must be aligned")
+        if self.X.ndim != 2 or (len(self.X) and self.X.shape[1] != N_FEATURES):
+            raise ValueError(f"X must have {N_FEATURES} feature columns")
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_positives(self) -> int:
+        """Number of samples followed by a UE within the prediction window."""
+        return int(self.y.sum())
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of positive samples (quantifies the class imbalance)."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.y.mean())
+
+    def filter_time(self, t_start: float, t_end: float) -> "PredictionDataset":
+        """Samples with ``t_start <= time < t_end``."""
+        mask = (self.times >= t_start) & (self.times < t_end)
+        return PredictionDataset(
+            X=self.X[mask], y=self.y[mask], nodes=self.nodes[mask], times=self.times[mask]
+        )
+
+
+def build_prediction_dataset(
+    tracks: Dict[int, NodeFeatureTrack],
+    prediction_window_seconds: float = DAY,
+    t_start: Optional[float] = None,
+    t_end: Optional[float] = None,
+) -> PredictionDataset:
+    """Build the supervised dataset from per-node feature tracks.
+
+    Parameters
+    ----------
+    tracks:
+        Per-node feature tracks (the same ones the RL environment replays).
+    prediction_window_seconds:
+        Look-ahead window for the positive label.
+    t_start, t_end:
+        Optional restriction of the sampled events (the label still looks at
+        UEs beyond ``t_end``: a real deployment would know tomorrow's UEs
+        only after the fact, but the *label* of a training sample may —
+        this mirrors how the original study builds its training sets).
+    """
+    check_positive("prediction_window_seconds", prediction_window_seconds)
+    features = []
+    labels = []
+    nodes = []
+    times = []
+    for node, track in tracks.items():
+        if not len(track):
+            continue
+        ue_times = track.ue_times
+        mask = ~track.is_ue
+        if t_start is not None:
+            mask &= track.times >= t_start
+        if t_end is not None:
+            mask &= track.times < t_end
+        event_times = track.times[mask]
+        if event_times.size == 0:
+            continue
+        if ue_times.size:
+            next_ue_idx = np.searchsorted(ue_times, event_times, side="left")
+            has_next = next_ue_idx < ue_times.size
+            gap = np.full(event_times.shape, np.inf)
+            gap[has_next] = ue_times[next_ue_idx[has_next]] - event_times[has_next]
+            label = (gap <= prediction_window_seconds).astype(np.int64)
+        else:
+            label = np.zeros(event_times.shape, dtype=np.int64)
+        features.append(track.features[mask])
+        labels.append(label)
+        nodes.append(np.full(event_times.shape, node, dtype=np.int64))
+        times.append(event_times)
+
+    if not features:
+        return PredictionDataset(
+            X=np.empty((0, N_FEATURES)),
+            y=np.empty(0, dtype=np.int64),
+            nodes=np.empty(0, dtype=np.int64),
+            times=np.empty(0),
+        )
+    return PredictionDataset(
+        X=np.concatenate(features),
+        y=np.concatenate(labels),
+        nodes=np.concatenate(nodes),
+        times=np.concatenate(times),
+    )

@@ -1,0 +1,46 @@
+"""Myopic-RF: the expected-cost extension of SC20-RF (Section 4.2).
+
+Myopic-RF adapts to the current potential UE cost without reinforcement
+learning: it triggers a mitigation whenever the expected cost of doing
+nothing — the predicted UE probability times the cost the UE would have —
+exceeds the cost of the mitigation.  The paper shows that this seemingly
+reasonable policy underperforms because the random-forest output is not a
+calibrated probability.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.sc20 import SC20RandomForestPolicy
+from repro.core.policies import DecisionContext, MitigationPolicy
+from repro.utils.validation import check_non_negative
+
+
+class MyopicRFPolicy(MitigationPolicy):
+    """Mitigate when ``P(UE) × UE_cost > mitigation_cost``."""
+
+    def __init__(
+        self,
+        sc20_policy: SC20RandomForestPolicy,
+        mitigation_cost_node_hours: float,
+        name: str = "Myopic-RF",
+    ) -> None:
+        check_non_negative("mitigation_cost_node_hours", mitigation_cost_node_hours)
+        self.sc20_policy = sc20_policy
+        self.mitigation_cost = float(mitigation_cost_node_hours)
+        self.name = name
+
+    def reset(self) -> None:
+        self.sc20_policy.reset()
+
+    def prepare_trace(self, features) -> None:
+        self.sc20_policy.prepare_trace(features)
+
+    def decide(self, context: DecisionContext) -> bool:
+        probability = self.sc20_policy.probability_for(context)
+        expected_ue_cost = probability * context.ue_cost
+        return expected_ue_cost > self.mitigation_cost
+
+    @property
+    def training_cost_node_hours(self) -> float:
+        """Shares the forest (and its training cost) with the SC20 policy."""
+        return self.sc20_policy.training_cost_node_hours

@@ -1,0 +1,88 @@
+"""Random-forest classifier built on the from-scratch CART trees.
+
+Used by the SC20-RF and Myopic-RF baselines.  Bootstrap sampling plus √d
+feature subsampling per split, probability output as the mean of the trees'
+leaf probabilities — the same recipe as the scikit-learn model used in the
+original SC20 study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.decision_tree import DecisionTreeClassifier
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of CART trees with probability averaging."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 10,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        seed=0,
+    ) -> None:
+        check_positive("n_estimators", n_estimators)
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.bootstrap = bool(bootstrap)
+        self._seed = seed
+        self._rng = as_generator(seed, "forest")
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.n_features_: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.trees_)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit the ensemble on features ``X`` and binary labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be 2-D and aligned with y")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a forest on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self.trees_ = []
+        n = X.shape[0]
+        for i in range(self.n_estimators):
+            if self.bootstrap:
+                sample = self._rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(self._rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[sample], y[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean positive-class probability across the ensemble."""
+        if not self.is_fitted:
+            raise RuntimeError("the forest has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        total = np.zeros(X.shape[0], dtype=float)
+        for tree in self.trees_:
+            total += tree.predict_proba(X)
+        return total / len(self.trees_)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary prediction at the given probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(np.int64)

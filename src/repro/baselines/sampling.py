@@ -1,0 +1,53 @@
+"""Class-imbalance handling for the prediction-based baselines.
+
+The SC20 study found that random under-sampling of the (overwhelmingly
+dominant) negative class gave the best random-forest results; the RL method
+instead relies on prioritized experience replay (Section 3.3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+def random_undersample(
+    X: np.ndarray,
+    y: np.ndarray,
+    majority_ratio: float = 1.0,
+    seed=0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Under-sample the majority (negative) class.
+
+    Parameters
+    ----------
+    X, y:
+        Feature matrix and binary labels.
+    majority_ratio:
+        Number of retained negatives per positive (1.0 = balanced).
+    seed:
+        RNG seed.
+
+    Returns the under-sampled ``(X, y)``; when there are no positives, the
+    original arrays are returned unchanged (there is nothing to balance
+    against).
+    """
+    check_positive("majority_ratio", majority_ratio)
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y must be aligned")
+    positives = np.flatnonzero(y == 1)
+    negatives = np.flatnonzero(y == 0)
+    if positives.size == 0 or negatives.size == 0:
+        return X, y
+    rng = as_generator(seed, "undersample")
+    n_keep = int(round(majority_ratio * positives.size))
+    n_keep = max(1, min(n_keep, negatives.size))
+    kept_negatives = rng.choice(negatives, size=n_keep, replace=False)
+    selected = np.sort(np.concatenate([positives, kept_negatives]))
+    return X[selected], y[selected]

@@ -1,0 +1,77 @@
+"""Static baseline policies: Never-mitigate, Always-mitigate, Oracle.
+
+These are the reference points of the cost–benefit analysis (Section 4.2):
+Never-mitigate pays the full UE cost and no mitigation cost; Always-mitigate
+triggers a mitigation at every error-related event, paying the minimum UE
+cost achievable by event-triggered policies and the maximum mitigation cost;
+the Oracle mitigates only on the last event before each UE, which is the
+optimal event-triggered strategy but requires knowledge of the future.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import DecisionContext, MitigationPolicy
+
+
+class NeverMitigatePolicy(MitigationPolicy):
+    """Do nothing, ever.  Maximum UE cost, zero mitigation cost."""
+
+    name = "Never-mitigate"
+
+    def decide(self, context: DecisionContext) -> bool:
+        return False
+
+
+class AlwaysMitigatePolicy(MitigationPolicy):
+    """Mitigate on every event in the error log.
+
+    Implicitly a predictor: any event is treated as an indicator of an
+    upcoming UE (Section 4.2).
+    """
+
+    name = "Always-mitigate"
+
+    def decide(self, context: DecisionContext) -> bool:
+        return True
+
+
+class OraclePolicy(MitigationPolicy):
+    """Mitigate exactly on the last event before each UE.
+
+    Relies on the ``is_last_event_before_ue`` flag that the evaluation
+    harness computes from the *future* of the log; it is not a realisable
+    policy and is used only to quantify the room for improvement.
+    """
+
+    name = "Oracle"
+
+    def decide(self, context: DecisionContext) -> bool:
+        return bool(context.is_last_event_before_ue)
+
+
+class PeriodicMitigatePolicy(MitigationPolicy):
+    """Mitigate whenever at least ``period_hours`` elapsed since the last one.
+
+    Not part of the paper's comparison; included as the classical
+    fixed-interval checkpointing strategy that adaptive methods are meant to
+    improve upon.  State is per evaluation trace (reset between nodes).
+    """
+
+    def __init__(self, period_hours: float = 24.0) -> None:
+        if period_hours <= 0:
+            raise ValueError("period_hours must be > 0")
+        self.period_seconds = float(period_hours) * 3600.0
+        self.name = f"Periodic-{period_hours:g}h"
+        self._last_mitigation: float | None = None
+
+    def reset(self) -> None:
+        self._last_mitigation = None
+
+    def decide(self, context: DecisionContext) -> bool:
+        if (
+            self._last_mitigation is None
+            or context.time - self._last_mitigation >= self.period_seconds
+        ):
+            self._last_mitigation = context.time
+            return True
+        return False

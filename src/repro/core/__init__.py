@@ -1,0 +1,58 @@
+"""Core contribution: the RL-based adaptive mitigation controller.
+
+This package contains the paper's primary contribution (Section 3): the
+Markov-decision-process formulation of uncorrected-error mitigation control,
+the per-node feature extraction of Table 1, the log-replay environment, the
+dueling double deep Q-network with prioritized experience replay, the
+training loop and hyperparameter search, plus policy wrappers used by the
+evaluation harness.
+"""
+
+from repro.core.dqn import DDDQNAgent, DQNConfig
+from repro.core.environment import MitigationEnv
+from repro.core.features import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    NodeFeatureTrack,
+    StateNormalizer,
+    build_feature_tracks,
+    extract_node_features,
+)
+from repro.core.hyperparams import HyperparameterSpace, RandomSearchResult, random_search
+from repro.core.mdp import Action, Transition, compute_reward
+from repro.core.policies import (
+    DecisionContext,
+    MitigationPolicy,
+    RLPolicy,
+)
+from repro.core.qlearning import TabularQAgent, TabularQConfig
+from repro.core.replay import PrioritizedReplayBuffer, SumTree, UniformReplayBuffer
+from repro.core.trainer import TrainingResult, train_agent
+
+__all__ = [
+    "Action",
+    "DDDQNAgent",
+    "DQNConfig",
+    "DecisionContext",
+    "FEATURE_NAMES",
+    "HyperparameterSpace",
+    "MitigationEnv",
+    "MitigationPolicy",
+    "N_FEATURES",
+    "NodeFeatureTrack",
+    "PrioritizedReplayBuffer",
+    "RLPolicy",
+    "RandomSearchResult",
+    "StateNormalizer",
+    "SumTree",
+    "TabularQAgent",
+    "TabularQConfig",
+    "TrainingResult",
+    "Transition",
+    "UniformReplayBuffer",
+    "build_feature_tracks",
+    "compute_reward",
+    "extract_node_features",
+    "random_search",
+    "train_agent",
+]

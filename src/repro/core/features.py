@@ -1,0 +1,308 @@
+"""Per-node feature extraction (Table 1 of the paper).
+
+For every merged decision point (one per node per minute with events, see
+:mod:`repro.telemetry.merging`) the agent observes:
+
+* corrected-error features: CEs since the last event, CEs since the beginning
+  of operation, the number of distinct ranks / banks / rows / columns with
+  CEs, and the number of DIMMs with CEs;
+* uncorrected-error features: the number of UE warnings since the beginning
+  of operation;
+* system-state features: time since the last node boot and the number of
+  node boots;
+* the *feature variation over time* (Equation 2) of the cumulative CE count
+  and boot count, for Δt of one minute and one hour;
+* the potential UE cost (Equation 3) — supplied by the environment, not by
+  this module, because it depends on the workload and the mitigation history.
+
+Counts are cumulative from the beginning of the extracted range, which in
+training/evaluation corresponds to the beginning of the cross-validation
+split — the same information the production monitoring daemon would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.merging import MergedEvent, merge_node_events
+from repro.telemetry.records import EventKind
+from repro.utils.timeutils import HOUR, MINUTE
+
+#: Names of the telemetry-derived state features, in vector order.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "ces_since_last_event",
+    "ces_total",
+    "ranks_with_ce",
+    "banks_with_ce",
+    "rows_with_ce",
+    "cols_with_ce",
+    "dimms_with_ce",
+    "ue_warnings_total",
+    "time_since_boot",
+    "boots_total",
+    "ces_total_var_1min",
+    "ces_total_var_1hour",
+    "boots_var_1min",
+    "boots_var_1hour",
+)
+
+#: Number of telemetry-derived features (the full state adds the UE cost).
+N_FEATURES: int = len(FEATURE_NAMES)
+
+#: Index of each feature name in the feature vector.
+FEATURE_INDEX: Dict[str, int] = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+#: Δt values for the feature-variation-over-time calculation (Equation 2).
+VARIATION_DELTAS: Tuple[float, ...] = (MINUTE, HOUR)
+
+
+def feature_variation(
+    history_times: Sequence[float],
+    history_values: Sequence[float],
+    now: float,
+    value_now: float,
+    delta: float,
+) -> float:
+    """Equation 2: value(now) / value(now - Δt), 0 when the denominator is 0.
+
+    ``history_times``/``history_values`` record the cumulative feature value
+    after each past event; the value at ``now - Δt`` is the value after the
+    last event at or before that instant.
+    """
+    t_ref = now - delta
+    idx = int(np.searchsorted(history_times, t_ref, side="right")) - 1
+    past = history_values[idx] if idx >= 0 else 0.0
+    if past == 0.0:
+        return 0.0
+    return float(value_now) / float(past)
+
+
+@dataclass(frozen=True)
+class NodeFeatureTrack:
+    """Pre-computed feature snapshots for one node, one per merged event.
+
+    Attributes
+    ----------
+    node:
+        Node identifier.
+    times:
+        Time of each merged event (decision point), sorted.
+    features:
+        Array of shape ``(n_events, N_FEATURES)``, the telemetry features at
+        each decision point.
+    is_ue:
+        True where the merged event contains an uncorrected error (a terminal
+        transition; the agent is not invoked for these).
+    """
+
+    node: int
+    times: np.ndarray
+    features: np.ndarray
+    is_ue: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.times) == len(self.features) == len(self.is_ue)):
+            raise ValueError("track arrays must have the same length")
+        if self.features.ndim != 2 or (
+            len(self.features) and self.features.shape[1] != N_FEATURES
+        ):
+            raise ValueError(
+                f"features must have shape (n, {N_FEATURES}), got {self.features.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def n_decision_points(self) -> int:
+        """Number of events at which the agent is actually invoked."""
+        return int(np.count_nonzero(~self.is_ue))
+
+    @property
+    def ue_times(self) -> np.ndarray:
+        """Times of the UE events on this node."""
+        return self.times[self.is_ue]
+
+    def slice_time(self, t_start: float, t_end: float) -> "NodeFeatureTrack":
+        """Sub-track with ``t_start <= time < t_end``."""
+        mask = (self.times >= t_start) & (self.times < t_end)
+        return NodeFeatureTrack(
+            node=self.node,
+            times=self.times[mask],
+            features=self.features[mask],
+            is_ue=self.is_ue[mask],
+        )
+
+
+def extract_node_features(
+    log: ErrorLog,
+    node: int,
+    indices: Optional[np.ndarray] = None,
+    merge_window_seconds: float = MINUTE,
+) -> NodeFeatureTrack:
+    """Compute the Table 1 feature track for one node.
+
+    Parameters
+    ----------
+    log:
+        The (preprocessed) error log.
+    node:
+        Node to extract.
+    indices:
+        Optional pre-computed indices of the node's events in ``log`` (from
+        :meth:`ErrorLog.node_slices`); computed if omitted.
+    merge_window_seconds:
+        Per-minute merging window (Section 3.2.3).
+    """
+    if indices is None:
+        indices = np.flatnonzero(log.node == node)
+    merged = merge_node_events(log, indices, merge_window_seconds)
+
+    times = np.empty(len(merged))
+    features = np.zeros((len(merged), N_FEATURES))
+    is_ue = np.zeros(len(merged), dtype=bool)
+
+    ces_total = 0.0
+    warnings_total = 0.0
+    boots_total = 0.0
+    last_boot_time: Optional[float] = None
+    ranks: set = set()
+    banks: set = set()
+    rows: set = set()
+    cols: set = set()
+    dimms: set = set()
+
+    # Histories of the cumulative features used by Equation 2.
+    hist_times: List[float] = []
+    hist_ces: List[float] = []
+    hist_boots: List[float] = []
+
+    track_start = float(log.time[indices[0]]) if len(merged) else 0.0
+
+    for i, step in enumerate(merged):
+        ces_in_step = 0.0
+        for idx in step.indices:
+            kind = EventKind(int(log.kind[idx]))
+            if kind == EventKind.CE:
+                count = float(log.ce_count[idx])
+                ces_in_step += count
+                ces_total += count
+                dimm = int(log.dimm[idx])
+                dimms.add(dimm)
+                if log.rank[idx] >= 0:
+                    ranks.add((dimm, int(log.rank[idx])))
+                if log.bank[idx] >= 0:
+                    banks.add((dimm, int(log.rank[idx]), int(log.bank[idx])))
+                if log.row[idx] >= 0:
+                    rows.add((dimm, int(log.rank[idx]), int(log.bank[idx]), int(log.row[idx])))
+                if log.col[idx] >= 0:
+                    cols.add((dimm, int(log.rank[idx]), int(log.bank[idx]), int(log.col[idx])))
+            elif kind == EventKind.UE_WARNING:
+                warnings_total += 1.0
+            elif kind == EventKind.BOOT:
+                boots_total += 1.0
+                last_boot_time = float(log.time[idx])
+
+        t = step.time
+        times[i] = t
+        is_ue[i] = step.is_ue
+
+        if last_boot_time is None:
+            time_since_boot = t - track_start
+        else:
+            time_since_boot = t - last_boot_time
+
+        vec = features[i]
+        vec[FEATURE_INDEX["ces_since_last_event"]] = ces_in_step
+        vec[FEATURE_INDEX["ces_total"]] = ces_total
+        vec[FEATURE_INDEX["ranks_with_ce"]] = len(ranks)
+        vec[FEATURE_INDEX["banks_with_ce"]] = len(banks)
+        vec[FEATURE_INDEX["rows_with_ce"]] = len(rows)
+        vec[FEATURE_INDEX["cols_with_ce"]] = len(cols)
+        vec[FEATURE_INDEX["dimms_with_ce"]] = len(dimms)
+        vec[FEATURE_INDEX["ue_warnings_total"]] = warnings_total
+        vec[FEATURE_INDEX["time_since_boot"]] = max(time_since_boot, 0.0)
+        vec[FEATURE_INDEX["boots_total"]] = boots_total
+        vec[FEATURE_INDEX["ces_total_var_1min"]] = feature_variation(
+            hist_times, hist_ces, t, ces_total, MINUTE
+        )
+        vec[FEATURE_INDEX["ces_total_var_1hour"]] = feature_variation(
+            hist_times, hist_ces, t, ces_total, HOUR
+        )
+        vec[FEATURE_INDEX["boots_var_1min"]] = feature_variation(
+            hist_times, hist_boots, t, boots_total, MINUTE
+        )
+        vec[FEATURE_INDEX["boots_var_1hour"]] = feature_variation(
+            hist_times, hist_boots, t, boots_total, HOUR
+        )
+
+        hist_times.append(t)
+        hist_ces.append(ces_total)
+        hist_boots.append(boots_total)
+
+    return NodeFeatureTrack(node=int(node), times=times, features=features, is_ue=is_ue)
+
+
+def build_feature_tracks(
+    log: ErrorLog, merge_window_seconds: float = MINUTE
+) -> Dict[int, NodeFeatureTrack]:
+    """Compute feature tracks for every node present in ``log``."""
+    return {
+        node: extract_node_features(log, node, indices, merge_window_seconds)
+        for node, indices in log.node_slices().items()
+    }
+
+
+class StateNormalizer:
+    """Deterministic scaling of the state vector fed to the Q-network.
+
+    Counts, times and costs span several orders of magnitude, so they are
+    compressed with ``log1p``; the Equation 2 variation ratios are already
+    dimensionless and are only clipped.  The transform is fixed (not fitted)
+    so there is no risk of leaking test-set statistics into training.
+    """
+
+    #: Features passed through untransformed (only clipped).
+    RATIO_FEATURES = (
+        "ces_total_var_1min",
+        "ces_total_var_1hour",
+        "boots_var_1min",
+        "boots_var_1hour",
+    )
+
+    def __init__(self, ratio_clip: float = 50.0) -> None:
+        if ratio_clip <= 0:
+            raise ValueError("ratio_clip must be > 0")
+        self.ratio_clip = float(ratio_clip)
+        self._log_mask = np.ones(N_FEATURES + 1, dtype=bool)
+        for name in self.RATIO_FEATURES:
+            self._log_mask[FEATURE_INDEX[name]] = False
+
+    @property
+    def state_dim(self) -> int:
+        """Dimensionality of the normalised state (features + UE cost)."""
+        return N_FEATURES + 1
+
+    def state_vector(self, features: np.ndarray, ue_cost: float) -> np.ndarray:
+        """Build and normalise the full state vector (features ‖ UE cost)."""
+        features = np.asarray(features, dtype=float)
+        if features.shape[-1] != N_FEATURES:
+            raise ValueError(
+                f"expected {N_FEATURES} telemetry features, got {features.shape[-1]}"
+            )
+        state = np.concatenate([features, [float(ue_cost)]])
+        return self.transform(state)
+
+    def transform(self, state: np.ndarray) -> np.ndarray:
+        """Normalise a raw state vector (or batch of them)."""
+        state = np.asarray(state, dtype=float)
+        out = np.array(state, dtype=float, copy=True)
+        log_part = out[..., self._log_mask]
+        out[..., self._log_mask] = np.log1p(np.maximum(log_part, 0.0))
+        ratio_part = out[..., ~self._log_mask]
+        out[..., ~self._log_mask] = np.clip(ratio_part, 0.0, self.ratio_clip)
+        return out

@@ -1,0 +1,140 @@
+"""Two-round random hyperparameter search (Section 4.1).
+
+The paper tunes the learning rate, the discount factor γ, the update and
+synchronisation frequencies of the two networks and some prioritized-replay
+parameters with a first round of random search (60 configurations), followed
+by a second, narrowed round around the best configuration; the agent finally
+selected is the best performer on the validation set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dqn import DQNConfig
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class HyperparameterSpace:
+    """Sampling ranges of the tuned hyperparameters.
+
+    ``learning_rate`` and ``gamma_complement`` (1 − γ) are sampled
+    log-uniformly; frequencies and batch sizes are drawn from discrete sets.
+    """
+
+    learning_rate: Tuple[float, float] = (1e-4, 5e-3)
+    gamma_complement: Tuple[float, float] = (5e-3, 2e-1)
+    batch_sizes: Sequence[int] = (16, 32, 64)
+    train_frequencies: Sequence[int] = (1, 2, 4, 8)
+    target_sync_frequencies: Sequence[int] = (100, 250, 500, 1000)
+    per_alphas: Tuple[float, float] = (0.4, 0.8)
+    per_beta0s: Tuple[float, float] = (0.3, 0.6)
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, object]:
+        """Draw one hyperparameter assignment."""
+        lr = float(np.exp(rng.uniform(*np.log(self.learning_rate))))
+        gamma = 1.0 - float(np.exp(rng.uniform(*np.log(self.gamma_complement))))
+        return {
+            "learning_rate": lr,
+            "gamma": gamma,
+            "batch_size": int(rng.choice(self.batch_sizes)),
+            "train_frequency": int(rng.choice(self.train_frequencies)),
+            "target_sync_frequency": int(rng.choice(self.target_sync_frequencies)),
+            "per_alpha": float(rng.uniform(*self.per_alphas)),
+            "per_beta0": float(rng.uniform(*self.per_beta0s)),
+        }
+
+    def narrowed_around(
+        self, best: Dict[str, object], shrink: float = 0.5
+    ) -> "HyperparameterSpace":
+        """Return a space centred on ``best`` with ranges shrunk by ``shrink``."""
+        if not (0.0 < shrink <= 1.0):
+            raise ValueError("shrink must be in (0, 1]")
+
+        def _shrink_log_range(bounds: Tuple[float, float], centre: float):
+            lo, hi = bounds
+            ratio = (hi / lo) ** (shrink / 2.0)
+            new_lo = max(lo, centre / ratio)
+            new_hi = min(hi, centre * ratio)
+            if new_lo >= new_hi:
+                return (lo, hi)
+            return (new_lo, new_hi)
+
+        lr = _shrink_log_range(self.learning_rate, float(best["learning_rate"]))
+        gamma_c = _shrink_log_range(
+            self.gamma_complement, max(1e-4, 1.0 - float(best["gamma"]))
+        )
+        return replace(self, learning_rate=lr, gamma_complement=gamma_c)
+
+
+@dataclass
+class RandomSearchResult:
+    """Outcome of a hyperparameter search."""
+
+    best_params: Dict[str, object]
+    best_score: float
+    trials: List[Tuple[Dict[str, object], float]] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def best_config(self, base: Optional[DQNConfig] = None) -> DQNConfig:
+        """Materialise the best assignment on top of a base config."""
+        base = base or DQNConfig()
+        return base.with_overrides(**self.best_params)
+
+
+def random_search(
+    evaluate: Callable[[Dict[str, object]], float],
+    space: Optional[HyperparameterSpace] = None,
+    n_initial: int = 60,
+    n_refine: int = 20,
+    seed=0,
+) -> RandomSearchResult:
+    """Two-round random search maximising ``evaluate(params)``.
+
+    Parameters
+    ----------
+    evaluate:
+        Callable scoring one hyperparameter assignment (higher is better);
+        in the paper this is the validation-set reward of an agent trained
+        with those hyperparameters.
+    space:
+        Sampling space of the first round.
+    n_initial:
+        Number of configurations in the first round (paper: 60).
+    n_refine:
+        Number of configurations in the narrowed second round.
+    """
+    check_positive("n_initial", n_initial)
+    space = space or HyperparameterSpace()
+    rng = as_generator(seed, "hyperparams")
+
+    trials: List[Tuple[Dict[str, object], float]] = []
+    best_params: Optional[Dict[str, object]] = None
+    best_score = -np.inf
+
+    def _run_round(current_space: HyperparameterSpace, n: int) -> None:
+        nonlocal best_params, best_score
+        for _ in range(int(n)):
+            params = current_space.sample(rng)
+            score = float(evaluate(params))
+            trials.append((params, score))
+            if score > best_score:
+                best_score = score
+                best_params = params
+
+    _run_round(space, n_initial)
+    if n_refine > 0 and best_params is not None:
+        _run_round(space.narrowed_around(best_params), n_refine)
+
+    assert best_params is not None
+    return RandomSearchResult(
+        best_params=best_params, best_score=best_score, trials=trials
+    )

@@ -1,0 +1,87 @@
+"""Markov-decision-process formulation of UE mitigation control (Section 3.2).
+
+* **State** — the Table 1 telemetry features of the node plus the potential
+  UE cost of the job currently running on it (Equation 3).
+* **Actions** — request a mitigation (1) or do nothing (0).
+* **Transitions** — the environment advances to the next merged event; if it
+  is a UE the node is shut down and the episode terminates.
+* **Reward** — the negative lost node–hours (Equation 4):
+  ``R = -a * mitigation_cost - ue_occurred * ue_cost``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+
+class Action(enum.IntEnum):
+    """The two actions available to the agent at every decision point."""
+
+    NO_MITIGATION = 0
+    MITIGATE = 1
+
+
+#: Number of actions in the MDP.
+N_ACTIONS: int = len(Action)
+
+
+def compute_reward(
+    action: int,
+    mitigation_cost: float,
+    ue_occurred: bool,
+    ue_cost: float,
+) -> float:
+    """Equation 4: ``R_a = -a×mitigation_cost − UE_occurred×UE_cost``.
+
+    All quantities are in node–hours; the reward is therefore the negative
+    number of node–hours lost as a consequence of the action and of any UE
+    that follows it.
+    """
+    check_non_negative("mitigation_cost", mitigation_cost)
+    check_non_negative("ue_cost", ue_cost)
+    if action not in (0, 1):
+        raise ValueError(f"action must be 0 or 1, got {action!r}")
+    reward = -float(action) * float(mitigation_cost)
+    if ue_occurred:
+        reward -= float(ue_cost)
+    return reward
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One experience tuple stored in the replay memory."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: Optional[np.ndarray]
+    done: bool
+
+    def __post_init__(self) -> None:
+        if self.action not in (0, 1):
+            raise ValueError(f"action must be 0 or 1, got {self.action!r}")
+        if self.done and self.next_state is not None:
+            # Terminal transitions carry no successor state; the Q-target
+            # reduces to the reward alone.
+            object.__setattr__(self, "next_state", None)
+        if not self.done and self.next_state is None:
+            raise ValueError("non-terminal transitions need a next_state")
+
+
+@dataclass(frozen=True)
+class EpisodeSummary:
+    """Bookkeeping returned by the environment at the end of an episode."""
+
+    node: int
+    n_steps: int
+    n_mitigations: int
+    ue_occurred: bool
+    total_reward: float
+    mitigation_cost: float
+    ue_cost: float

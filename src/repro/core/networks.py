@@ -1,0 +1,263 @@
+"""NumPy implementation of the dueling Q-network and its optimiser.
+
+The paper approximates the Q-function with a fully connected network of four
+hidden layers (256, 256, 128 and 64 neurons, Section 3.3.2) and a dueling
+head that splits the estimate into a state-value and per-action advantages
+(Wang et al., 2016).  No deep-learning framework is available in this
+offline environment, so forward and backward passes are written directly
+with NumPy; the network is small enough that this is fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+def huber_loss(errors: np.ndarray, delta: float = 1.0) -> np.ndarray:
+    """Element-wise Huber loss of the TD errors."""
+    errors = np.asarray(errors, dtype=float)
+    abs_err = np.abs(errors)
+    quadratic = np.minimum(abs_err, delta)
+    linear = abs_err - quadratic
+    return 0.5 * quadratic**2 + delta * linear
+
+
+def huber_grad(errors: np.ndarray, delta: float = 1.0) -> np.ndarray:
+    """Derivative of the Huber loss with respect to the errors."""
+    errors = np.asarray(errors, dtype=float)
+    return np.clip(errors, -delta, delta)
+
+
+@dataclass
+class _LayerCache:
+    """Forward-pass intermediates needed by back-propagation."""
+
+    inputs: np.ndarray
+    pre_activations: List[np.ndarray]
+    activations: List[np.ndarray]
+
+
+class AdamOptimizer:
+    """Adam optimiser over a flat list of parameter arrays."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        check_positive("learning_rate", learning_rate)
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: Optional[List[np.ndarray]] = None
+        self._v: Optional[List[np.ndarray]] = None
+        self._t = 0
+
+    def update(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        """Apply one Adam step in place."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have the same length")
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        lr_t = self.learning_rate * (
+            np.sqrt(1 - self.beta2**self._t) / (1 - self.beta1**self._t)
+        )
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * (g * g)
+            p -= lr_t * m / (np.sqrt(v) + self.epsilon)
+
+
+class DuelingQNetwork:
+    """Fully connected Q-network with an optional dueling head.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality of the state vector.
+    hidden_sizes:
+        Sizes of the hidden layers (paper: 256, 256, 128, 64).
+    n_actions:
+        Number of discrete actions (2: mitigate / do nothing).
+    dueling:
+        When True, the output is ``Q(s, a) = V(s) + A(s, a) − mean_a A(s, a)``;
+        when False, the advantage head alone provides the Q-values
+        (a vanilla deep Q-network, used for the ablation study).
+    seed:
+        Seed for He-initialised weights.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_sizes: Sequence[int] = (256, 256, 128, 64),
+        n_actions: int = 2,
+        dueling: bool = True,
+        seed=0,
+    ) -> None:
+        check_positive("input_dim", input_dim)
+        check_positive("n_actions", n_actions)
+        if not hidden_sizes:
+            raise ValueError("at least one hidden layer is required")
+        self.input_dim = int(input_dim)
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.n_actions = int(n_actions)
+        self.dueling = bool(dueling)
+
+        rng = as_generator(seed, "qnetwork")
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        previous = self.input_dim
+        for size in self.hidden_sizes:
+            self.weights.append(self._he_init(rng, previous, size))
+            self.biases.append(np.zeros(size))
+            previous = size
+        last_hidden = previous
+        self.value_w = self._he_init(rng, last_hidden, 1)
+        self.value_b = np.zeros(1)
+        self.advantage_w = self._he_init(rng, last_hidden, self.n_actions)
+        self.advantage_b = np.zeros(self.n_actions)
+        self._cache: Optional[_LayerCache] = None
+
+    @staticmethod
+    def _he_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+        scale = np.sqrt(2.0 / fan_in)
+        return rng.normal(0.0, scale, size=(fan_in, fan_out))
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[np.ndarray]:
+        """All trainable arrays, in a stable order."""
+        params = []
+        for w, b in zip(self.weights, self.biases):
+            params.extend([w, b])
+        params.extend([self.value_w, self.value_b, self.advantage_w, self.advantage_b])
+        return params
+
+    def copy_from(self, other: "DuelingQNetwork") -> None:
+        """Hard-copy another network's parameters (target-network sync)."""
+        for mine, theirs in zip(self.parameters(), other.parameters()):
+            if mine.shape != theirs.shape:
+                raise ValueError("cannot copy parameters between different shapes")
+            mine[...] = theirs
+
+    def clone(self) -> "DuelingQNetwork":
+        """Structural copy with identical parameters."""
+        copy = DuelingQNetwork(
+            self.input_dim, self.hidden_sizes, self.n_actions, self.dueling
+        )
+        copy.copy_from(self)
+        return copy
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Serialisable mapping of parameter names to arrays (copies)."""
+        out: Dict[str, np.ndarray] = {}
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            out[f"hidden_{i}_w"] = w.copy()
+            out[f"hidden_{i}_b"] = b.copy()
+        out["value_w"] = self.value_w.copy()
+        out["value_b"] = self.value_b.copy()
+        out["advantage_w"] = self.advantage_w.copy()
+        out["advantage_b"] = self.advantage_b.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`state_dict`."""
+        for i in range(len(self.weights)):
+            self.weights[i][...] = state[f"hidden_{i}_w"]
+            self.biases[i][...] = state[f"hidden_{i}_b"]
+        self.value_w[...] = state["value_w"]
+        self.value_b[...] = state["value_b"]
+        self.advantage_w[...] = state["advantage_w"]
+        self.advantage_b[...] = state["advantage_b"]
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(self, states: np.ndarray, cache: bool = False) -> np.ndarray:
+        """Q-values for a batch of states, shape ``(batch, n_actions)``."""
+        x = np.atleast_2d(np.asarray(states, dtype=float))
+        if x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected states of dimension {self.input_dim}, got {x.shape[1]}"
+            )
+        h = x
+        pre_activations: List[np.ndarray] = []
+        activations: List[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            z = h @ w + b
+            h = np.maximum(z, 0.0)
+            pre_activations.append(z)
+            activations.append(h)
+        advantage = h @ self.advantage_w + self.advantage_b
+        if self.dueling:
+            value = h @ self.value_w + self.value_b
+            q = value + advantage - advantage.mean(axis=1, keepdims=True)
+        else:
+            q = advantage
+        if cache:
+            self._cache = _LayerCache(
+                inputs=x, pre_activations=pre_activations, activations=activations
+            )
+        return q
+
+    def backward(self, d_q: np.ndarray) -> List[np.ndarray]:
+        """Gradients of the loss w.r.t. every parameter.
+
+        ``d_q`` is the gradient of the scalar loss with respect to the
+        Q-value outputs of the last :meth:`forward` call with ``cache=True``.
+        The returned list matches the order of :meth:`parameters`.
+        """
+        if self._cache is None:
+            raise RuntimeError("forward(..., cache=True) must be called first")
+        cache = self._cache
+        d_q = np.atleast_2d(np.asarray(d_q, dtype=float))
+        h_last = cache.activations[-1]
+
+        if self.dueling:
+            d_value = d_q.sum(axis=1, keepdims=True)
+            d_advantage = d_q - d_q.mean(axis=1, keepdims=True)
+        else:
+            d_value = np.zeros((d_q.shape[0], 1))
+            d_advantage = d_q
+
+        grad_value_w = h_last.T @ d_value
+        grad_value_b = d_value.sum(axis=0)
+        grad_advantage_w = h_last.T @ d_advantage
+        grad_advantage_b = d_advantage.sum(axis=0)
+
+        d_h = d_advantage @ self.advantage_w.T
+        if self.dueling:
+            d_h = d_h + d_value @ self.value_w.T
+
+        grads_hidden: List[Tuple[np.ndarray, np.ndarray]] = []
+        for layer in range(len(self.weights) - 1, -1, -1):
+            z = cache.pre_activations[layer]
+            d_z = d_h * (z > 0.0)
+            h_prev = (
+                cache.activations[layer - 1] if layer > 0 else cache.inputs
+            )
+            grads_hidden.append((h_prev.T @ d_z, d_z.sum(axis=0)))
+            d_h = d_z @ self.weights[layer].T
+
+        grads: List[np.ndarray] = []
+        for grad_w, grad_b in reversed(grads_hidden):
+            grads.extend([grad_w, grad_b])
+        grads.extend(
+            [grad_value_w, grad_value_b, grad_advantage_w, grad_advantage_b]
+        )
+        return grads

@@ -1,0 +1,107 @@
+"""Policy interface shared by the RL agent and every baseline.
+
+The evaluation harness replays the test portion of the error log and asks a
+policy, at every merged (non-UE) event, whether to trigger a mitigation.  The
+policy sees a :class:`DecisionContext` carrying the Table 1 telemetry
+features and the potential UE cost of the job running on the node.  The
+Oracle baseline additionally needs to know whether the current event is the
+last one before a UE — a field real policies must never read (it encodes the
+future); it exists only to quantify the room for improvement (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dqn import DDDQNAgent
+from repro.core.features import StateNormalizer
+from repro.core.mdp import Action
+
+
+@dataclass(frozen=True)
+class DecisionContext:
+    """Everything a policy may observe at one decision point."""
+
+    #: Time of the merged event, seconds.
+    time: float
+    #: Node on which the event was observed.
+    node: int
+    #: Raw (unnormalised) Table 1 telemetry feature vector.
+    features: np.ndarray
+    #: Potential UE cost at this instant, node–hours (Equation 3).
+    ue_cost: float
+    #: Oracle-only flag: is this the last event before a UE on this node?
+    is_last_event_before_ue: bool = False
+    #: Index of this event within the evaluation trace currently replayed
+    #: (lets policies look up per-trace caches built by ``prepare_trace``).
+    event_index: int = -1
+
+
+class MitigationPolicy(abc.ABC):
+    """A decision rule mapping telemetry state to mitigate / do-nothing."""
+
+    #: Human-readable name used in reports and plots.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def decide(self, context: DecisionContext) -> bool:
+        """Return True to trigger a mitigation at this event."""
+
+    def reset(self) -> None:
+        """Called before each node's test trace is replayed (stateless by default)."""
+
+    def prepare_trace(self, features: np.ndarray) -> None:
+        """Optional hook: pre-compute per-trace data from the feature matrix.
+
+        The evaluation runner calls this once per node trace with the full
+        ``(n_events, N_FEATURES)`` telemetry feature matrix before replaying
+        the events, so that policies backed by batch predictors (the random
+        forests) can vectorise their per-event work.
+        """
+
+    @property
+    def training_cost_node_hours(self) -> float:
+        """Training + validation cost charged by the cost–benefit analysis."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RLPolicy(MitigationPolicy):
+    """Greedy wrapper around a trained :class:`DDDQNAgent`."""
+
+    def __init__(
+        self,
+        agent: DDDQNAgent,
+        normalizer: Optional[StateNormalizer] = None,
+        name: str = "RL",
+        training_cost_node_hours: float = 0.0,
+    ) -> None:
+        self.agent = agent
+        self.normalizer = normalizer or StateNormalizer()
+        self.name = name
+        self._training_cost = float(training_cost_node_hours)
+
+    def decide(self, context: DecisionContext) -> bool:
+        state = self.normalizer.state_vector(context.features, context.ue_cost)
+        return self.agent.act(state, explore=False) == Action.MITIGATE
+
+    @property
+    def training_cost_node_hours(self) -> float:
+        return self._training_cost + self.agent.training_cost_node_hours
+
+
+class CallablePolicy(MitigationPolicy):
+    """Adapter turning a plain function ``context -> bool`` into a policy."""
+
+    def __init__(self, fn, name: str = "custom") -> None:
+        self._fn = fn
+        self.name = name
+
+    def decide(self, context: DecisionContext) -> bool:
+        return bool(self._fn(context))

@@ -1,0 +1,247 @@
+"""Experience replay memories: uniform and prioritized (Schaul et al., 2015).
+
+Prioritized experience replay (PER) is the mechanism the paper relies on to
+cope with the extreme class imbalance between ordinary telemetry events and
+uncorrected errors (Section 3.3.4): transitions with a large temporal-
+difference error — typically the rare terminal UE transitions — are replayed
+far more often than the abundant uneventful ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mdp import Transition
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive
+
+
+class SumTree:
+    """A complete binary tree whose internal nodes store the sum of leaves.
+
+    Supports O(log n) priority updates and O(log n) sampling proportional to
+    the stored priorities.  Leaves are allocated in ring-buffer order by the
+    replay memory.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._tree = np.zeros(2 * self.capacity - 1, dtype=np.float64)
+
+    @property
+    def total(self) -> float:
+        """Sum of all leaf priorities."""
+        return float(self._tree[0])
+
+    def _leaf_index(self, data_index: int) -> int:
+        return data_index + self.capacity - 1
+
+    def update(self, data_index: int, priority: float) -> None:
+        """Set the priority of leaf ``data_index``."""
+        if not (0 <= data_index < self.capacity):
+            raise IndexError(f"leaf index {data_index} out of range")
+        if priority < 0:
+            raise ValueError("priorities must be non-negative")
+        idx = self._leaf_index(data_index)
+        change = priority - self._tree[idx]
+        self._tree[idx] = priority
+        while idx > 0:
+            idx = (idx - 1) // 2
+            self._tree[idx] += change
+
+    def get(self, data_index: int) -> float:
+        """Priority currently stored at leaf ``data_index``."""
+        return float(self._tree[self._leaf_index(data_index)])
+
+    def sample(self, value: float) -> Tuple[int, float]:
+        """Find the leaf such that the prefix sum of priorities covers ``value``.
+
+        Returns ``(data_index, priority)``.
+        """
+        if self.total <= 0:
+            raise ValueError("cannot sample from an empty tree")
+        value = float(np.clip(value, 0.0, np.nextafter(self.total, 0.0)))
+        idx = 0
+        while idx < self.capacity - 1:
+            left = 2 * idx + 1
+            right = left + 1
+            if value <= self._tree[left] or self._tree[right] <= 0.0:
+                idx = left
+            else:
+                value -= self._tree[left]
+                idx = right
+        data_index = idx - (self.capacity - 1)
+        return data_index, float(self._tree[idx])
+
+
+@dataclass
+class ReplayBatch:
+    """A sampled mini-batch in array form, ready for the Q-network."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    dones: np.ndarray
+    weights: np.ndarray
+    indices: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.states.shape[0])
+
+
+def _stack_batch(
+    transitions: Sequence[Transition],
+    weights: np.ndarray,
+    indices: np.ndarray,
+) -> ReplayBatch:
+    state_dim = transitions[0].state.shape[0]
+    states = np.stack([t.state for t in transitions])
+    actions = np.array([t.action for t in transitions], dtype=np.int64)
+    rewards = np.array([t.reward for t in transitions], dtype=np.float64)
+    dones = np.array([t.done for t in transitions], dtype=np.float64)
+    next_states = np.stack(
+        [
+            t.next_state if t.next_state is not None else np.zeros(state_dim)
+            for t in transitions
+        ]
+    )
+    return ReplayBatch(
+        states=states,
+        actions=actions,
+        rewards=rewards,
+        next_states=next_states,
+        dones=dones,
+        weights=np.asarray(weights, dtype=np.float64),
+        indices=np.asarray(indices, dtype=np.int64),
+    )
+
+
+class UniformReplayBuffer:
+    """Plain ring-buffer replay memory with uniform sampling (ablation)."""
+
+    def __init__(self, capacity: int, seed=0) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._storage: List[Optional[Transition]] = [None] * self.capacity
+        self._next = 0
+        self._size = 0
+        self._rng = as_generator(seed, "replay")
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, transition: Transition) -> None:
+        """Store one transition, evicting the oldest when full."""
+        self._storage[self._next] = transition
+        self._next = (self._next + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> ReplayBatch:
+        """Sample a batch uniformly at random (importance weights are 1)."""
+        check_positive("batch_size", batch_size)
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(0, self._size, size=batch_size)
+        transitions = [self._storage[i] for i in indices]
+        weights = np.ones(batch_size)
+        return _stack_batch(transitions, weights, indices)
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        """No-op: uniform replay does not track priorities."""
+
+    def anneal(self, fraction: float) -> None:
+        """No-op: uniform replay has no importance-sampling correction."""
+
+
+class PrioritizedReplayBuffer:
+    """Proportional prioritized experience replay (Schaul et al., 2015).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored transitions.
+    alpha:
+        Priority exponent (0 = uniform, 1 = fully proportional).
+    beta0:
+        Initial importance-sampling exponent, annealed towards 1 by
+        :meth:`anneal`.
+    epsilon:
+        Small constant added to |TD error| so no transition starves.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        alpha: float = 0.6,
+        beta0: float = 0.4,
+        epsilon: float = 1e-3,
+        seed=0,
+    ) -> None:
+        check_positive("capacity", capacity)
+        check_fraction("alpha", alpha)
+        check_fraction("beta0", beta0)
+        check_positive("epsilon", epsilon)
+        self.capacity = int(capacity)
+        self.alpha = float(alpha)
+        self.beta = float(beta0)
+        self.beta0 = float(beta0)
+        self.epsilon = float(epsilon)
+        self._tree = SumTree(self.capacity)
+        self._storage: List[Optional[Transition]] = [None] * self.capacity
+        self._next = 0
+        self._size = 0
+        self._max_priority = 1.0
+        self._rng = as_generator(seed, "per")
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, transition: Transition) -> None:
+        """Store a transition with the maximum priority seen so far."""
+        self._storage[self._next] = transition
+        self._tree.update(self._next, self._max_priority**self.alpha)
+        self._next = (self._next + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> ReplayBatch:
+        """Sample proportionally to priority, with importance weights."""
+        check_positive("batch_size", batch_size)
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        total = self._tree.total
+        segment = total / batch_size
+        indices = np.empty(batch_size, dtype=np.int64)
+        priorities = np.empty(batch_size, dtype=np.float64)
+        for i in range(batch_size):
+            value = self._rng.uniform(i * segment, (i + 1) * segment)
+            idx, priority = self._tree.sample(value)
+            # Guard against sampling a not-yet-filled slot (only possible
+            # before the buffer wraps for the first time).
+            if self._storage[idx] is None:
+                idx = int(self._rng.integers(0, self._size))
+                priority = max(self._tree.get(idx), self.epsilon**self.alpha)
+            indices[i] = idx
+            priorities[i] = priority
+        probabilities = priorities / max(total, 1e-12)
+        weights = (self._size * probabilities) ** (-self.beta)
+        weights = weights / weights.max()
+        transitions = [self._storage[i] for i in indices]
+        return _stack_batch(transitions, weights, indices)
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        """Refresh priorities with the latest |TD errors|."""
+        td_errors = np.abs(np.asarray(td_errors, dtype=float))
+        for idx, err in zip(np.asarray(indices, dtype=int), td_errors):
+            priority = float(err) + self.epsilon
+            self._max_priority = max(self._max_priority, priority)
+            self._tree.update(int(idx), priority**self.alpha)
+
+    def anneal(self, fraction: float) -> None:
+        """Anneal the importance-sampling exponent β from β₀ to 1."""
+        fraction = float(np.clip(fraction, 0.0, 1.0))
+        self.beta = self.beta0 + (1.0 - self.beta0) * fraction

@@ -1,0 +1,48 @@
+"""Evaluation methodology of Section 4: nested cross-validation, cost–benefit
+accounting in node–hours, classical ML metrics, agent-behaviour maps and the
+high-level experiment driver that reproduces the paper's figures and tables.
+"""
+
+from repro.evaluation.behavior import BehaviorGrid, behavior_grid
+from repro.evaluation.costs import CostBreakdown
+from repro.evaluation.cross_validation import TimeSeriesNestedCV, TimeSeriesSplit
+from repro.evaluation.experiment import (
+    ApproachResult,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.evaluation.metrics import ConfusionCounts
+from repro.evaluation.runner import (
+    EvaluationTrace,
+    PolicyEvaluation,
+    build_traces,
+    evaluate_policies,
+    evaluate_policy,
+)
+from repro.evaluation.report import (
+    format_cost_table,
+    format_metrics_table,
+    format_series,
+)
+
+__all__ = [
+    "ApproachResult",
+    "BehaviorGrid",
+    "ConfusionCounts",
+    "CostBreakdown",
+    "EvaluationTrace",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PolicyEvaluation",
+    "TimeSeriesNestedCV",
+    "TimeSeriesSplit",
+    "behavior_grid",
+    "build_traces",
+    "evaluate_policies",
+    "evaluate_policy",
+    "format_cost_table",
+    "format_metrics_table",
+    "format_series",
+    "run_experiment",
+]

@@ -1,0 +1,135 @@
+"""RL agent behaviour map (Figure 6).
+
+The figure shows, for every combination of potential UE cost (x-axis, log
+scale) and likelihood of a UE (y-axis, proxied by the SC20 random-forest
+probability, since the RL agent has no such value internally), how often the
+agent triggers a mitigation.  The expected structure: almost never at low
+cost and low probability, almost always when either the cost or the
+probability is high, with a smooth transition in between — including for
+costs orders of magnitude above anything seen during training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.sc20 import SC20RandomForestPolicy
+from repro.core.policies import DecisionContext, MitigationPolicy
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BehaviorGrid:
+    """Fraction of mitigations per (UE-cost bin, probability bin)."""
+
+    #: Edges of the UE-cost bins, node–hours (log-spaced), length ``nx + 1``.
+    ue_cost_edges: np.ndarray
+    #: Edges of the probability bins, length ``ny + 1``.
+    probability_edges: np.ndarray
+    #: Fraction of events mitigated in each cell, shape ``(ny, nx)``;
+    #: ``nan`` marks cells with no data.
+    mitigation_fraction: np.ndarray
+    #: Number of (event, cost) samples falling in each cell, shape ``(ny, nx)``.
+    counts: np.ndarray
+
+    @property
+    def overall_mitigation_rate(self) -> float:
+        """Fraction of all sampled decisions that were mitigations."""
+        total = self.counts.sum()
+        if total == 0:
+            return 0.0
+        filled = np.nan_to_num(self.mitigation_fraction, nan=0.0)
+        return float((filled * self.counts).sum() / total)
+
+    def mean_fraction_for_cost_above(self, cost: float) -> float:
+        """Mean mitigation fraction over cells with bin centre above ``cost``."""
+        centers = np.sqrt(self.ue_cost_edges[:-1] * self.ue_cost_edges[1:])
+        mask = centers >= cost
+        cells = self.mitigation_fraction[:, mask]
+        valid = ~np.isnan(cells)
+        if not valid.any():
+            return 0.0
+        return float(np.nanmean(cells))
+
+    def mean_fraction_for_cost_below(self, cost: float) -> float:
+        """Mean mitigation fraction over cells with bin centre below ``cost``."""
+        centers = np.sqrt(self.ue_cost_edges[:-1] * self.ue_cost_edges[1:])
+        mask = centers < cost
+        cells = self.mitigation_fraction[:, mask]
+        valid = ~np.isnan(cells)
+        if not valid.any():
+            return 0.0
+        return float(np.nanmean(cells))
+
+
+def behavior_grid(
+    rl_policy: MitigationPolicy,
+    sc20_policy: SC20RandomForestPolicy,
+    features: np.ndarray,
+    ue_cost_range: Sequence[float] = (1.0, 1e6),
+    n_cost_bins: int = 12,
+    n_probability_bins: int = 10,
+    costs_per_event: int = 8,
+    seed: int = 0,
+) -> BehaviorGrid:
+    """Compute the Figure 6 grid.
+
+    For every telemetry feature vector the SC20 forest provides the y-axis
+    coordinate (UE likelihood); the x-axis is swept by sampling
+    ``costs_per_event`` potential UE costs log-uniformly over
+    ``ue_cost_range`` — exactly the quantity the environment would supply —
+    and the RL policy is queried for each (event, cost) pair.
+    """
+    check_positive("n_cost_bins", n_cost_bins)
+    check_positive("n_probability_bins", n_probability_bins)
+    check_positive("costs_per_event", costs_per_event)
+    features = np.atleast_2d(np.asarray(features, dtype=float))
+    if features.shape[0] == 0:
+        raise ValueError("behaviour grid needs at least one event")
+    lo, hi = float(ue_cost_range[0]), float(ue_cost_range[1])
+    if not (0 < lo < hi):
+        raise ValueError("ue_cost_range must be increasing and positive")
+
+    rng = np.random.default_rng(seed)
+    cost_edges = np.logspace(np.log10(lo), np.log10(hi), n_cost_bins + 1)
+    probability_edges = np.linspace(0.0, 1.0, n_probability_bins + 1)
+
+    probabilities = sc20_policy.predict_probabilities(features)
+    prob_bins = np.clip(
+        np.digitize(probabilities, probability_edges) - 1, 0, n_probability_bins - 1
+    )
+
+    mitigations = np.zeros((n_probability_bins, n_cost_bins))
+    counts = np.zeros((n_probability_bins, n_cost_bins))
+
+    for event_index in range(features.shape[0]):
+        sampled_costs = np.exp(
+            rng.uniform(np.log(lo), np.log(hi), size=costs_per_event)
+        )
+        for cost in sampled_costs:
+            context = DecisionContext(
+                time=0.0,
+                node=-1,
+                features=features[event_index],
+                ue_cost=float(cost),
+            )
+            decided = rl_policy.decide(context)
+            x = int(
+                np.clip(np.digitize(cost, cost_edges) - 1, 0, n_cost_bins - 1)
+            )
+            y = int(prob_bins[event_index])
+            counts[y, x] += 1
+            if decided:
+                mitigations[y, x] += 1
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        fraction = np.where(counts > 0, mitigations / np.maximum(counts, 1), np.nan)
+    return BehaviorGrid(
+        ue_cost_edges=cost_edges,
+        probability_edges=probability_edges,
+        mitigation_fraction=fraction,
+        counts=counts,
+    )

@@ -1,0 +1,80 @@
+"""Cost–benefit accounting in node–hours (Section 4.3).
+
+Every result of the paper is expressed as the total number of lost node–
+hours: the cost of the uncorrected errors that were not (or could not be)
+avoided, plus the cost of every mitigation action performed, plus — for the
+learned policies — the cost of training and validating the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Lost node–hours, split by cause."""
+
+    #: Node–hours lost to uncorrected errors (Equation 3 at each UE).
+    ue_cost: float = 0.0
+    #: Node–hours spent performing mitigation actions.
+    mitigation_cost: float = 0.0
+    #: Node–hours spent training and validating the model.
+    training_cost: float = 0.0
+    #: Number of uncorrected errors encountered.
+    n_ues: int = 0
+    #: Number of mitigation actions performed.
+    n_mitigations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ue_cost < 0 or self.mitigation_cost < 0 or self.training_cost < 0:
+            raise ValueError("costs must be non-negative")
+        if self.n_ues < 0 or self.n_mitigations < 0:
+            raise ValueError("counts must be non-negative")
+
+    @property
+    def total(self) -> float:
+        """Total lost node–hours (the y-axis of Figures 3, 4, 5 and 7a)."""
+        return self.ue_cost + self.mitigation_cost + self.training_cost
+
+    @property
+    def overhead_cost(self) -> float:
+        """Mitigation plus training cost (everything that is not UE damage)."""
+        return self.mitigation_cost + self.training_cost
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        if not isinstance(other, CostBreakdown):
+            return NotImplemented
+        return CostBreakdown(
+            ue_cost=self.ue_cost + other.ue_cost,
+            mitigation_cost=self.mitigation_cost + other.mitigation_cost,
+            training_cost=self.training_cost + other.training_cost,
+            n_ues=self.n_ues + other.n_ues,
+            n_mitigations=self.n_mitigations + other.n_mitigations,
+        )
+
+    def __radd__(self, other):
+        # Allow sum() over breakdowns (which starts from 0).
+        if other == 0:
+            return self
+        return self.__add__(other)
+
+    def saving_vs(self, reference: "CostBreakdown") -> float:
+        """Fractional reduction of total cost relative to ``reference``.
+
+        ``reference`` is typically the Never-mitigate policy; the paper
+        reports e.g. a 54 % reduction for the RL agent.
+        """
+        if reference.total <= 0:
+            return 0.0
+        return 1.0 - self.total / reference.total
+
+    def with_training_cost(self, training_cost: float) -> "CostBreakdown":
+        """Copy with the training cost replaced."""
+        return CostBreakdown(
+            ue_cost=self.ue_cost,
+            mitigation_cost=self.mitigation_cost,
+            training_cost=float(training_cost),
+            n_ues=self.n_ues,
+            n_mitigations=self.n_mitigations,
+        )

@@ -1,0 +1,82 @@
+"""Classical machine-learning metrics with a 1-day prediction window (§4.4).
+
+The cost–benefit analysis is the paper's primary metric, but recall and
+precision are also reported for comparability with prior error-prediction
+work.  A UE counts as successfully mitigated (true positive) if at least one
+mitigation action *completed* within the preceding 24 hours, i.e. was
+initiated within the window minus the mitigation overhead.  UEs with no
+event in the preceding day cannot be mitigated by event-triggered policies
+but still count as false negatives (an implicit "no-mitigate" decision), so
+the hardest UEs are not silently dropped from the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """TP / FN / FP / TN counts of one policy over one evaluation."""
+
+    true_positives: int = 0
+    false_negatives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("true_positives", "false_negatives", "false_positives", "true_negatives"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ues(self) -> int:
+        """Total uncorrected errors in the evaluated period."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def n_mitigations(self) -> int:
+        """Total mitigation actions performed (TPs + FPs)."""
+        return self.true_positives + self.false_positives
+
+    @property
+    def n_decisions(self) -> int:
+        """Total classified decisions (including implicit no-mitigate ones)."""
+        return (
+            self.true_positives
+            + self.false_negatives
+            + self.false_positives
+            + self.true_negatives
+        )
+
+    @property
+    def recall(self) -> float:
+        """Fraction of UEs correctly mitigated; 0 when there were no UEs."""
+        if self.n_ues == 0:
+            return 0.0
+        return self.true_positives / self.n_ues
+
+    @property
+    def precision(self) -> Optional[float]:
+        """Fraction of mitigations that were useful; None when undefined."""
+        if self.n_mitigations == 0:
+            return None
+        return self.true_positives / self.n_mitigations
+
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        if not isinstance(other, ConfusionCounts):
+            return NotImplemented
+        return ConfusionCounts(
+            true_positives=self.true_positives + other.true_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+            false_positives=self.false_positives + other.false_positives,
+            true_negatives=self.true_negatives + other.true_negatives,
+        )
+
+    def __radd__(self, other):
+        if other == 0:
+            return self
+        return self.__add__(other)

@@ -1,0 +1,286 @@
+"""Policy roll-out over the test portion of the error log.
+
+Every policy is replayed over exactly the same per-node *evaluation traces*:
+the merged telemetry events of the test range plus a job timeline sampled
+once per node (deterministically from the scenario seed), so that all
+approaches are charged against identical UEs and identical job states.  The
+runner accumulates the cost–benefit breakdown of Section 4.3 and the
+classical ML confusion counts of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.features import NodeFeatureTrack
+from repro.core.policies import DecisionContext, MitigationPolicy
+from repro.evaluation.costs import CostBreakdown
+from repro.evaluation.metrics import ConfusionCounts
+from repro.utils.rng import RngFactory
+from repro.utils.timeutils import DAY
+from repro.utils.validation import check_non_negative, check_positive
+from repro.workload.sampling import JobSequenceSampler, NodeJobTimeline
+
+#: Signature of an optional override of the potential UE cost used at each
+#: event: ``fn(trace, event_index, time, default_cost) -> cost``.
+UECostFn = Callable[["EvaluationTrace", int, float, float], float]
+
+
+@dataclass(frozen=True)
+class EvaluationTrace:
+    """Replayable test-range trace of one node."""
+
+    node: int
+    times: np.ndarray
+    features: np.ndarray
+    is_ue: np.ndarray
+    is_last_before_ue: np.ndarray
+    timeline: NodeJobTimeline
+
+    def __post_init__(self) -> None:
+        n = len(self.times)
+        if not (
+            len(self.features) == n
+            and len(self.is_ue) == n
+            and len(self.is_last_before_ue) == n
+        ):
+            raise ValueError("trace arrays must be aligned")
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def n_ues(self) -> int:
+        return int(np.count_nonzero(self.is_ue))
+
+    @property
+    def n_decision_points(self) -> int:
+        return int(np.count_nonzero(~self.is_ue))
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Outcome of replaying one policy over a set of traces."""
+
+    policy_name: str
+    costs: CostBreakdown
+    confusion: ConfusionCounts
+    n_traces: int
+    n_decision_points: int
+
+    @property
+    def total_cost(self) -> float:
+        """Total lost node–hours."""
+        return self.costs.total
+
+
+def build_traces(
+    tracks: Dict[int, NodeFeatureTrack],
+    job_sampler: JobSequenceSampler,
+    t_start: float,
+    t_end: float,
+    seed: int = 0,
+    oracle_window_seconds: float = DAY,
+) -> List[EvaluationTrace]:
+    """Build per-node evaluation traces for the ``[t_start, t_end)`` range.
+
+    The job timeline of each node is sampled with an RNG derived from
+    ``seed`` and the node id, so repeated calls (and different policies)
+    see identical workloads.
+
+    ``oracle_window_seconds`` bounds the Oracle hint: an event is flagged as
+    "last event before a UE" only when the UE follows within that window
+    (the paper's Oracle performs exactly one mitigation per *predictable* UE
+    — UEs with no event in the preceding day are not mitigated by any
+    event-triggered policy, including the Oracle).
+    """
+    check_positive("time range", t_end - t_start)
+    factory = RngFactory(seed)
+    traces: List[EvaluationTrace] = []
+    for node in sorted(tracks):
+        track = tracks[node].slice_time(t_start, t_end)
+        if len(track) == 0:
+            continue
+        is_last_before_ue = np.zeros(len(track), dtype=bool)
+        if len(track) > 1:
+            is_last_before_ue[:-1] = (
+                track.is_ue[1:]
+                & ~track.is_ue[:-1]
+                & (np.diff(track.times) <= oracle_window_seconds)
+            )
+        timeline = job_sampler.sample_timeline(
+            t_start, t_end, rng=factory.stream(f"node-{node}")
+        )
+        traces.append(
+            EvaluationTrace(
+                node=node,
+                times=track.times,
+                features=track.features,
+                is_ue=track.is_ue,
+                is_last_before_ue=is_last_before_ue,
+                timeline=timeline,
+            )
+        )
+    return traces
+
+
+def evaluate_policy(
+    traces: Sequence[EvaluationTrace],
+    policy: MitigationPolicy,
+    mitigation_cost: float,
+    restartable: bool = True,
+    prediction_window_seconds: float = DAY,
+    mitigation_overhead_seconds: Optional[float] = None,
+    include_training_cost: bool = True,
+    ue_cost_fn: Optional[UECostFn] = None,
+) -> PolicyEvaluation:
+    """Replay ``policy`` over ``traces`` and account costs and metrics.
+
+    Parameters
+    ----------
+    traces:
+        Evaluation traces from :func:`build_traces`.
+    policy:
+        The mitigation policy under evaluation.
+    mitigation_cost:
+        Cost of one mitigation in node–hours.
+    restartable:
+        Whether a mitigation resets the potential UE cost (checkpointing).
+    prediction_window_seconds:
+        Window of the classical ML metrics (Section 4.4), default one day.
+    mitigation_overhead_seconds:
+        Wall-clock duration of a mitigation; a mitigation must have been
+        initiated at least this long before a UE to count as completed.
+        Defaults to the mitigation cost interpreted as minutes of wall-clock
+        time on a single node.
+    include_training_cost:
+        Whether to charge ``policy.training_cost_node_hours`` to the total.
+    ue_cost_fn:
+        Optional override of the potential UE cost seen at each event (used
+        by the Table 2 UE-cost-range analysis); receives the trace, event
+        index, event time and the default timeline-derived cost.
+    """
+    check_non_negative("mitigation_cost", mitigation_cost)
+    check_positive("prediction_window_seconds", prediction_window_seconds)
+    if mitigation_overhead_seconds is None:
+        mitigation_overhead_seconds = mitigation_cost * 3600.0
+    check_non_negative("mitigation_overhead_seconds", mitigation_overhead_seconds)
+
+    ue_cost_total = 0.0
+    mitigation_cost_total = 0.0
+    n_ues = 0
+    n_mitigations = 0
+    n_no_actions = 0
+    true_positives = 0
+    n_ues_without_preceding_event = 0
+    n_decision_points = 0
+
+    for trace in traces:
+        policy.reset()
+        policy.prepare_trace(trace.features)
+        last_mitigation: Optional[float] = None
+        mitigation_times: List[float] = []
+
+        for i in range(len(trace)):
+            t = float(trace.times[i])
+            default_cost = trace.timeline.potential_ue_cost(
+                t, last_mitigation, restartable
+            )
+            if ue_cost_fn is not None:
+                cost_now = float(ue_cost_fn(trace, i, t, default_cost))
+            else:
+                cost_now = default_cost
+
+            if trace.is_ue[i]:
+                n_ues += 1
+                ue_cost_total += cost_now
+                # Classical ML metrics bookkeeping (Section 4.4).
+                window_start = t - prediction_window_seconds
+                completed = [
+                    m
+                    for m in mitigation_times
+                    if window_start <= m <= t - mitigation_overhead_seconds
+                ]
+                has_preceding_event = bool(
+                    np.any(
+                        (~trace.is_ue[:i])
+                        & (trace.times[:i] >= window_start)
+                        & (trace.times[:i] < t)
+                    )
+                )
+                if completed:
+                    true_positives += 1
+                if not has_preceding_event:
+                    n_ues_without_preceding_event += 1
+                # The node is rebooted after the UE; the next job starts fresh.
+                last_mitigation = None
+                continue
+
+            n_decision_points += 1
+            context = DecisionContext(
+                time=t,
+                node=trace.node,
+                features=trace.features[i],
+                ue_cost=cost_now,
+                is_last_event_before_ue=bool(trace.is_last_before_ue[i]),
+                event_index=i,
+            )
+            if policy.decide(context):
+                n_mitigations += 1
+                mitigation_cost_total += mitigation_cost
+                mitigation_times.append(t)
+                last_mitigation = t
+            else:
+                n_no_actions += 1
+
+    false_negatives = n_ues - true_positives
+    false_positives = n_mitigations - true_positives
+    non_mitigations = n_no_actions + n_ues_without_preceding_event
+    true_negatives = max(0, non_mitigations - false_negatives)
+
+    training_cost = policy.training_cost_node_hours if include_training_cost else 0.0
+    costs = CostBreakdown(
+        ue_cost=ue_cost_total,
+        mitigation_cost=mitigation_cost_total,
+        training_cost=training_cost,
+        n_ues=n_ues,
+        n_mitigations=n_mitigations,
+    )
+    confusion = ConfusionCounts(
+        true_positives=true_positives,
+        false_negatives=false_negatives,
+        false_positives=false_positives,
+        true_negatives=true_negatives,
+    )
+    return PolicyEvaluation(
+        policy_name=policy.name,
+        costs=costs,
+        confusion=confusion,
+        n_traces=len(traces),
+        n_decision_points=n_decision_points,
+    )
+
+
+def evaluate_policies(
+    traces: Sequence[EvaluationTrace],
+    policies: Sequence[MitigationPolicy],
+    mitigation_cost: float,
+    restartable: bool = True,
+    prediction_window_seconds: float = DAY,
+    **kwargs,
+) -> Dict[str, PolicyEvaluation]:
+    """Evaluate several policies over the same traces."""
+    return {
+        policy.name: evaluate_policy(
+            traces,
+            policy,
+            mitigation_cost,
+            restartable=restartable,
+            prediction_window_seconds=prediction_window_seconds,
+            **kwargs,
+        )
+        for policy in policies
+    }

@@ -1,0 +1,153 @@
+"""Parameters of the per-DIMM fault processes used by the telemetry generator.
+
+The generator does not try to model DRAM physics; it reproduces the
+*statistical properties* of the MareNostrum 3 logs that the paper identifies
+as load-bearing for mitigation-policy design (Sections 2.1 and 3.3.4):
+
+* corrected errors are rare per DIMM but highly bursty, and a small fraction
+  of DIMMs produce the vast majority of CEs;
+* CE locality follows fault geometry (row / column / bank / rank / transient
+  faults), which drives the "number of ranks/banks/rows/columns with CEs"
+  features of Table 1;
+* uncorrected errors appear in bursts: a node that suffers one UE tends to
+  produce several more while it is quarantined for testing, so only the first
+  UE of each burst matters for production (333 raw UEs → 67 first UEs);
+* a sizeable minority of UEs have *no* preceding event within a day, making
+  them unpredictable for event-triggered policies (25 of 67 in the paper);
+* UE warnings fire when the correctable-error logging limit is reached;
+* critical over-temperature shutdowns are counted as UEs;
+* some DIMMs are retired administratively with no preceding errors, which
+  introduces the training bias the paper removes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.utils.timeutils import DAY, HOUR, MINUTE
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+class FaultType(enum.IntEnum):
+    """Geometry of a DRAM fault, controlling CE address locality."""
+
+    TRANSIENT = 0
+    ROW = 1
+    COLUMN = 2
+    BANK = 3
+    RANK = 4
+
+
+@dataclass(frozen=True)
+class FaultModelConfig:
+    """Tunable parameters of the synthetic fault processes."""
+
+    # -- corrected-error producing faults ------------------------------- #
+    #: Fraction of DIMMs that develop a CE-producing fault during the period.
+    faulty_dimm_fraction: float = 0.10
+    #: Mean number of CE bursts emitted by a faulty DIMM.
+    mean_bursts_per_faulty_dimm: float = 9.0
+    #: Mean number of CE log records per burst.
+    mean_records_per_burst: float = 18.0
+    #: Mean spread of a burst in seconds (records are exponentially spaced).
+    burst_spread_seconds: float = 45 * MINUTE
+    #: Mean total corrected errors carried by one faulty DIMM (heavy-tailed).
+    mean_ces_per_faulty_dimm: float = 600.0
+    #: Log-normal sigma of the per-DIMM total CE count.
+    ce_count_sigma: float = 1.6
+    #: Mean active lifetime of a fault, seconds.
+    mean_fault_lifetime_seconds: float = 90 * DAY
+    #: Probability that a CE is found by the patrol scrubber.
+    scrubber_fraction: float = 0.35
+    #: Relative CE incidence per manufacturer (A, B, C); normalised internally.
+    manufacturer_ce_weights: Tuple[float, ...] = (1.4, 0.7, 1.0)
+
+    # -- uncorrected errors --------------------------------------------- #
+    #: Expected number of distinct UE bursts (i.e. "first" UEs, §2.1.3).
+    n_ue_bursts: int = 24
+    #: Mean number of *additional* UEs within the week-long burst.
+    ue_burst_repeat_mean: float = 4.0
+    #: Fraction of UE bursts that strike DIMMs with no prior CE history.
+    silent_ue_fraction: float = 0.35
+    #: Fraction of UE bursts that are critical over-temperature shutdowns.
+    overtemp_fraction: float = 0.08
+    #: Relative UE incidence per manufacturer (A, B, C); normalised internally.
+    manufacturer_ue_weights: Tuple[float, ...] = (1.2, 0.9, 1.0)
+    #: Week-long quarantine applied to a node after a UE (§2.1.3).
+    quarantine_seconds: float = 7 * DAY
+
+    # -- warnings, boots, retirement ------------------------------------ #
+    #: Correctable-error logging limit that triggers a UE warning.
+    ce_logging_limit: int = 256
+    #: Mean interval between routine node reboots, seconds.
+    mean_boot_interval_seconds: float = 60 * DAY
+    #: Probability that a node about to suffer a UE reboots in the prior days.
+    pre_ue_boot_probability: float = 0.4
+    #: Number of DIMMs retired administratively during the period (§2.1.4).
+    n_retired_dimms: int = 4
+    #: Fraction of retired DIMMs that had no preceding errors (paper: most).
+    retired_error_free_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        check_fraction("faulty_dimm_fraction", self.faulty_dimm_fraction)
+        check_fraction("silent_ue_fraction", self.silent_ue_fraction)
+        check_fraction("overtemp_fraction", self.overtemp_fraction)
+        check_fraction("scrubber_fraction", self.scrubber_fraction)
+        check_fraction(
+            "retired_error_free_fraction", self.retired_error_free_fraction
+        )
+        check_fraction("pre_ue_boot_probability", self.pre_ue_boot_probability)
+        check_positive("mean_ces_per_faulty_dimm", self.mean_ces_per_faulty_dimm)
+        check_positive("mean_bursts_per_faulty_dimm", self.mean_bursts_per_faulty_dimm)
+        check_positive("mean_records_per_burst", self.mean_records_per_burst)
+        check_positive("burst_spread_seconds", self.burst_spread_seconds)
+        check_positive("quarantine_seconds", self.quarantine_seconds)
+        check_positive("ce_logging_limit", self.ce_logging_limit)
+        check_non_negative("n_ue_bursts", self.n_ue_bursts)
+        check_non_negative("n_retired_dimms", self.n_retired_dimms)
+        check_non_negative("ue_burst_repeat_mean", self.ue_burst_repeat_mean)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def scaled_for(
+        n_dimms: int,
+        duration_seconds: float,
+        target_ues: int,
+        target_ces: Optional[float] = None,
+        n_retired_dimms: Optional[int] = None,
+    ) -> "FaultModelConfig":
+        """Derive a configuration hitting approximate volume targets.
+
+        Parameters
+        ----------
+        n_dimms:
+            Total DIMMs in the cluster.
+        duration_seconds:
+            Length of the simulated production period.
+        target_ues:
+            Desired number of distinct UE bursts (first UEs after reduction).
+        target_ces:
+            Desired total number of corrected errors.  When omitted, the
+            default per-DIMM CE volume is kept.
+        n_retired_dimms:
+            Number of administratively retired DIMMs; defaults to roughly
+            the paper's proportion (51 out of ~25k DIMMs).
+        """
+        check_positive("n_dimms", n_dimms)
+        check_positive("duration_seconds", duration_seconds)
+        base = FaultModelConfig()
+        faulty_fraction = base.faulty_dimm_fraction
+        mean_ces = base.mean_ces_per_faulty_dimm
+        if target_ces is not None:
+            n_faulty = max(1.0, faulty_fraction * n_dimms)
+            mean_ces = float(target_ces) / n_faulty
+        if n_retired_dimms is None:
+            n_retired_dimms = max(2, int(round(51 * n_dimms / 25320)))
+        return replace(
+            base,
+            n_ue_bursts=int(target_ues),
+            mean_ces_per_faulty_dimm=mean_ces,
+            n_retired_dimms=int(n_retired_dimms),
+        )

@@ -1,0 +1,562 @@
+"""Synthetic MareNostrum-3-style error-log generator.
+
+The generator substitutes for the proprietary production logs described in
+Section 2.1 of the paper.  It draws, for every DIMM of a
+:class:`~repro.telemetry.topology.ClusterTopology`, a fault trajectory
+following the processes parameterised by
+:class:`~repro.telemetry.fault_model.FaultModelConfig`, and emits an
+:class:`~repro.telemetry.error_log.ErrorLog` containing corrected errors,
+uncorrected errors, UE warnings, over-temperature shutdowns, node boots and
+administrative DIMM retirements.
+
+The important statistical properties (documented in ``fault_model.py``) are:
+bursty and highly skewed per-DIMM CE counts, location locality driven by the
+fault geometry, UE bursts confined to the week-long post-UE quarantine, a
+minority of "silent" UEs with no preceding telemetry, and manufacturer skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.fault_model import FaultModelConfig, FaultType
+from repro.telemetry.records import EventKind
+from repro.telemetry.topology import ClusterTopology
+from repro.utils.rng import RngFactory, as_generator
+from repro.utils.timeutils import DAY, HOUR, MINUTE
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class _EventBuffer:
+    """Mutable column buffers accumulated during generation."""
+
+    time: List[float]
+    node: List[int]
+    dimm: List[int]
+    kind: List[int]
+    ce_count: List[int]
+    rank: List[int]
+    bank: List[int]
+    row: List[int]
+    col: List[int]
+    scrubber: List[bool]
+    manufacturer: List[int]
+
+    @classmethod
+    def new(cls) -> "_EventBuffer":
+        return cls([], [], [], [], [], [], [], [], [], [], [])
+
+    def append(
+        self,
+        time: float,
+        node: int,
+        dimm: int,
+        kind: EventKind,
+        ce_count: int = 0,
+        rank: int = -1,
+        bank: int = -1,
+        row: int = -1,
+        col: int = -1,
+        scrubber: bool = False,
+        manufacturer: int = -1,
+    ) -> None:
+        self.time.append(float(time))
+        self.node.append(int(node))
+        self.dimm.append(int(dimm))
+        self.kind.append(int(kind))
+        self.ce_count.append(int(ce_count))
+        self.rank.append(int(rank))
+        self.bank.append(int(bank))
+        self.row.append(int(row))
+        self.col.append(int(col))
+        self.scrubber.append(bool(scrubber))
+        self.manufacturer.append(int(manufacturer))
+
+    def extend_ce(
+        self,
+        times: np.ndarray,
+        node: int,
+        dimm: int,
+        counts: np.ndarray,
+        ranks: np.ndarray,
+        banks: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        scrubbers: np.ndarray,
+        manufacturer: int,
+    ) -> None:
+        n = len(times)
+        self.time.extend(map(float, times))
+        self.node.extend([node] * n)
+        self.dimm.extend([dimm] * n)
+        self.kind.extend([int(EventKind.CE)] * n)
+        self.ce_count.extend(map(int, counts))
+        self.rank.extend(map(int, ranks))
+        self.bank.extend(map(int, banks))
+        self.row.extend(map(int, rows))
+        self.col.extend(map(int, cols))
+        self.scrubber.extend(map(bool, scrubbers))
+        self.manufacturer.extend([manufacturer] * n)
+
+    def to_log(self) -> ErrorLog:
+        return ErrorLog(
+            time=self.time,
+            node=self.node,
+            dimm=self.dimm,
+            kind=self.kind,
+            ce_count=self.ce_count,
+            rank=self.rank,
+            bank=self.bank,
+            row=self.row,
+            col=self.col,
+            scrubber=self.scrubber,
+            manufacturer=self.manufacturer,
+        )
+
+
+class TelemetryGenerator:
+    """Generate a synthetic production error log.
+
+    Parameters
+    ----------
+    topology:
+        Cluster description (nodes, DIMMs, manufacturers).
+    config:
+        Fault-model parameters.
+    duration_seconds:
+        Length of the simulated production period.
+    seed:
+        Root seed, generator or :class:`~repro.utils.rng.RngFactory`.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        config: Optional[FaultModelConfig] = None,
+        duration_seconds: float = 180 * DAY,
+        seed=0,
+    ) -> None:
+        check_positive("duration_seconds", duration_seconds)
+        self.topology = topology
+        self.config = config or FaultModelConfig()
+        self.duration = float(duration_seconds)
+        if isinstance(seed, RngFactory):
+            self._factory = seed
+        else:
+            self._factory = RngFactory(seed if isinstance(seed, int) else None)
+        self.dimm_manufacturer = topology.assign_manufacturers(
+            self._factory.stream("manufacturers")
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def generate(self) -> ErrorLog:
+        """Produce the full error log for the configured period."""
+        buffer = _EventBuffer.new()
+        rng = self._factory.stream("generator")
+
+        faulty_dimms = self._select_faulty_dimms(rng)
+        ce_history: dict[int, float] = {}
+        for dimm in faulty_dimms:
+            last_ce = self._emit_dimm_ce_history(buffer, rng, int(dimm))
+            ce_history[int(dimm)] = last_ce
+
+        ue_first_times = self._emit_ue_bursts(buffer, rng, faulty_dimms, ce_history)
+        self._emit_boots(buffer, rng, ue_first_times)
+        self._emit_retirements(buffer, rng, faulty_dimms)
+
+        log = buffer.to_log()
+        log = self._apply_quarantine(log, ue_first_times)
+        return log
+
+    # ------------------------------------------------------------------ #
+    # Faulty DIMM selection and CE emission
+    # ------------------------------------------------------------------ #
+    def _manufacturer_weight(self, weights: Sequence[float]) -> np.ndarray:
+        weights = np.asarray(weights, dtype=float)
+        if weights.size < self.topology.n_manufacturers:
+            weights = np.resize(weights, self.topology.n_manufacturers)
+        weights = weights[: self.topology.n_manufacturers]
+        return weights / weights.mean()
+
+    def _select_faulty_dimms(self, rng: np.random.Generator) -> np.ndarray:
+        """Choose which DIMMs develop CE-producing faults."""
+        cfg = self.config
+        n_dimms = self.topology.n_dimms
+        weights = self._manufacturer_weight(cfg.manufacturer_ce_weights)
+        per_dimm_p = cfg.faulty_dimm_fraction * weights[self.dimm_manufacturer]
+        per_dimm_p = np.clip(per_dimm_p, 0.0, 1.0)
+        mask = rng.random(n_dimms) < per_dimm_p
+        faulty = np.flatnonzero(mask)
+        if faulty.size == 0 and cfg.faulty_dimm_fraction > 0 and n_dimms > 0:
+            faulty = rng.choice(n_dimms, size=1)
+        return faulty
+
+    def _sample_fault_geometry(self, rng: np.random.Generator, size: int):
+        """Sample CE physical locations for one fault."""
+        topo = self.topology
+        fault_type = FaultType(
+            rng.choice(
+                [
+                    FaultType.TRANSIENT,
+                    FaultType.ROW,
+                    FaultType.COLUMN,
+                    FaultType.BANK,
+                    FaultType.RANK,
+                ],
+                p=[0.25, 0.3, 0.15, 0.2, 0.1],
+            )
+        )
+        ranks = rng.integers(0, topo.ranks_per_dimm, size)
+        banks = rng.integers(0, topo.banks_per_rank, size)
+        rows = rng.integers(0, topo.rows_per_bank, size)
+        cols = rng.integers(0, topo.cols_per_row, size)
+        if fault_type == FaultType.ROW:
+            ranks[:] = ranks[0]
+            banks[:] = banks[0]
+            rows[:] = rows[0]
+        elif fault_type == FaultType.COLUMN:
+            ranks[:] = ranks[0]
+            banks[:] = banks[0]
+            cols[:] = cols[0]
+        elif fault_type == FaultType.BANK:
+            ranks[:] = ranks[0]
+            banks[:] = banks[0]
+        elif fault_type == FaultType.RANK:
+            ranks[:] = ranks[0]
+        return fault_type, ranks, banks, rows, cols
+
+    def _emit_dimm_ce_history(
+        self, buffer: _EventBuffer, rng: np.random.Generator, dimm: int
+    ) -> float:
+        """Emit the CE records (and warnings) of one faulty DIMM.
+
+        Returns the time of the last CE record, used to place UEs after some
+        CE history for predictable failures.
+        """
+        cfg = self.config
+        node = int(self.topology.dimm_node(dimm))
+        manufacturer = int(self.dimm_manufacturer[dimm])
+
+        onset = rng.uniform(0.0, 0.95 * self.duration)
+        lifetime = rng.exponential(cfg.mean_fault_lifetime_seconds)
+        end = min(self.duration, onset + max(lifetime, HOUR))
+
+        n_bursts = 1 + rng.poisson(max(cfg.mean_bursts_per_faulty_dimm - 1, 0.0))
+        burst_times = np.sort(rng.uniform(onset, end, n_bursts))
+
+        records_per_burst = 1 + rng.poisson(
+            max(cfg.mean_records_per_burst - 1, 0.0), size=n_bursts
+        )
+        n_records = int(records_per_burst.sum())
+
+        # Total CEs for this DIMM: heavy-tailed log-normal around the mean.
+        sigma = cfg.ce_count_sigma
+        mu = np.log(max(cfg.mean_ces_per_faulty_dimm, 1.0)) - 0.5 * sigma**2
+        total_ces = max(n_records, int(round(rng.lognormal(mu, sigma))))
+
+        # Distribute total CEs over records with a Dirichlet split so a few
+        # records carry large MCA counts (bursty aggregation, §2.1.1).
+        shares = rng.dirichlet(np.full(n_records, 0.35))
+        counts = np.maximum(1, np.round(shares * total_ces).astype(np.int64))
+
+        times = np.concatenate(
+            [
+                np.sort(
+                    burst_times[i]
+                    + rng.exponential(cfg.burst_spread_seconds, records_per_burst[i])
+                )
+                for i in range(n_bursts)
+            ]
+        )
+        times = np.clip(times, 0.0, self.duration - 1.0)
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        counts = counts[order]
+
+        _, ranks, banks, rows, cols = self._sample_fault_geometry(rng, n_records)
+        scrubbers = rng.random(n_records) < cfg.scrubber_fraction
+
+        buffer.extend_ce(
+            times, node, dimm, counts, ranks, banks, rows, cols, scrubbers,
+            manufacturer,
+        )
+
+        # UE warnings whenever the cumulative CE count crosses a multiple of
+        # the correctable-error logging limit (§2.1.2).
+        cumulative = np.cumsum(counts)
+        crossings = np.flatnonzero(
+            np.diff(np.concatenate([[0], cumulative // cfg.ce_logging_limit])) > 0
+        )
+        for idx in crossings:
+            buffer.append(
+                time=times[idx] + 1.0,
+                node=node,
+                dimm=dimm,
+                kind=EventKind.UE_WARNING,
+                manufacturer=manufacturer,
+            )
+        return float(times[-1]) if n_records else onset
+
+    # ------------------------------------------------------------------ #
+    # Uncorrected errors
+    # ------------------------------------------------------------------ #
+    def _emit_ue_bursts(
+        self,
+        buffer: _EventBuffer,
+        rng: np.random.Generator,
+        faulty_dimms: np.ndarray,
+        ce_history: dict[int, float],
+    ) -> np.ndarray:
+        """Emit UE bursts and return the times of the *first* UE of each burst."""
+        cfg = self.config
+        n_bursts = cfg.n_ue_bursts
+        if n_bursts <= 0:
+            return np.empty(0)
+
+        n_silent = int(round(cfg.silent_ue_fraction * n_bursts))
+        n_predictable = n_bursts - n_silent
+
+        weights = self._manufacturer_weight(cfg.manufacturer_ue_weights)
+
+        # Predictable UEs strike DIMMs with CE history (after some of it).
+        predictable_dimms: List[int] = []
+        if n_predictable > 0 and faulty_dimms.size > 0:
+            w = weights[self.dimm_manufacturer[faulty_dimms]]
+            p = w / w.sum()
+            chosen = rng.choice(
+                faulty_dimms,
+                size=min(n_predictable, faulty_dimms.size),
+                replace=False,
+                p=p,
+            )
+            predictable_dimms = [int(d) for d in chosen]
+        n_silent += n_predictable - len(predictable_dimms)
+
+        # Silent UEs strike DIMMs with no CE history at all.
+        healthy = np.setdiff1d(
+            np.arange(self.topology.n_dimms), faulty_dimms, assume_unique=False
+        )
+        silent_dimms: List[int] = []
+        if n_silent > 0 and healthy.size > 0:
+            w = weights[self.dimm_manufacturer[healthy]]
+            p = w / w.sum()
+            chosen = rng.choice(
+                healthy, size=min(n_silent, healthy.size), replace=False, p=p
+            )
+            silent_dimms = [int(d) for d in chosen]
+
+        first_times: List[float] = []
+        for dimm in predictable_dimms + silent_dimms:
+            node = int(self.topology.dimm_node(dimm))
+            manufacturer = int(self.dimm_manufacturer[dimm])
+            if dimm in ce_history:
+                # Place the UE shortly after the DIMM's CE history and emit a
+                # final escalating CE burst in the hours before it, so the
+                # telemetry features carry predictive signal and event-
+                # triggered policies have a recent event to mitigate from.
+                last_ce = ce_history[dimm]
+                lead = min(rng.lognormal(np.log(2 * HOUR), 1.0), DAY)
+                t_first = min(self.duration - 1.0, last_ce + lead)
+                self._emit_pre_ue_burst(buffer, rng, dimm, node, manufacturer, t_first)
+            else:
+                t_first = rng.uniform(0.05 * self.duration, self.duration - 1.0)
+            is_overtemp = rng.random() < cfg.overtemp_fraction
+            kind = EventKind.OVERTEMP if is_overtemp else EventKind.UE
+            buffer.append(
+                time=t_first,
+                node=node,
+                dimm=dimm,
+                kind=kind,
+                manufacturer=manufacturer,
+            )
+            first_times.append(t_first)
+
+            # Follow-up UEs within the one-week quarantine burst.
+            n_repeats = rng.poisson(cfg.ue_burst_repeat_mean)
+            if n_repeats > 0:
+                repeat_times = t_first + rng.uniform(
+                    10 * MINUTE, 0.93 * cfg.quarantine_seconds, size=n_repeats
+                )
+                for t in np.sort(repeat_times):
+                    if t >= self.duration:
+                        continue
+                    buffer.append(
+                        time=float(t),
+                        node=node,
+                        dimm=dimm,
+                        kind=EventKind.UE,
+                        manufacturer=manufacturer,
+                    )
+        return np.asarray(sorted(first_times))
+
+    def _emit_pre_ue_burst(
+        self,
+        buffer: _EventBuffer,
+        rng: np.random.Generator,
+        dimm: int,
+        node: int,
+        manufacturer: int,
+        t_ue: float,
+    ) -> None:
+        """Escalating CE activity in the hours before a predictable UE.
+
+        Field studies (and the paper's own premise) show that most
+        predictable UEs are preceded by a surge of corrected errors on the
+        failing DIMM; this is what gives both the random-forest baseline and
+        the RL agent their signal, and what lets event-triggered policies
+        place a mitigation close to the UE.
+        """
+        cfg = self.config
+        n_records = 4 + int(rng.poisson(8))
+        # Log-spaced lead times: activity accelerates towards the failure but
+        # leaves a few minutes of slack so a mitigation triggered on the last
+        # event can complete before the UE strikes.
+        leads = np.sort(
+            np.exp(rng.uniform(np.log(5 * MINUTE), np.log(18 * HOUR), n_records))
+        )[::-1]
+        times = np.clip(t_ue - leads, 0.0, t_ue - 3 * MINUTE)
+        counts = 1 + rng.geometric(0.05, size=n_records)
+        _, ranks, banks, rows, cols = self._sample_fault_geometry(rng, n_records)
+        scrubbers = rng.random(n_records) < cfg.scrubber_fraction
+        buffer.extend_ce(
+            times, node, dimm, counts, ranks, banks, rows, cols, scrubbers,
+            manufacturer,
+        )
+        # The surge usually trips the correctable-error logging limit,
+        # producing a UE warning shortly before the failure (§2.1.2).
+        if rng.random() < 0.6:
+            buffer.append(
+                time=float(np.clip(t_ue - rng.uniform(5 * MINUTE, 6 * HOUR), 0.0, t_ue - MINUTE)),
+                node=node,
+                dimm=dimm,
+                kind=EventKind.UE_WARNING,
+                manufacturer=manufacturer,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Boots, retirements, quarantine
+    # ------------------------------------------------------------------ #
+    def _emit_boots(
+        self,
+        buffer: _EventBuffer,
+        rng: np.random.Generator,
+        ue_first_times: np.ndarray,
+    ) -> None:
+        cfg = self.config
+        for node in range(self.topology.n_nodes):
+            # Routine maintenance reboots: Poisson over the period.
+            expected = self.duration / cfg.mean_boot_interval_seconds
+            n_boots = rng.poisson(expected)
+            for t in np.sort(rng.uniform(0.0, self.duration, n_boots)):
+                buffer.append(time=float(t), node=node, dimm=-1, kind=EventKind.BOOT)
+
+        # Nodes about to suffer a UE sometimes reboot in the days before it
+        # (gives the boot-count features predictive value).
+        ue_nodes_times = [
+            (buffer.node[i], buffer.time[i])
+            for i in range(len(buffer.time))
+            if EventKind(buffer.kind[i]).counts_as_ue
+        ]
+        seen_nodes = set()
+        for node, t_ue in ue_nodes_times:
+            if node in seen_nodes:
+                continue
+            seen_nodes.add(node)
+            if rng.random() < cfg.pre_ue_boot_probability:
+                t = max(0.0, t_ue - rng.uniform(HOUR, 2 * DAY))
+                buffer.append(time=t, node=node, dimm=-1, kind=EventKind.BOOT)
+
+    def _emit_retirements(
+        self,
+        buffer: _EventBuffer,
+        rng: np.random.Generator,
+        faulty_dimms: np.ndarray,
+    ) -> None:
+        cfg = self.config
+        if cfg.n_retired_dimms <= 0:
+            return
+        healthy = np.setdiff1d(np.arange(self.topology.n_dimms), faulty_dimms)
+        n_error_free = int(round(cfg.retired_error_free_fraction * cfg.n_retired_dimms))
+        n_faulty = cfg.n_retired_dimms - n_error_free
+        chosen: List[int] = []
+        if healthy.size > 0 and n_error_free > 0:
+            chosen.extend(
+                int(d)
+                for d in rng.choice(
+                    healthy, size=min(n_error_free, healthy.size), replace=False
+                )
+            )
+        if faulty_dimms.size > 0 and n_faulty > 0:
+            chosen.extend(
+                int(d)
+                for d in rng.choice(
+                    faulty_dimms, size=min(n_faulty, faulty_dimms.size), replace=False
+                )
+            )
+        for dimm in chosen:
+            node = int(self.topology.dimm_node(dimm))
+            manufacturer = int(self.dimm_manufacturer[dimm])
+            buffer.append(
+                time=float(rng.uniform(0.1 * self.duration, self.duration - 1.0)),
+                node=node,
+                dimm=dimm,
+                kind=EventKind.RETIREMENT,
+                manufacturer=manufacturer,
+            )
+
+    def _apply_quarantine(
+        self, log: ErrorLog, ue_first_times: np.ndarray
+    ) -> ErrorLog:
+        """Drop non-UE events during each node's post-UE quarantine week and
+        insert a boot when the node returns to production (§2.1.3)."""
+        if not len(log) or ue_first_times.size == 0:
+            return log
+        cfg = self.config
+        keep = np.ones(len(log), dtype=bool)
+        boots = _EventBuffer.new()
+        ue_mask = log.is_ue_mask
+        for node in np.unique(log.node[ue_mask]):
+            node_mask = log.node == node
+            node_ue_times = np.sort(log.time[node_mask & ue_mask])
+            if node_ue_times.size == 0:
+                continue
+            # Quarantine windows start at each *first* UE of a burst.
+            window_starts: List[float] = []
+            for t in node_ue_times:
+                if not window_starts or t > window_starts[-1] + cfg.quarantine_seconds:
+                    window_starts.append(float(t))
+            for start in window_starts:
+                end = start + cfg.quarantine_seconds
+                in_window = (
+                    node_mask
+                    & (log.time > start)
+                    & (log.time <= end)
+                    & ~ue_mask
+                )
+                keep &= ~in_window
+                if end < self.duration:
+                    boots.append(time=end, node=int(node), dimm=-1, kind=EventKind.BOOT)
+        filtered = log.select(keep)
+        boot_log = boots.to_log()
+        if len(boot_log):
+            return ErrorLog.concatenate([filtered, boot_log])
+        return filtered
+
+
+def generate_error_log(
+    topology: ClusterTopology,
+    config: Optional[FaultModelConfig] = None,
+    duration_seconds: float = 180 * DAY,
+    seed=0,
+) -> ErrorLog:
+    """Convenience wrapper: build a generator and produce its log."""
+    return TelemetryGenerator(
+        topology, config=config, duration_seconds=duration_seconds, seed=seed
+    ).generate()

@@ -1,0 +1,99 @@
+"""Log preprocessing: UE burst reduction and DIMM-retirement bias removal.
+
+Section 2.1.3: whenever a node encountered a UE it was removed from
+production and tested for one week, so only the first UE of each burst (of up
+to a week) affects a production workload.  Filtering the MareNostrum log this
+way reduced 333 UEs to 67.
+
+Section 2.1.4: DIMMs that were administratively retired introduce a bias
+(their future is unknowable), so every sample belonging to such DIMMs is
+removed from training and evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.records import EventKind
+from repro.utils.timeutils import WEEK
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """Bookkeeping of what the preprocessing removed."""
+
+    raw_ues: int
+    reduced_ues: int
+    removed_burst_ues: int
+    retired_dimms: int
+    removed_retirement_events: int
+
+
+def reduce_ue_bursts(log: ErrorLog, window_seconds: float = WEEK) -> ErrorLog:
+    """Keep only the first UE of each per-node burst.
+
+    A burst is defined per node: after a UE, any further UE on the same node
+    within ``window_seconds`` belongs to the same burst and is dropped.  The
+    window restarts from each retained UE (a new burst can begin once the
+    node has returned to production).
+    """
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be > 0")
+    if not len(log):
+        return log
+    keep = np.ones(len(log), dtype=bool)
+    ue_mask = log.is_ue_mask
+    for node in np.unique(log.node[ue_mask]):
+        idx = np.flatnonzero((log.node == node) & ue_mask)
+        if idx.size <= 1:
+            continue
+        times = log.time[idx]
+        last_kept = -np.inf
+        for i, t in zip(idx, times):
+            if t - last_kept >= window_seconds:
+                last_kept = t
+            else:
+                keep[i] = False
+    return log.select(keep)
+
+
+def remove_retirement_bias(log: ErrorLog) -> Tuple[ErrorLog, np.ndarray]:
+    """Drop every event belonging to an administratively retired DIMM.
+
+    Returns the filtered log and the array of retired DIMM ids.  Node-level
+    events (boots) are kept — they are not attributable to a specific DIMM.
+    """
+    if not len(log):
+        return log, np.empty(0, dtype=np.int64)
+    retired = np.unique(log.dimm[log.kind == int(EventKind.RETIREMENT)])
+    retired = retired[retired >= 0]
+    if retired.size == 0:
+        return log, retired
+    return log.exclude_dimms(retired), retired
+
+
+def prepare_log(
+    log: ErrorLog, ue_burst_window_seconds: float = WEEK
+) -> Tuple[ErrorLog, ReductionReport]:
+    """Apply the full preprocessing pipeline of Section 2.1.
+
+    Order matters: retirement bias removal first (it removes whole DIMMs),
+    then UE burst reduction (it needs the per-node UE sequence).
+    """
+    raw_ues = log.count_ues()
+    no_bias, retired = remove_retirement_bias(log)
+    removed_retirement_events = len(log) - len(no_bias)
+    reduced = reduce_ue_bursts(no_bias, ue_burst_window_seconds)
+    reduced_ues = reduced.count_ues()
+    report = ReductionReport(
+        raw_ues=raw_ues,
+        reduced_ues=reduced_ues,
+        removed_burst_ues=no_bias.count_ues() - reduced_ues,
+        retired_dimms=int(retired.size),
+        removed_retirement_events=removed_retirement_events,
+    )
+    return reduced, report

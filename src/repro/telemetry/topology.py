@@ -1,0 +1,112 @@
+"""Cluster topology: nodes, DIMMs and DRAM manufacturers.
+
+MareNostrum 3 comprised 3056 compute nodes with more than 25,000 DDR3-1600
+DIMMs from three (anonymised) manufacturers, with 6694, 5207 and 13,419 DIMMs
+from Manufacturer A, B and C respectively.  With few exceptions, all DIMMs of
+a node come from the same manufacturer (Section 4.5); the topology model
+therefore assigns manufacturers per *node*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Static description of the monitored cluster.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of compute nodes (login/test nodes are excluded, §2.1).
+    dimms_per_node:
+        DIMMs installed in each node.
+    manufacturer_shares:
+        Fraction of nodes populated with DIMMs from each manufacturer; must
+        sum to 1 (a small tolerance is allowed and re-normalised).
+    mixed_node_fraction:
+        Fraction of nodes whose DIMMs mix two manufacturers ("with few
+        exceptions, all DIMMs in a given node are from the same DRAM
+        manufacturer").
+    """
+
+    n_nodes: int
+    dimms_per_node: int = 8
+    manufacturer_shares: Tuple[float, ...] = (0.26, 0.21, 0.53)
+    mixed_node_fraction: float = 0.01
+    ranks_per_dimm: int = 4
+    banks_per_rank: int = 8
+    rows_per_bank: int = 65536
+    cols_per_row: int = 1024
+
+    def __post_init__(self) -> None:
+        check_positive("n_nodes", self.n_nodes)
+        check_positive("dimms_per_node", self.dimms_per_node)
+        if len(self.manufacturer_shares) < 1:
+            raise ValueError("at least one manufacturer share is required")
+        total = float(sum(self.manufacturer_shares))
+        if not np.isclose(total, 1.0, atol=5e-2):
+            raise ValueError(
+                f"manufacturer_shares must sum to ~1, got {total:.3f}"
+            )
+        if not (0.0 <= self.mixed_node_fraction <= 1.0):
+            raise ValueError("mixed_node_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_dimms(self) -> int:
+        """Total number of DIMMs in the cluster."""
+        return self.n_nodes * self.dimms_per_node
+
+    @property
+    def n_manufacturers(self) -> int:
+        """Number of DRAM manufacturers present."""
+        return len(self.manufacturer_shares)
+
+    def dimm_node(self, dimm: np.ndarray | int) -> np.ndarray | int:
+        """Node hosting DIMM ``dimm`` (vectorised)."""
+        return np.asarray(dimm) // self.dimms_per_node
+
+    def node_dimms(self, node: int) -> np.ndarray:
+        """Global DIMM identifiers installed in ``node``."""
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        start = node * self.dimms_per_node
+        return np.arange(start, start + self.dimms_per_node, dtype=np.int64)
+
+    def assign_manufacturers(self, rng=None) -> np.ndarray:
+        """Assign a manufacturer index to every DIMM.
+
+        Manufacturers are assigned per node (nodes are homogeneous) except
+        for a ``mixed_node_fraction`` of nodes in which one DIMM is replaced
+        by a part from a different manufacturer — mirroring the "few
+        exceptions" noted in Section 4.5.
+
+        Returns
+        -------
+        numpy.ndarray of shape ``(n_dimms,)`` with manufacturer indices.
+        """
+        rng = as_generator(rng, "topology")
+        shares = np.asarray(self.manufacturer_shares, dtype=float)
+        shares = shares / shares.sum()
+        node_manu = rng.choice(len(shares), size=self.n_nodes, p=shares)
+        dimm_manu = np.repeat(node_manu, self.dimms_per_node).astype(np.int8)
+        if self.mixed_node_fraction > 0 and len(shares) > 1:
+            n_mixed = int(round(self.mixed_node_fraction * self.n_nodes))
+            if n_mixed > 0:
+                mixed_nodes = rng.choice(self.n_nodes, size=n_mixed, replace=False)
+                for node in mixed_nodes:
+                    slot = int(rng.integers(self.dimms_per_node))
+                    current = dimm_manu[node * self.dimms_per_node + slot]
+                    alternatives = [m for m in range(len(shares)) if m != current]
+                    dimm_manu[node * self.dimms_per_node + slot] = rng.choice(
+                        alternatives
+                    )
+        return dimm_manu

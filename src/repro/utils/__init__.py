@@ -1,0 +1,34 @@
+"""Shared utilities: deterministic RNG fan-out, time helpers, validation."""
+
+from repro.utils.rng import RngFactory, as_generator
+from repro.utils.timeutils import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    format_duration,
+    node_hours,
+    node_minutes_to_hours,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_sorted,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "node_hours",
+    "node_minutes_to_hours",
+    "format_duration",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_sorted",
+]

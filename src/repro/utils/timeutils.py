@@ -1,0 +1,36 @@
+"""Time and cost unit helpers.
+
+Timestamps throughout the library are floating-point seconds since an
+arbitrary epoch (the start of the simulated production period).  Costs are
+expressed in node–hours, matching the paper's cost–benefit analysis.
+"""
+
+from __future__ import annotations
+
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24 * HOUR
+WEEK: float = 7 * DAY
+
+
+def node_hours(nodes: float, wallclock_seconds: float) -> float:
+    """Node–hours lost for ``nodes`` nodes over ``wallclock_seconds`` (Eq. 3)."""
+    return nodes * wallclock_seconds / HOUR
+
+
+def node_minutes_to_hours(node_minutes: float) -> float:
+    """Convert a cost expressed in node–minutes to node–hours."""
+    return node_minutes / 60.0
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``'2d 03:04:05'``."""
+    seconds = float(seconds)
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    days, rem = divmod(seconds, DAY)
+    hours, rem = divmod(rem, HOUR)
+    minutes, secs = divmod(rem, MINUTE)
+    if days >= 1:
+        return f"{sign}{int(days)}d {int(hours):02d}:{int(minutes):02d}:{int(secs):02d}"
+    return f"{sign}{int(hours):02d}:{int(minutes):02d}:{int(secs):02d}"

@@ -1,0 +1,152 @@
+"""MareNostrum-4-like synthetic workload generator.
+
+Section 2.2 of the paper uses one year of Slurm accounting data from the
+general-purpose block of MareNostrum 4 (3456 nodes), whose jobs are "mainly
+large-scale scientific HPC applications" with sizes and durations that differ
+by orders of magnitude, and a system utilization generally above 95 %.
+
+The generator reproduces those properties:
+
+* node counts follow a truncated power-of-two-biased distribution spanning
+  ``1 .. max_job_nodes`` (orders of magnitude of spread);
+* durations are log-normal (heavy tailed);
+* jobs are submitted with enough backlog that the FCFS scheduler keeps the
+  cluster utilization above a configurable target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.timeutils import HOUR
+from repro.utils.validation import check_fraction, check_positive
+from repro.workload.job import JobLog
+from repro.workload.scheduler import ClusterScheduler
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the synthetic workload."""
+
+    #: Largest job size, in nodes.
+    max_job_nodes: int = 512
+    #: Mean job wallclock duration, seconds.
+    mean_job_duration_seconds: float = 10 * HOUR
+    #: Log-normal sigma of the duration distribution.
+    duration_sigma: float = 1.2
+    #: Geometric decay of the power-of-two node-count distribution: the
+    #: probability of 2^(k+1) nodes is ``node_count_decay`` times that of 2^k.
+    node_count_decay: float = 0.62
+    #: Target cluster utilization delivered by the generated log.
+    target_utilization: float = 0.95
+    #: Minimum job duration, seconds (very short jobs are not interesting).
+    min_job_duration_seconds: float = 5 * 60.0
+
+    def __post_init__(self) -> None:
+        check_positive("max_job_nodes", self.max_job_nodes)
+        check_positive("mean_job_duration_seconds", self.mean_job_duration_seconds)
+        check_positive("duration_sigma", self.duration_sigma)
+        check_positive("min_job_duration_seconds", self.min_job_duration_seconds)
+        check_fraction("target_utilization", self.target_utilization)
+        if not (0.0 < self.node_count_decay < 1.0):
+            raise ValueError("node_count_decay must be in (0, 1)")
+
+    def node_count_probabilities(self) -> np.ndarray:
+        """Probability of each power-of-two node count up to the maximum."""
+        n_classes = int(np.floor(np.log2(self.max_job_nodes))) + 1
+        weights = self.node_count_decay ** np.arange(n_classes)
+        return weights / weights.sum()
+
+    def node_count_values(self) -> np.ndarray:
+        """The power-of-two node counts the generator draws from."""
+        n_classes = int(np.floor(np.log2(self.max_job_nodes))) + 1
+        return np.minimum(2 ** np.arange(n_classes), self.max_job_nodes)
+
+
+class WorkloadGenerator:
+    """Generate a Slurm-like job log for a cluster of ``n_cluster_nodes``."""
+
+    def __init__(
+        self,
+        config: Optional[WorkloadConfig] = None,
+        n_cluster_nodes: int = 256,
+        duration_seconds: float = 365 * 24 * HOUR,
+        seed=0,
+    ) -> None:
+        check_positive("n_cluster_nodes", n_cluster_nodes)
+        check_positive("duration_seconds", duration_seconds)
+        self.config = config or WorkloadConfig()
+        self.n_cluster_nodes = int(n_cluster_nodes)
+        self.duration = float(duration_seconds)
+        self._rng = as_generator(seed, "workload")
+
+    # ------------------------------------------------------------------ #
+    def sample_node_counts(self, size: int) -> np.ndarray:
+        """Draw job node counts (power-of-two biased, truncated)."""
+        cfg = self.config
+        values = np.minimum(cfg.node_count_values(), self.n_cluster_nodes)
+        probs = cfg.node_count_probabilities()
+        return self._rng.choice(values, size=size, p=probs)
+
+    def sample_durations(self, size: int) -> np.ndarray:
+        """Draw job durations (log-normal, truncated below)."""
+        cfg = self.config
+        sigma = cfg.duration_sigma
+        mu = np.log(cfg.mean_job_duration_seconds) - 0.5 * sigma**2
+        durations = self._rng.lognormal(mu, sigma, size=size)
+        return np.maximum(durations, cfg.min_job_duration_seconds)
+
+    def generate(self) -> JobLog:
+        """Produce a job log whose execution covers the production period."""
+        cfg = self.config
+        capacity_node_seconds = self.n_cluster_nodes * self.duration
+        target_node_seconds = cfg.target_utilization * capacity_node_seconds
+
+        # Draw jobs in chunks until the requested work fills the target
+        # utilization, then schedule them FCFS.
+        mean_job_node_seconds = (
+            float(np.dot(cfg.node_count_probabilities(), cfg.node_count_values()))
+            * cfg.mean_job_duration_seconds
+        )
+        est_jobs = max(8, int(target_node_seconds / mean_job_node_seconds))
+
+        node_counts = self.sample_node_counts(est_jobs)
+        durations = self.sample_durations(est_jobs)
+        work = np.cumsum(node_counts * durations)
+        n_jobs = int(np.searchsorted(work, target_node_seconds)) + 1
+        while n_jobs >= len(node_counts):
+            extra_nodes = self.sample_node_counts(est_jobs)
+            extra_durations = self.sample_durations(est_jobs)
+            node_counts = np.concatenate([node_counts, extra_nodes])
+            durations = np.concatenate([durations, extra_durations])
+            work = np.cumsum(node_counts * durations)
+            n_jobs = int(np.searchsorted(work, target_node_seconds)) + 1
+        node_counts = node_counts[:n_jobs]
+        durations = durations[:n_jobs]
+
+        # Spread submissions over the period with a standing backlog so the
+        # scheduler can keep the machine busy from the start.
+        submits = np.sort(self._rng.uniform(0.0, 0.9 * self.duration, n_jobs))
+        submits[: max(1, n_jobs // 20)] = 0.0
+
+        scheduler = ClusterScheduler(self.n_cluster_nodes)
+        scheduled = scheduler.schedule_all(submits, node_counts, durations)
+        log = ClusterScheduler.to_job_log(scheduled)
+        # Keep only jobs that start within the observed period.
+        return log.select(log.start < self.duration)
+
+
+def generate_job_log(
+    config: Optional[WorkloadConfig] = None,
+    n_cluster_nodes: int = 256,
+    duration_seconds: float = 365 * 24 * HOUR,
+    seed=0,
+) -> JobLog:
+    """Convenience wrapper around :class:`WorkloadGenerator`."""
+    return WorkloadGenerator(
+        config, n_cluster_nodes=n_cluster_nodes, duration_seconds=duration_seconds, seed=seed
+    ).generate()

@@ -1,0 +1,37 @@
+"""Job-size scaling for the sensitivity analysis of Section 5.6.
+
+The paper repeats the whole experiment with job sizes up to ten times smaller
+or ten times larger than those observed on MareNostrum 4, keeping the
+mitigation cost fixed, to verify that the method generalises to systems with
+very different job mixes (NERSC/NSF-scale jobs are two to three orders of
+magnitude larger).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+from repro.workload.job import JobLog
+
+#: Scaling factors evaluated in Figure 7.
+PAPER_SCALING_FACTORS = (0.1, 0.3, 1.0, 3.0, 10.0)
+
+
+def scale_job_log(job_log: JobLog, factor: float, min_nodes: float = 0.1) -> JobLog:
+    """Return a copy of ``job_log`` with node counts multiplied by ``factor``.
+
+    Durations are unchanged: the paper scales the job *size* (and therefore
+    the potential UE cost, Equation 3) rather than the wallclock time.  Node
+    counts are kept as floats so a 0.1× scaling of a 1-node job still carries
+    one tenth of its original cost weight rather than rounding to zero.
+    """
+    check_positive("factor", factor)
+    scaled = np.maximum(job_log.n_nodes * factor, min_nodes)
+    return JobLog(
+        job_id=job_log.job_id,
+        submit=job_log.submit,
+        start=job_log.start,
+        end=job_log.end,
+        n_nodes=scaled,
+    )

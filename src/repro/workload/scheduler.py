@@ -1,0 +1,107 @@
+"""A minimal FCFS cluster scheduler used to place generated jobs on nodes.
+
+The workload generator produces jobs (submission time, requested nodes,
+duration); this scheduler assigns start times and concrete node allocations
+in first-come-first-served order, always picking the nodes that free up
+earliest.  It is intentionally simple — the paper's method only needs the
+resulting joint distribution of (node count, elapsed time) — but it gives the
+generated log realistic queueing behaviour (jobs wait when the machine is
+full) and lets tests check the >95 % utilization property end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+from repro.workload.job import JobLog, JobRecord
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """A job with its scheduler-assigned start time and node allocation."""
+
+    record: JobRecord
+    nodes: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.nodes.size)
+
+
+class ClusterScheduler:
+    """First-come-first-served scheduler over a fixed pool of nodes."""
+
+    def __init__(self, n_nodes: int) -> None:
+        check_positive("n_nodes", n_nodes)
+        self.n_nodes = int(n_nodes)
+        self._free_at = np.zeros(self.n_nodes, dtype=np.float64)
+
+    def reset(self) -> None:
+        """Forget all previous allocations."""
+        self._free_at[:] = 0.0
+
+    @property
+    def node_free_times(self) -> np.ndarray:
+        """Copy of the per-node earliest-availability times."""
+        return self._free_at.copy()
+
+    def schedule(
+        self, submit: float, n_nodes: int, duration: float, job_id: int = 0
+    ) -> ScheduledJob:
+        """Place one job and return its allocation.
+
+        The job starts as soon as ``n_nodes`` nodes are simultaneously free
+        after ``submit``; the chosen nodes are those that free up earliest.
+        """
+        if n_nodes > self.n_nodes:
+            raise ValueError(
+                f"job requests {n_nodes} nodes but the cluster has {self.n_nodes}"
+            )
+        check_positive("duration", duration)
+        order = np.argsort(self._free_at, kind="stable")
+        chosen = order[:n_nodes]
+        start = max(float(submit), float(self._free_at[chosen].max(initial=0.0)))
+        end = start + float(duration)
+        self._free_at[chosen] = end
+        record = JobRecord(
+            submit=float(submit),
+            start=start,
+            end=end,
+            n_nodes=float(n_nodes),
+            job_id=int(job_id),
+        )
+        return ScheduledJob(record=record, nodes=np.sort(chosen))
+
+    def schedule_all(
+        self,
+        submits: Sequence[float],
+        n_nodes: Sequence[int],
+        durations: Sequence[float],
+    ) -> List[ScheduledJob]:
+        """Schedule a batch of jobs in submission order."""
+        submits = np.asarray(submits, dtype=float)
+        n_nodes_arr = np.asarray(n_nodes, dtype=int)
+        durations = np.asarray(durations, dtype=float)
+        if not (len(submits) == len(n_nodes_arr) == len(durations)):
+            raise ValueError("submits, n_nodes and durations must be equally long")
+        order = np.argsort(submits, kind="stable")
+        scheduled = []
+        for job_id, idx in enumerate(order):
+            scheduled.append(
+                self.schedule(
+                    submit=float(submits[idx]),
+                    n_nodes=int(n_nodes_arr[idx]),
+                    duration=float(durations[idx]),
+                    job_id=job_id,
+                )
+            )
+        return scheduled
+
+    @staticmethod
+    def to_job_log(scheduled: Sequence[ScheduledJob]) -> JobLog:
+        """Collect scheduled jobs into a :class:`JobLog`."""
+        return JobLog.from_records([s.record for s in scheduled])

@@ -1,0 +1,78 @@
+"""Tests for the burstiness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.burst import (
+    burstiness_coefficient,
+    inter_arrival_times,
+    ue_burst_statistics,
+)
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.records import EventKind, EventRecord
+from repro.utils.timeutils import DAY, HOUR, WEEK
+
+
+class TestInterArrivalTimes:
+    def test_per_node_gaps(self):
+        log = ErrorLog.from_records(
+            [
+                EventRecord(time=0.0, node=0, dimm=0, kind=EventKind.CE, ce_count=1),
+                EventRecord(time=10.0, node=0, dimm=0, kind=EventKind.CE, ce_count=1),
+                EventRecord(time=5.0, node=1, dimm=4, kind=EventKind.CE, ce_count=1),
+            ]
+        )
+        gaps = inter_arrival_times(log)
+        assert gaps.tolist() == [10.0]
+
+    def test_empty_log(self):
+        assert inter_arrival_times(ErrorLog.empty()).size == 0
+
+
+class TestBurstinessCoefficient:
+    def test_regular_process_has_low_coefficient(self):
+        assert burstiness_coefficient(np.full(100, 10.0)) == pytest.approx(0.0)
+
+    def test_bursty_process_has_high_coefficient(self):
+        gaps = np.concatenate([np.full(99, 1.0), [10_000.0]])
+        assert burstiness_coefficient(gaps) > 2.0
+
+    def test_degenerate_inputs(self):
+        assert burstiness_coefficient(np.array([])) == 0.0
+        assert burstiness_coefficient(np.array([5.0])) == 0.0
+
+    def test_generated_ce_arrivals_are_bursty(self, reduced_error_log):
+        ce_mask = reduced_error_log.kind == int(EventKind.CE)
+        gaps = inter_arrival_times(reduced_error_log, ce_mask)
+        assert burstiness_coefficient(gaps) > 1.0
+
+
+class TestUeBurstStatistics:
+    def test_single_burst(self):
+        log = ErrorLog.from_records(
+            [
+                EventRecord(time=0.0, node=0, dimm=0, kind=EventKind.UE),
+                EventRecord(time=DAY, node=0, dimm=0, kind=EventKind.UE),
+                EventRecord(time=2 * DAY, node=0, dimm=0, kind=EventKind.UE),
+            ]
+        )
+        stats = ue_burst_statistics(log)
+        assert stats.n_raw_ues == 3
+        assert stats.n_first_ues == 1
+        assert stats.mean_burst_size == pytest.approx(3.0)
+        assert stats.reduction_factor == pytest.approx(3.0)
+
+    def test_no_ues(self):
+        stats = ue_burst_statistics(ErrorLog.empty())
+        assert stats.n_raw_ues == 0
+        assert stats.reduction_factor == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ue_burst_statistics(ErrorLog.empty(), window_seconds=0)
+
+    def test_generated_log_bursts(self, raw_error_log):
+        stats = ue_burst_statistics(raw_error_log, WEEK)
+        # The generator emits several follow-up UEs per burst (paper: ~5x).
+        assert stats.reduction_factor > 1.5
+        assert stats.max_burst_size >= 2

@@ -1,0 +1,90 @@
+"""Tests for the quantitative log analysis (generator validation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    class_imbalance_ratio,
+    manufacturer_breakdown,
+    silent_ue_fraction,
+    summarize_log,
+)
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.records import EventKind, EventRecord
+from repro.utils.timeutils import DAY, HOUR
+
+
+class TestSilentUeFraction:
+    def test_ue_with_recent_event_is_not_silent(self):
+        log = ErrorLog.from_records(
+            [
+                EventRecord(time=0.0, node=0, dimm=0, kind=EventKind.CE, ce_count=1),
+                EventRecord(time=HOUR, node=0, dimm=0, kind=EventKind.UE),
+            ]
+        )
+        assert silent_ue_fraction(log) == 0.0
+
+    def test_ue_without_preceding_event_is_silent(self):
+        log = ErrorLog.from_records(
+            [
+                EventRecord(time=0.0, node=0, dimm=0, kind=EventKind.CE, ce_count=1),
+                EventRecord(time=3 * DAY, node=0, dimm=0, kind=EventKind.UE),
+            ]
+        )
+        assert silent_ue_fraction(log, window_seconds=DAY) == 1.0
+
+    def test_events_on_other_nodes_do_not_count(self):
+        log = ErrorLog.from_records(
+            [
+                EventRecord(time=HOUR, node=1, dimm=4, kind=EventKind.CE, ce_count=1),
+                EventRecord(time=2 * HOUR, node=0, dimm=0, kind=EventKind.UE),
+            ]
+        )
+        assert silent_ue_fraction(log) == 1.0
+
+    def test_no_ues(self):
+        log = ErrorLog.from_records(
+            [EventRecord(time=0.0, node=0, dimm=0, kind=EventKind.CE, ce_count=1)]
+        )
+        assert silent_ue_fraction(log) == 0.0
+
+
+class TestClassImbalance:
+    def test_ratio(self):
+        records = [
+            EventRecord(time=i * HOUR, node=0, dimm=0, kind=EventKind.CE, ce_count=1)
+            for i in range(9)
+        ] + [EventRecord(time=100 * HOUR, node=0, dimm=0, kind=EventKind.UE)]
+        assert class_imbalance_ratio(ErrorLog.from_records(records)) == pytest.approx(10.0)
+
+    def test_infinite_without_ues(self):
+        log = ErrorLog.from_records(
+            [EventRecord(time=0.0, node=0, dimm=0, kind=EventKind.CE, ce_count=1)]
+        )
+        assert class_imbalance_ratio(log) == float("inf")
+
+
+class TestManufacturerBreakdown:
+    def test_per_manufacturer_counts(self, reduced_error_log):
+        breakdown = manufacturer_breakdown(reduced_error_log)
+        assert set(breakdown) <= {"A", "B", "C"}
+        total_ues = sum(v["uncorrected_errors"] for v in breakdown.values())
+        assert total_ues <= reduced_error_log.count_ues()
+
+
+class TestSummarizeLog:
+    def test_summary_consistency(self, reduced_error_log):
+        summary = summarize_log(reduced_error_log)
+        assert summary.n_events == len(reduced_error_log)
+        assert summary.n_uncorrected_errors == reduced_error_log.count_ues()
+        assert summary.n_merged_events <= summary.n_events
+        assert 0.0 <= summary.silent_ue_fraction <= 1.0
+        assert summary.class_imbalance_orders_of_magnitude > 0
+
+    def test_paper_like_properties(self, reduced_error_log):
+        summary = summarize_log(reduced_error_log)
+        # The generator must produce the two properties the paper calls out:
+        # strong class imbalance and a minority-but-nonzero fraction of UEs
+        # with no telemetry in the preceding day.
+        assert summary.class_imbalance_orders_of_magnitude >= 1.0
+        assert 0.05 <= summary.silent_ue_fraction <= 0.7

@@ -1,0 +1,83 @@
+"""Tests for the supervised prediction dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dataset import PredictionDataset, build_prediction_dataset
+from repro.core.features import N_FEATURES, NodeFeatureTrack
+from repro.utils.timeutils import DAY, HOUR
+
+
+def _track(node, times, is_ue):
+    times = np.asarray(times, dtype=float)
+    return NodeFeatureTrack(
+        node=node,
+        times=times,
+        features=np.ones((len(times), N_FEATURES)) * node,
+        is_ue=np.asarray(is_ue, dtype=bool),
+    )
+
+
+class TestBuildPredictionDataset:
+    def test_labels_within_window_positive(self):
+        tracks = {
+            0: _track(0, [0.0, 14 * HOUR, 36 * HOUR, 37 * HOUR], [False, False, False, True])
+        }
+        dataset = build_prediction_dataset(tracks, prediction_window_seconds=DAY)
+        # Events at 14h and 36h are within 24h of the UE at 37h; t=0 is not.
+        assert dataset.y.tolist() == [0, 1, 1]
+
+    def test_ue_events_are_not_samples(self):
+        tracks = {0: _track(0, [0.0, HOUR], [False, True])}
+        dataset = build_prediction_dataset(tracks)
+        assert len(dataset) == 1
+
+    def test_no_ue_gives_all_negative(self):
+        tracks = {0: _track(0, [0.0, HOUR, 2 * HOUR], [False, False, False])}
+        dataset = build_prediction_dataset(tracks)
+        assert dataset.n_positives == 0
+
+    def test_time_restriction(self):
+        tracks = {0: _track(0, [0.0, HOUR, 2 * HOUR, 3 * HOUR], [False, False, False, True])}
+        dataset = build_prediction_dataset(tracks, t_start=0.5 * HOUR, t_end=2.5 * HOUR)
+        assert len(dataset) == 2
+        # Labels may still look beyond t_end: the UE at 3h labels both positive.
+        assert dataset.y.tolist() == [1, 1]
+
+    def test_multiple_nodes_concatenated(self):
+        tracks = {
+            0: _track(0, [0.0, HOUR], [False, False]),
+            1: _track(1, [0.0, HOUR, 2 * HOUR], [False, False, True]),
+        }
+        dataset = build_prediction_dataset(tracks)
+        assert len(dataset) == 4
+        assert set(dataset.nodes.tolist()) == {0, 1}
+
+    def test_empty_tracks(self):
+        dataset = build_prediction_dataset({})
+        assert len(dataset) == 0
+        assert dataset.positive_rate == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            build_prediction_dataset({}, prediction_window_seconds=0)
+
+    def test_filter_time(self):
+        tracks = {0: _track(0, [0.0, HOUR, 2 * HOUR], [False, False, False])}
+        dataset = build_prediction_dataset(tracks)
+        window = dataset.filter_time(0.5 * HOUR, 1.5 * HOUR)
+        assert len(window) == 1
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            PredictionDataset(
+                X=np.zeros((2, N_FEATURES)),
+                y=np.zeros(3),
+                nodes=np.zeros(2, dtype=int),
+                times=np.zeros(2),
+            )
+
+    def test_realistic_dataset_is_imbalanced(self, feature_tracks):
+        dataset = build_prediction_dataset(feature_tracks)
+        assert len(dataset) > 100
+        assert 0.0 < dataset.positive_rate < 0.5

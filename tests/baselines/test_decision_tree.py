@@ -1,0 +1,101 @@
+"""Tests for the from-scratch CART decision tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.decision_tree import DecisionTreeClassifier
+
+
+def _separable_dataset(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(float)
+    return X, y
+
+
+class TestFit:
+    def test_learns_separable_data(self):
+        X, y = _separable_dataset()
+        tree = DecisionTreeClassifier(max_depth=6, seed=0).fit(X, y)
+        accuracy = np.mean(tree.predict(X) == y)
+        assert accuracy > 0.93
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1.0, 1.0, 1.0])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_nodes == 1
+        assert np.all(tree.predict_proba(X) == 1.0)
+
+    def test_max_depth_limits_tree(self):
+        X, y = _separable_dataset(400)
+        shallow = DecisionTreeClassifier(max_depth=1, seed=0).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8, seed=0).fit(X, y)
+        assert shallow.n_nodes <= 3
+        assert deep.n_nodes > shallow.n_nodes
+
+    def test_min_samples_leaf_respected(self):
+        X, y = _separable_dataset(50)
+        tree = DecisionTreeClassifier(min_samples_leaf=20, seed=0).fit(X, y)
+        leaves = [n for n in tree._nodes if n.feature is None]
+        assert all(leaf.n_samples >= 20 for leaf in leaves)
+
+    def test_rejects_bad_inputs(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.array([0.0, 2.0, 1.0]))
+
+    def test_rejects_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+
+class TestPredict:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self):
+        X, y = _separable_dataset()
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict_proba(np.zeros((1, 5)))
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = _separable_dataset()
+        tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_threshold_changes_predictions(self):
+        X, y = _separable_dataset()
+        tree = DecisionTreeClassifier(max_depth=3, seed=0).fit(X, y)
+        strict = tree.predict(X, threshold=0.9).sum()
+        lenient = tree.predict(X, threshold=0.1).sum()
+        assert lenient >= strict
+
+    def test_feature_subsampling_with_sqrt(self):
+        X, y = _separable_dataset()
+        tree = DecisionTreeClassifier(max_features="sqrt", seed=3).fit(X, y)
+        assert tree.is_fitted
+
+    @given(st.integers(min_value=5, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_property_training_accuracy_beats_majority(self, n):
+        rng = np.random.default_rng(n)
+        X = rng.normal(size=(n, 2))
+        y = (X[:, 0] > 0).astype(float)
+        if y.sum() in (0, n):
+            return
+        tree = DecisionTreeClassifier(max_depth=6, min_samples_split=2, min_samples_leaf=1, seed=0)
+        tree.fit(X, y)
+        accuracy = np.mean(tree.predict(X) == y)
+        majority = max(y.mean(), 1 - y.mean())
+        assert accuracy >= majority

@@ -1,0 +1,68 @@
+"""Tests for random under-sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.sampling import random_undersample
+
+
+class TestRandomUndersample:
+    def test_balances_classes(self):
+        X = np.arange(100).reshape(-1, 1).astype(float)
+        y = np.zeros(100)
+        y[:5] = 1
+        X_bal, y_bal = random_undersample(X, y, majority_ratio=1.0, seed=0)
+        assert y_bal.sum() == 5
+        assert (y_bal == 0).sum() == 5
+
+    def test_majority_ratio(self):
+        X = np.arange(100).reshape(-1, 1).astype(float)
+        y = np.zeros(100)
+        y[:10] = 1
+        X_bal, y_bal = random_undersample(X, y, majority_ratio=3.0, seed=0)
+        assert (y_bal == 0).sum() == 30
+
+    def test_all_positives_kept(self):
+        X = np.arange(50).reshape(-1, 1).astype(float)
+        y = np.zeros(50)
+        y[::10] = 1
+        X_bal, y_bal = random_undersample(X, y, seed=1)
+        assert y_bal.sum() == y.sum()
+
+    def test_no_positives_returns_unchanged(self):
+        X = np.zeros((20, 2))
+        y = np.zeros(20)
+        X_out, y_out = random_undersample(X, y)
+        assert X_out.shape == X.shape
+
+    def test_no_negatives_returns_unchanged(self):
+        X = np.zeros((20, 2))
+        y = np.ones(20)
+        X_out, y_out = random_undersample(X, y)
+        assert len(y_out) == 20
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            random_undersample(np.zeros((3, 2)), np.zeros(4))
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            random_undersample(np.zeros((3, 2)), np.zeros(3), majority_ratio=0)
+
+    def test_ratio_capped_by_available_negatives(self):
+        X = np.arange(12).reshape(-1, 1).astype(float)
+        y = np.zeros(12)
+        y[:6] = 1
+        X_bal, y_bal = random_undersample(X, y, majority_ratio=100.0, seed=0)
+        assert (y_bal == 0).sum() == 6
+
+    @given(st.integers(min_value=2, max_value=100), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_rows_stay_aligned(self, n_neg, n_pos):
+        X = np.arange(n_neg + n_pos, dtype=float).reshape(-1, 1)
+        y = np.concatenate([np.zeros(n_neg), np.ones(n_pos)])
+        X_bal, y_bal = random_undersample(X, y, seed=3)
+        # Every positive row value must still map to a positive label.
+        for value, label in zip(X_bal[:, 0], y_bal):
+            assert label == y[int(value)]

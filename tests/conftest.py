@@ -1,0 +1,95 @@
+"""Shared fixtures for the test-suite.
+
+Heavy artefacts (the synthetic logs, feature tracks and traces of the small
+scenario) are session-scoped so the many tests that need realistic data do
+not regenerate it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a fresh checkout without installing the
+# package (the offline environment lacks `wheel` for editable installs).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.config import ScenarioConfig
+from repro.core.features import StateNormalizer, build_feature_tracks
+from repro.telemetry.generator import TelemetryGenerator
+from repro.telemetry.reduction import prepare_log
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.sampling import JobSequenceSampler
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The small laptop-scale scenario used throughout the tests."""
+    return ScenarioConfig.small(seed=7)
+
+
+@pytest.fixture(scope="session")
+def raw_error_log(scenario):
+    """Raw synthetic error log (before preprocessing)."""
+    generator = TelemetryGenerator(
+        scenario.topology,
+        scenario.fault_model,
+        scenario.duration_seconds,
+        seed=scenario.seed,
+    )
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def reduced_error_log(raw_error_log, scenario):
+    """Error log after retirement-bias removal and UE burst reduction."""
+    reduced, _ = prepare_log(
+        raw_error_log, scenario.evaluation.ue_burst_window_seconds
+    )
+    return reduced
+
+
+@pytest.fixture(scope="session")
+def reduction_report(raw_error_log, scenario):
+    _, report = prepare_log(
+        raw_error_log, scenario.evaluation.ue_burst_window_seconds
+    )
+    return report
+
+
+@pytest.fixture(scope="session")
+def job_log(scenario):
+    """Synthetic Slurm-like job log for the small scenario."""
+    return WorkloadGenerator(
+        scenario.workload,
+        n_cluster_nodes=scenario.topology.n_nodes,
+        duration_seconds=scenario.duration_seconds,
+        seed=scenario.seed,
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def job_sampler(job_log):
+    return JobSequenceSampler(job_log, seed=11)
+
+
+@pytest.fixture(scope="session")
+def feature_tracks(reduced_error_log):
+    """Per-node Table 1 feature tracks of the reduced log."""
+    return build_feature_tracks(reduced_error_log)
+
+
+@pytest.fixture(scope="session")
+def normalizer():
+    return StateNormalizer()
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,79 @@
+"""Tests for the two-round random hyperparameter search."""
+
+import numpy as np
+import pytest
+
+from repro.core.dqn import DQNConfig
+from repro.core.hyperparams import HyperparameterSpace, RandomSearchResult, random_search
+
+
+class TestHyperparameterSpace:
+    def test_sample_within_bounds(self):
+        space = HyperparameterSpace()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            params = space.sample(rng)
+            assert space.learning_rate[0] <= params["learning_rate"] <= space.learning_rate[1]
+            assert 0.0 < params["gamma"] < 1.0
+            assert params["batch_size"] in space.batch_sizes
+            assert params["train_frequency"] in space.train_frequencies
+            assert params["target_sync_frequency"] in space.target_sync_frequencies
+            assert space.per_alphas[0] <= params["per_alpha"] <= space.per_alphas[1]
+
+    def test_sampled_params_build_valid_config(self):
+        space = HyperparameterSpace()
+        params = space.sample(np.random.default_rng(1))
+        config = DQNConfig().with_overrides(**params)
+        assert isinstance(config, DQNConfig)
+
+    def test_narrowed_space_contains_best(self):
+        space = HyperparameterSpace()
+        best = {"learning_rate": 1e-3, "gamma": 0.97}
+        narrowed = space.narrowed_around(best)
+        assert narrowed.learning_rate[0] <= 1e-3 <= narrowed.learning_rate[1]
+        width_before = space.learning_rate[1] / space.learning_rate[0]
+        width_after = narrowed.learning_rate[1] / narrowed.learning_rate[0]
+        assert width_after < width_before
+
+    def test_narrow_rejects_bad_shrink(self):
+        with pytest.raises(ValueError):
+            HyperparameterSpace().narrowed_around({"learning_rate": 1e-3, "gamma": 0.9}, shrink=0)
+
+
+class TestRandomSearch:
+    def test_finds_good_learning_rate(self):
+        # Score peaks when the learning rate is close to 1e-3.
+        def evaluate(params):
+            return -abs(np.log10(params["learning_rate"]) - np.log10(1e-3))
+
+        result = random_search(evaluate, n_initial=30, n_refine=10, seed=0)
+        assert result.n_trials == 40
+        assert abs(np.log10(result.best_params["learning_rate"]) + 3) < 0.5
+
+    def test_refinement_never_worsens_best(self):
+        def evaluate(params):
+            return params["gamma"]
+
+        with_refine = random_search(evaluate, n_initial=10, n_refine=10, seed=1)
+        without = random_search(evaluate, n_initial=10, n_refine=0, seed=1)
+        assert with_refine.best_score >= without.best_score
+
+    def test_best_config_applies_overrides(self):
+        result = RandomSearchResult(
+            best_params={"learning_rate": 5e-4, "gamma": 0.9}, best_score=1.0
+        )
+        config = result.best_config()
+        assert config.learning_rate == 5e-4
+        assert config.gamma == 0.9
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            random_search(lambda p: 0.0, n_initial=0)
+
+    def test_deterministic_given_seed(self):
+        def evaluate(params):
+            return params["learning_rate"]
+
+        a = random_search(evaluate, n_initial=5, n_refine=0, seed=7)
+        b = random_search(evaluate, n_initial=5, n_refine=0, seed=7)
+        assert a.best_params == b.best_params

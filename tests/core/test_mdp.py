@@ -1,0 +1,73 @@
+"""Tests for the MDP formulation (actions, reward, transitions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mdp import N_ACTIONS, Action, EpisodeSummary, Transition, compute_reward
+
+
+class TestAction:
+    def test_two_actions(self):
+        assert N_ACTIONS == 2
+        assert int(Action.NO_MITIGATION) == 0
+        assert int(Action.MITIGATE) == 1
+
+
+class TestComputeReward:
+    def test_no_action_no_ue_is_free(self):
+        assert compute_reward(0, 0.033, False, 0.0) == 0.0
+
+    def test_mitigation_costs_its_price(self):
+        assert compute_reward(1, 0.033, False, 0.0) == pytest.approx(-0.033)
+
+    def test_ue_costs_added(self):
+        assert compute_reward(0, 0.033, True, 120.0) == pytest.approx(-120.0)
+
+    def test_mitigation_and_ue(self):
+        assert compute_reward(1, 0.033, True, 120.0) == pytest.approx(-120.033)
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            compute_reward(2, 0.033, False, 0.0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            compute_reward(0, -1.0, False, 0.0)
+        with pytest.raises(ValueError):
+            compute_reward(0, 1.0, False, -5.0)
+
+    @given(
+        st.sampled_from([0, 1]),
+        st.floats(min_value=0, max_value=10),
+        st.booleans(),
+        st.floats(min_value=0, max_value=1e5),
+    )
+    def test_property_reward_never_positive(self, action, mit_cost, ue, ue_cost):
+        assert compute_reward(action, mit_cost, ue, ue_cost) <= 0.0
+
+
+class TestTransition:
+    def test_terminal_transition_drops_next_state(self):
+        transition = Transition(
+            state=np.zeros(3), action=1, reward=-1.0, next_state=np.ones(3), done=True
+        )
+        assert transition.next_state is None
+
+    def test_non_terminal_requires_next_state(self):
+        with pytest.raises(ValueError):
+            Transition(state=np.zeros(3), action=0, reward=0.0, next_state=None, done=False)
+
+    def test_invalid_action(self):
+        with pytest.raises(ValueError):
+            Transition(state=np.zeros(3), action=7, reward=0.0, next_state=np.zeros(3), done=False)
+
+
+class TestEpisodeSummary:
+    def test_fields(self):
+        summary = EpisodeSummary(
+            node=3, n_steps=10, n_mitigations=2, ue_occurred=True,
+            total_reward=-5.0, mitigation_cost=0.066, ue_cost=4.9,
+        )
+        assert summary.node == 3
+        assert summary.ue_occurred

@@ -1,0 +1,93 @@
+"""Tests for the time-series nested cross-validation splitter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.cross_validation import TimeSeriesNestedCV, TimeSeriesSplit
+from repro.utils.timeutils import DAY
+
+
+class TestTimeSeriesSplit:
+    def test_history_range(self):
+        split = TimeSeriesSplit(
+            index=1, train_range=(0, 75), validation_range=(75, 100), test_range=(100, 200)
+        )
+        assert split.history_range == (0, 100)
+
+    def test_rejects_validation_after_test(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSplit(
+                index=0, train_range=(0, 50), validation_range=(50, 120), test_range=(100, 200)
+            )
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSplit(
+                index=0, train_range=(50, 0), validation_range=(50, 60), test_range=(60, 70)
+            )
+
+
+class TestTimeSeriesNestedCV:
+    def test_six_splits_cover_all_parts(self):
+        cv = TimeSeriesNestedCV(n_parts=6)
+        duration = 720 * DAY
+        splits = cv.splits(0.0, duration)
+        assert len(splits) == 6
+        # Test ranges tile the whole period.
+        assert splits[0].test_range[0] == pytest.approx(14 * DAY)
+        for i, split in enumerate(splits):
+            assert split.index == i
+            assert split.test_range[1] == pytest.approx((i + 1) * duration / 6)
+
+    def test_first_split_uses_two_week_bootstrap(self):
+        cv = TimeSeriesNestedCV(n_parts=6, bootstrap_seconds=14 * DAY)
+        splits = cv.splits(0.0, 720 * DAY)
+        first = splits[0]
+        assert first.validation_range[1] == pytest.approx(14 * DAY)
+        assert first.train_range[1] == pytest.approx(0.75 * 14 * DAY)
+
+    def test_later_splits_use_75_25(self):
+        cv = TimeSeriesNestedCV(n_parts=6, train_fraction=0.75)
+        splits = cv.splits(0.0, 600.0)
+        for split in splits[1:]:
+            history = split.test_range[0]
+            assert split.train_range == (0.0, pytest.approx(0.75 * history))
+            assert split.validation_range == (pytest.approx(0.75 * history), history)
+
+    def test_test_ranges_never_overlap_history(self):
+        cv = TimeSeriesNestedCV()
+        for split in cv.splits(0.0, 1000.0):
+            assert split.history_range[1] <= split.test_range[0] + 1e-9
+
+    def test_bootstrap_capped_by_first_part(self):
+        cv = TimeSeriesNestedCV(n_parts=4, bootstrap_seconds=1000.0)
+        splits = cv.splits(0.0, 400.0)
+        assert splits[0].validation_range[1] <= 100.0
+
+    def test_part_boundaries(self):
+        cv = TimeSeriesNestedCV(n_parts=4)
+        assert cv.part_boundaries(0.0, 100.0) == [0.0, 25.0, 50.0, 75.0, 100.0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TimeSeriesNestedCV(n_parts=0)
+        with pytest.raises(ValueError):
+            TimeSeriesNestedCV(train_fraction=1.5)
+        with pytest.raises(ValueError):
+            TimeSeriesNestedCV().splits(10.0, 10.0)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=100.0, max_value=1e8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_splits_are_well_formed(self, n_parts, train_fraction, duration):
+        cv = TimeSeriesNestedCV(n_parts=n_parts, train_fraction=train_fraction)
+        splits = cv.splits(0.0, duration)
+        assert len(splits) == n_parts
+        for split in splits:
+            assert split.train_range[0] <= split.train_range[1]
+            assert split.validation_range[0] <= split.validation_range[1]
+            assert split.test_range[0] < split.test_range[1]
+            assert split.validation_range[1] <= split.test_range[0] + 1e-6

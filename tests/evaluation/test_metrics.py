@@ -1,0 +1,60 @@
+"""Tests for the classical ML metrics (Table 2 definitions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.evaluation.metrics import ConfusionCounts
+
+
+class TestConfusionCounts:
+    def test_recall_and_precision(self):
+        counts = ConfusionCounts(
+            true_positives=40, false_negatives=27, false_positives=96_612,
+            true_negatives=162_616,
+        )
+        # SC20-RF row of Table 2: recall 60%, precision 0.04%.
+        assert counts.recall == pytest.approx(40 / 67)
+        assert counts.precision == pytest.approx(40 / 96_652)
+        assert counts.n_mitigations == 96_652
+
+    def test_never_mitigate_edge_case(self):
+        counts = ConfusionCounts(false_negatives=67, true_negatives=259_228)
+        assert counts.recall == 0.0
+        assert counts.precision is None
+        assert counts.n_mitigations == 0
+
+    def test_oracle_has_perfect_precision(self):
+        counts = ConfusionCounts(true_positives=42, false_negatives=25, true_negatives=259_228)
+        assert counts.precision == 1.0
+        assert counts.recall == pytest.approx(42 / 67)
+
+    def test_no_ues_recall_zero(self):
+        assert ConfusionCounts(false_positives=10, true_negatives=5).recall == 0.0
+
+    def test_addition(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        b = ConfusionCounts(10, 20, 30, 40)
+        total = a + b
+        assert (total.true_positives, total.false_negatives) == (11, 22)
+        assert (total.false_positives, total.true_negatives) == (33, 44)
+
+    def test_sum_builtin(self):
+        counts = sum([ConfusionCounts(1, 0, 0, 0), ConfusionCounts(2, 0, 0, 0)])
+        assert counts.true_positives == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConfusionCounts(true_positives=-1)
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_metrics_in_unit_interval(self, tp, fn, fp, tn):
+        counts = ConfusionCounts(tp, fn, fp, tn)
+        assert 0.0 <= counts.recall <= 1.0
+        if counts.precision is not None:
+            assert 0.0 <= counts.precision <= 1.0
+        assert counts.n_decisions == tp + fn + fp + tn

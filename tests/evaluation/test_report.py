@@ -1,0 +1,71 @@
+"""Tests for the plain-text report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.costs import CostBreakdown
+from repro.evaluation.metrics import ConfusionCounts
+from repro.evaluation.report import (
+    format_behavior_grid,
+    format_cost_table,
+    format_metrics_table,
+    format_series,
+)
+from repro.evaluation.behavior import BehaviorGrid
+
+
+class TestFormatCostTable:
+    def test_contains_all_approaches_and_savings(self):
+        costs = {
+            "Never-mitigate": CostBreakdown(ue_cost=74035.0),
+            "RL": CostBreakdown(ue_cost=33000.0, mitigation_cost=800.0, training_cost=43.0),
+        }
+        text = format_cost_table(costs)
+        assert "Never-mitigate" in text
+        assert "RL" in text
+        assert "74,035" in text
+        assert "%" in text
+
+    def test_reference_optional(self):
+        costs = {"RL": CostBreakdown(ue_cost=10.0)}
+        text = format_cost_table(costs, reference=None)
+        assert "RL" in text
+
+
+class TestFormatSeries:
+    def test_aligned_columns(self):
+        series = {"Never": [1.0, 2.0], "RL": [0.5, 0.7]}
+        text = format_series(series, labels=["split-1", "split-2"], title="Figure 4")
+        assert "Figure 4" in text
+        assert "split-1" in text and "split-2" in text
+        assert len(text.splitlines()) == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"RL": [1.0]}, labels=["a", "b"])
+
+
+class TestFormatMetricsTable:
+    def test_contains_recall_and_precision(self):
+        metrics = {
+            "Oracle": ConfusionCounts(42, 25, 0, 259228),
+            "Never-mitigate": ConfusionCounts(0, 67, 0, 259228),
+        }
+        text = format_metrics_table(metrics)
+        assert "Oracle" in text
+        assert "100.00%" in text  # Oracle precision
+        assert "n/a" in text  # Never-mitigate precision undefined
+
+
+class TestFormatBehaviorGrid:
+    def test_renders_grid(self):
+        grid = BehaviorGrid(
+            ue_cost_edges=np.logspace(0, 2, 3),
+            probability_edges=np.linspace(0, 1, 3),
+            mitigation_fraction=np.array([[0.0, np.nan], [0.5, 1.0]]),
+            counts=np.array([[4, 0], [2, 2]]),
+        )
+        text = format_behavior_grid(grid)
+        assert "Figure 6" in text
+        assert "..." in text  # the empty cell
+        assert "1.00" in text

@@ -1,0 +1,143 @@
+"""Tests for the columnar ErrorLog container."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.records import EventKind, EventRecord
+
+
+def _sample_records():
+    return [
+        EventRecord(time=30.0, node=1, dimm=5, kind=EventKind.CE, ce_count=3,
+                    rank=0, bank=1, row=2, col=3, manufacturer=0),
+        EventRecord(time=10.0, node=0, dimm=1, kind=EventKind.CE, ce_count=1,
+                    rank=1, bank=1, row=9, col=9, manufacturer=1),
+        EventRecord(time=20.0, node=1, dimm=5, kind=EventKind.UE_WARNING, manufacturer=0),
+        EventRecord(time=40.0, node=1, dimm=5, kind=EventKind.UE, manufacturer=0),
+        EventRecord(time=50.0, node=2, dimm=-1, kind=EventKind.BOOT),
+        EventRecord(time=60.0, node=0, dimm=2, kind=EventKind.OVERTEMP, manufacturer=1),
+    ]
+
+
+@pytest.fixture()
+def log():
+    return ErrorLog.from_records(_sample_records())
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = ErrorLog.empty()
+        assert len(empty) == 0
+        assert empty.time_range() == (0.0, 0.0)
+
+    def test_records_are_time_sorted(self, log):
+        assert np.all(np.diff(log.time) >= 0)
+
+    def test_roundtrip_records(self, log):
+        records = log.to_records()
+        assert len(records) == 6
+        assert records[0].time == 10.0
+        rebuilt = ErrorLog.from_records(records)
+        assert rebuilt == log
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorLog(time=[1.0, 2.0], node=[1])
+
+    def test_columns_are_read_only(self, log):
+        with pytest.raises(AttributeError):
+            log.time = np.zeros(3)
+
+    def test_concatenate(self, log):
+        other = ErrorLog.from_records(
+            [EventRecord(time=5.0, node=9, kind=EventKind.BOOT)]
+        )
+        merged = ErrorLog.concatenate([log, other])
+        assert len(merged) == 7
+        assert merged.time[0] == 5.0
+
+    def test_concatenate_empty_list(self):
+        assert len(ErrorLog.concatenate([])) == 0
+
+
+class TestSelection:
+    def test_filter_kind(self, log):
+        ces = log.filter_kind(EventKind.CE)
+        assert len(ces) == 2
+        assert set(ces.node.tolist()) == {0, 1}
+
+    def test_filter_time(self, log):
+        window = log.filter_time(15.0, 45.0)
+        assert len(window) == 3
+        assert window.time.min() >= 15.0
+        assert window.time.max() < 45.0
+
+    def test_filter_node(self, log):
+        assert len(log.filter_node(1)) == 3
+
+    def test_filter_nodes(self, log):
+        assert len(log.filter_nodes([0, 2])) == 3
+
+    def test_filter_manufacturer_keeps_node_level_events(self):
+        records = _sample_records()
+        # Node 2 only has a boot; give node 0 manufacturer 1 events.
+        log = ErrorLog.from_records(records)
+        sub = log.filter_manufacturer(1)
+        # Manufacturer-1 events are on node 0; boots on node 0 kept, node 2 dropped.
+        assert set(sub.node.tolist()) <= {0}
+
+    def test_exclude_dimms(self, log):
+        out = log.exclude_dimms([5])
+        assert len(out) == 3
+        assert 5 not in out.dimm.tolist()
+
+    def test_exclude_no_dimms_is_identity(self, log):
+        assert log.exclude_dimms([]) == log
+
+
+class TestSummaries:
+    def test_ue_mask_includes_overtemp(self, log):
+        assert log.count_ues() == 2
+
+    def test_total_corrected_errors_sums_counts(self, log):
+        assert log.total_corrected_errors() == 4
+
+    def test_stats(self, log):
+        stats = log.stats()
+        assert stats.n_events == 6
+        assert stats.n_ce_records == 2
+        assert stats.n_corrected_errors == 4
+        assert stats.n_uncorrected_errors == 2
+        assert stats.n_ue_warnings == 1
+        assert stats.n_boots == 1
+        assert stats.n_nodes_with_events == 3
+        assert stats.time_span_seconds == pytest.approx(50.0)
+
+    def test_ue_times(self, log):
+        assert np.array_equal(log.ue_times, [40.0, 60.0])
+
+    def test_nodes(self, log):
+        assert np.array_equal(log.nodes, [0, 1, 2])
+
+
+class TestGrouping:
+    def test_node_slices_cover_all_events(self, log):
+        slices = log.node_slices()
+        total = sum(len(idx) for idx in slices.values())
+        assert total == len(log)
+
+    def test_node_slices_are_time_ordered(self, log):
+        for node, idx in log.node_slices().items():
+            times = log.time[idx]
+            assert np.all(np.diff(times) >= 0)
+            assert np.all(log.node[idx] == node)
+
+    def test_per_node(self, log):
+        per_node = log.per_node()
+        assert set(per_node) == {0, 1, 2}
+        assert len(per_node[1]) == 3
+
+    def test_equality(self, log):
+        assert log == ErrorLog.from_records(_sample_records())
+        assert log != log.filter_node(1)

@@ -1,0 +1,70 @@
+"""Tests for the fault-model configuration."""
+
+import pytest
+
+from repro.telemetry.fault_model import FaultModelConfig, FaultType
+from repro.utils.timeutils import DAY
+
+
+class TestDefaults:
+    def test_default_config_is_valid(self):
+        config = FaultModelConfig()
+        assert 0 < config.faulty_dimm_fraction < 1
+        assert config.n_ue_bursts > 0
+
+    def test_fault_types_enumerated(self):
+        assert {t.name for t in FaultType} == {
+            "TRANSIENT", "ROW", "COLUMN", "BANK", "RANK"
+        }
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("faulty_dimm_fraction", 1.5),
+            ("silent_ue_fraction", -0.1),
+            ("overtemp_fraction", 2.0),
+            ("mean_ces_per_faulty_dimm", 0),
+            ("quarantine_seconds", -1),
+            ("ce_logging_limit", 0),
+            ("n_ue_bursts", -1),
+            ("ue_burst_repeat_mean", -0.5),
+        ],
+    )
+    def test_rejects_invalid_values(self, field, value):
+        with pytest.raises(ValueError):
+            FaultModelConfig(**{field: value})
+
+
+class TestScaledFor:
+    def test_sets_ue_target(self):
+        config = FaultModelConfig.scaled_for(
+            n_dimms=1000, duration_seconds=180 * DAY, target_ues=25
+        )
+        assert config.n_ue_bursts == 25
+
+    def test_ce_target_scales_per_dimm_mean(self):
+        config = FaultModelConfig.scaled_for(
+            n_dimms=1000, duration_seconds=180 * DAY, target_ues=25, target_ces=1_000_000
+        )
+        n_faulty = config.faulty_dimm_fraction * 1000
+        assert config.mean_ces_per_faulty_dimm == pytest.approx(1_000_000 / n_faulty)
+
+    def test_retired_dimm_count_proportional_to_paper(self):
+        config = FaultModelConfig.scaled_for(
+            n_dimms=25320, duration_seconds=2 * 365 * DAY, target_ues=67
+        )
+        assert config.n_retired_dimms == 51
+
+    def test_small_cluster_retires_at_least_two(self):
+        config = FaultModelConfig.scaled_for(
+            n_dimms=100, duration_seconds=30 * DAY, target_ues=5
+        )
+        assert config.n_retired_dimms >= 2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            FaultModelConfig.scaled_for(n_dimms=0, duration_seconds=1, target_ues=1)
+        with pytest.raises(ValueError):
+            FaultModelConfig.scaled_for(n_dimms=10, duration_seconds=0, target_ues=1)

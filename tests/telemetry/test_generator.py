@@ -1,0 +1,155 @@
+"""Tests for the synthetic telemetry generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import ScenarioConfig
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.fault_model import FaultModelConfig
+from repro.telemetry.generator import TelemetryGenerator, generate_error_log
+from repro.telemetry.records import EventKind
+from repro.telemetry.reduction import reduce_ue_bursts
+from repro.telemetry.topology import ClusterTopology
+from repro.utils.timeutils import DAY
+
+
+@pytest.fixture(scope="module")
+def small_topology():
+    return ClusterTopology(n_nodes=32, dimms_per_node=4)
+
+
+@pytest.fixture(scope="module")
+def generated(small_topology):
+    config = FaultModelConfig.scaled_for(
+        n_dimms=small_topology.n_dimms, duration_seconds=90 * DAY, target_ues=16
+    )
+    generator = TelemetryGenerator(
+        small_topology, config, duration_seconds=90 * DAY, seed=3
+    )
+    return generator, generator.generate()
+
+
+class TestGeneratorBasics:
+    def test_returns_error_log(self, generated):
+        _, log = generated
+        assert isinstance(log, ErrorLog)
+        assert len(log) > 0
+
+    def test_times_within_duration(self, generated):
+        _, log = generated
+        assert log.time.min() >= 0
+        assert log.time.max() <= 90 * DAY
+
+    def test_nodes_within_topology(self, generated, small_topology):
+        _, log = generated
+        assert log.node.min() >= 0
+        assert log.node.max() < small_topology.n_nodes
+
+    def test_dimms_map_to_their_node(self, generated, small_topology):
+        _, log = generated
+        mask = log.dimm >= 0
+        assert np.all(
+            small_topology.dimm_node(log.dimm[mask]) == log.node[mask]
+        )
+
+    def test_reproducible(self, small_topology):
+        config = FaultModelConfig.scaled_for(
+            n_dimms=small_topology.n_dimms, duration_seconds=60 * DAY, target_ues=8
+        )
+        a = generate_error_log(small_topology, config, 60 * DAY, seed=9)
+        b = generate_error_log(small_topology, config, 60 * DAY, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self, small_topology):
+        config = FaultModelConfig.scaled_for(
+            n_dimms=small_topology.n_dimms, duration_seconds=60 * DAY, target_ues=8
+        )
+        a = generate_error_log(small_topology, config, 60 * DAY, seed=1)
+        b = generate_error_log(small_topology, config, 60 * DAY, seed=2)
+        assert a != b
+
+    def test_rejects_non_positive_duration(self, small_topology):
+        with pytest.raises(ValueError):
+            TelemetryGenerator(small_topology, duration_seconds=0)
+
+
+class TestGeneratedContent:
+    def test_contains_all_event_kinds(self, generated):
+        _, log = generated
+        kinds = set(log.kind.tolist())
+        assert int(EventKind.CE) in kinds
+        assert int(EventKind.UE) in kinds
+        assert int(EventKind.BOOT) in kinds
+        assert int(EventKind.RETIREMENT) in kinds
+
+    def test_ue_burst_count_near_target(self, generated):
+        _, log = generated
+        reduced = reduce_ue_bursts(log)
+        n_first = reduced.count_ues()
+        # Target 16 bursts; allow generous slack for the stochastic model.
+        assert 8 <= n_first <= 26
+
+    def test_ues_appear_in_bursts(self, generated):
+        _, log = generated
+        raw = log.count_ues()
+        reduced = reduce_ue_bursts(log).count_ues()
+        assert raw > reduced  # repeats exist and are filtered
+
+    def test_ce_counts_positive(self, generated):
+        _, log = generated
+        ce = log.filter_kind(EventKind.CE)
+        assert np.all(ce.ce_count >= 1)
+
+    def test_ce_locations_valid(self, generated, small_topology):
+        _, log = generated
+        ce = log.filter_kind(EventKind.CE)
+        assert np.all(ce.rank >= 0) and np.all(ce.rank < small_topology.ranks_per_dimm)
+        assert np.all(ce.bank >= 0) and np.all(ce.bank < small_topology.banks_per_rank)
+
+    def test_some_ues_have_ce_history(self, generated):
+        generator, log = generated
+        ue_mask = log.is_ue_mask
+        ce_dimms = set(log.dimm[log.kind == int(EventKind.CE)].tolist())
+        ue_dimms = set(log.dimm[ue_mask].tolist())
+        assert ce_dimms & ue_dimms, "no UE struck a DIMM with CE history"
+
+    def test_some_ues_are_silent(self, generated):
+        _, log = generated
+        ce_dimms = set(log.dimm[log.kind == int(EventKind.CE)].tolist())
+        ue_dimms = set(log.dimm[log.is_ue_mask].tolist())
+        assert ue_dimms - ce_dimms, "every UE had CE history (no silent UEs)"
+
+    def test_manufacturers_assigned_to_dimm_events(self, generated):
+        _, log = generated
+        dimm_events = log.dimm >= 0
+        assert np.all(log.manufacturer[dimm_events] >= 0)
+
+    def test_quarantine_removes_non_ue_events_after_ue(self, generated):
+        generator, log = generated
+        quarantine = generator.config.quarantine_seconds
+        ue_mask = log.is_ue_mask
+        for node in np.unique(log.node[ue_mask]):
+            node_mask = log.node == node
+            first_ue = log.time[node_mask & ue_mask].min()
+            in_window = (
+                node_mask
+                & ~ue_mask
+                & (log.time > first_ue)
+                & (log.time <= first_ue + quarantine)
+                & (log.kind != int(EventKind.BOOT))
+            )
+            assert not in_window.any()
+
+
+class TestScenarioPresets:
+    @pytest.mark.parametrize("preset", ["small", "benchmark"])
+    def test_presets_generate(self, preset):
+        scenario = getattr(ScenarioConfig, preset)()
+        log = generate_error_log(
+            scenario.topology,
+            scenario.fault_model,
+            scenario.duration_seconds,
+            seed=scenario.seed,
+        )
+        assert log.count_ues() > 0
+        assert log.total_corrected_errors() > 100

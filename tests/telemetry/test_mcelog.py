@@ -1,0 +1,96 @@
+"""Tests for mcelog-style serialisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.mcelog import (
+    format_full_log,
+    format_mcelog,
+    format_ue_log,
+    parse_mcelog,
+    parse_ue_log,
+)
+from repro.telemetry.records import EventKind, EventRecord
+
+
+@pytest.fixture()
+def sample_log():
+    return ErrorLog.from_records(
+        [
+            EventRecord(time=1.5, node=3, dimm=12, kind=EventKind.CE, ce_count=7,
+                        rank=1, bank=2, row=333, col=4, scrubber=True, manufacturer=0),
+            EventRecord(time=2.0, node=3, dimm=12, kind=EventKind.UE_WARNING, manufacturer=0),
+            EventRecord(time=3.0, node=3, dimm=12, kind=EventKind.UE, manufacturer=0),
+            EventRecord(time=4.0, node=5, dimm=-1, kind=EventKind.BOOT),
+            EventRecord(time=5.0, node=6, dimm=20, kind=EventKind.RETIREMENT, manufacturer=2),
+            EventRecord(time=6.0, node=7, dimm=30, kind=EventKind.OVERTEMP, manufacturer=1),
+        ]
+    )
+
+
+class TestFormatting:
+    def test_mcelog_contains_only_ce_lines(self, sample_log):
+        text = format_mcelog(sample_log)
+        lines = [l for l in text.splitlines() if l]
+        assert len(lines) == 1
+        assert lines[0].startswith("CE ")
+        assert "count=7" in lines[0]
+        assert "scrubber=1" in lines[0]
+
+    def test_ue_log_excludes_ce(self, sample_log):
+        text = format_ue_log(sample_log)
+        assert "CE " not in text
+        assert "UE " in text
+        assert "BOOT" in text
+        assert "OVERTEMP" in text
+
+    def test_empty_log(self):
+        assert format_mcelog(ErrorLog.empty()) == ""
+        assert format_ue_log(ErrorLog.empty()) == ""
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, sample_log):
+        text = format_full_log(sample_log)
+        parsed = parse_mcelog(text)
+        assert len(parsed) == len(sample_log)
+        assert parsed.count_ues() == sample_log.count_ues()
+        assert parsed.total_corrected_errors() == sample_log.total_corrected_errors()
+
+    def test_ce_fields_preserved(self, sample_log):
+        parsed = parse_mcelog(format_mcelog(sample_log))
+        record = parsed.record(0)
+        assert record.ce_count == 7
+        assert record.rank == 1 and record.bank == 2
+        assert record.row == 333 and record.col == 4
+        assert record.scrubber is True
+        assert record.manufacturer == 0
+
+    def test_parse_skips_comments_and_blank_lines(self):
+        text = "# header\n\nBOOT time=1.000 node=2\n"
+        parsed = parse_ue_log(text)
+        assert len(parsed) == 1
+        assert parsed.record(0).kind == EventKind.BOOT
+
+    def test_parse_accepts_iterable_of_lines(self):
+        parsed = parse_mcelog(["CE time=1.000 node=0 dimm=1 count=2 rank=0 bank=0 row=1 col=1 scrubber=0"])
+        assert parsed.total_corrected_errors() == 2
+
+    def test_parse_rejects_unknown_tag(self):
+        with pytest.raises(ValueError):
+            parse_mcelog("WAT time=1.0 node=0")
+
+    def test_parse_rejects_malformed_field(self):
+        with pytest.raises(ValueError):
+            parse_mcelog("BOOT time 1.0 node=0")
+
+    def test_parse_rejects_missing_required_field(self):
+        with pytest.raises(ValueError):
+            parse_mcelog("BOOT node=0")
+
+    def test_generated_log_roundtrips(self, reduced_error_log):
+        subset = reduced_error_log.filter_time(0, reduced_error_log.time[-1] / 10)
+        parsed = parse_mcelog(format_full_log(subset))
+        assert len(parsed) == len(subset)
+        assert parsed.count_ues() == subset.count_ues()

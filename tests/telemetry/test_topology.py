@@ -1,0 +1,91 @@
+"""Tests for the cluster topology model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.topology import ClusterTopology
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        topo = ClusterTopology(n_nodes=10, dimms_per_node=4)
+        assert topo.n_dimms == 40
+        assert topo.n_manufacturers == 3
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(n_nodes=0)
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(n_nodes=4, manufacturer_shares=(0.5, 0.1))
+
+    def test_rejects_bad_mixed_fraction(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(n_nodes=4, mixed_node_fraction=1.5)
+
+
+class TestDimmNodeMapping:
+    def test_dimm_node_scalar(self):
+        topo = ClusterTopology(n_nodes=10, dimms_per_node=4)
+        assert topo.dimm_node(0) == 0
+        assert topo.dimm_node(3) == 0
+        assert topo.dimm_node(4) == 1
+        assert topo.dimm_node(39) == 9
+
+    def test_dimm_node_vectorised(self):
+        topo = ClusterTopology(n_nodes=10, dimms_per_node=4)
+        nodes = topo.dimm_node(np.array([0, 4, 8, 39]))
+        assert np.array_equal(nodes, [0, 1, 2, 9])
+
+    def test_node_dimms_roundtrip(self):
+        topo = ClusterTopology(n_nodes=6, dimms_per_node=8)
+        for node in range(6):
+            dimms = topo.node_dimms(node)
+            assert len(dimms) == 8
+            assert np.all(topo.dimm_node(dimms) == node)
+
+    def test_node_dimms_out_of_range(self):
+        topo = ClusterTopology(n_nodes=6, dimms_per_node=8)
+        with pytest.raises(ValueError):
+            topo.node_dimms(6)
+
+
+class TestManufacturerAssignment:
+    def test_shape_and_range(self):
+        topo = ClusterTopology(n_nodes=50, dimms_per_node=4)
+        manu = topo.assign_manufacturers(rng=np.random.default_rng(0))
+        assert manu.shape == (200,)
+        assert manu.min() >= 0 and manu.max() < 3
+
+    def test_deterministic_given_rng(self):
+        topo = ClusterTopology(n_nodes=30, dimms_per_node=4)
+        a = topo.assign_manufacturers(rng=np.random.default_rng(5))
+        b = topo.assign_manufacturers(rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_nodes_are_mostly_homogeneous(self):
+        topo = ClusterTopology(
+            n_nodes=100, dimms_per_node=8, mixed_node_fraction=0.02
+        )
+        manu = topo.assign_manufacturers(rng=np.random.default_rng(1))
+        per_node = manu.reshape(100, 8)
+        mixed = sum(1 for row in per_node if len(np.unique(row)) > 1)
+        assert mixed <= 4  # ~2 expected
+
+    def test_shares_roughly_respected(self):
+        topo = ClusterTopology(
+            n_nodes=600, dimms_per_node=2, manufacturer_shares=(0.26, 0.21, 0.53)
+        )
+        manu = topo.assign_manufacturers(rng=np.random.default_rng(2))
+        fractions = np.bincount(manu, minlength=3) / manu.size
+        assert abs(fractions[2] - 0.53) < 0.08
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_assignment_covers_every_dimm(self, n_nodes, dimms_per_node):
+        topo = ClusterTopology(n_nodes=n_nodes, dimms_per_node=dimms_per_node)
+        manu = topo.assign_manufacturers(rng=np.random.default_rng(0))
+        assert manu.shape == (topo.n_dimms,)
+        assert np.all((manu >= 0) & (manu < topo.n_manufacturers))

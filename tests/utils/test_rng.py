@@ -1,0 +1,74 @@
+"""Tests for the deterministic RNG factory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import RngFactory, as_generator
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(42).stream("telemetry")
+        b = RngFactory(42).stream("telemetry")
+        assert np.array_equal(a.integers(0, 1000, 10), b.integers(0, 1000, 10))
+
+    def test_different_keys_give_different_streams(self):
+        factory = RngFactory(42)
+        a = factory.stream("telemetry").integers(0, 10**9, 20)
+        b = factory.stream("workload").integers(0, 10**9, 20)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_give_different_streams(self):
+        a = RngFactory(1).stream("x").integers(0, 10**9, 20)
+        b = RngFactory(2).stream("x").integers(0, 10**9, 20)
+        assert not np.array_equal(a, b)
+
+    def test_stream_independent_of_creation_order(self):
+        f1 = RngFactory(7)
+        f1.stream("first")
+        late = f1.stream("second").integers(0, 10**9, 10)
+        f2 = RngFactory(7)
+        early = f2.stream("second").integers(0, 10**9, 10)
+        assert np.array_equal(late, early)
+
+    def test_child_factory_differs_from_parent(self):
+        parent = RngFactory(5)
+        child = parent.child("sub")
+        a = parent.stream("k").integers(0, 10**9, 10)
+        b = child.stream("k").integers(0, 10**9, 10)
+        assert not np.array_equal(a, b)
+
+    def test_child_factory_is_deterministic(self):
+        a = RngFactory(5).child("sub").stream("k").integers(0, 10**9, 10)
+        b = RngFactory(5).child("sub").stream("k").integers(0, 10**9, 10)
+        assert np.array_equal(a, b)
+
+    def test_none_seed_allowed(self):
+        factory = RngFactory(None)
+        assert isinstance(factory.stream("x"), np.random.Generator)
+        assert isinstance(factory.child("y"), RngFactory)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.text(min_size=1, max_size=20))
+    def test_streams_are_reproducible_property(self, seed, key):
+        a = RngFactory(seed).stream(key).random(5)
+        b = RngFactory(seed).stream(key).random(5)
+        assert np.array_equal(a, b)
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        assert isinstance(as_generator(3), np.random.Generator)
+
+    def test_from_generator_is_identity(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_from_factory_uses_key(self):
+        factory = RngFactory(9)
+        a = as_generator(factory, "alpha").integers(0, 10**9, 5)
+        b = factory.stream("alpha").integers(0, 10**9, 5)
+        assert np.array_equal(a, b)
+
+    def test_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)

@@ -1,0 +1,62 @@
+"""Tests for the time and cost unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.timeutils import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    format_duration,
+    node_hours,
+    node_minutes_to_hours,
+)
+
+
+class TestConstants:
+    def test_relationships(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+
+class TestNodeHours:
+    def test_single_node_hour(self):
+        assert node_hours(1, HOUR) == pytest.approx(1.0)
+
+    def test_scales_with_nodes(self):
+        assert node_hours(64, HOUR) == pytest.approx(64.0)
+
+    def test_paper_example(self):
+        # A 100-node job losing half a day of work loses 1200 node-hours.
+        assert node_hours(100, 12 * HOUR) == pytest.approx(1200.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e5),
+        st.floats(min_value=0, max_value=1e9),
+    )
+    def test_non_negative(self, nodes, seconds):
+        assert node_hours(nodes, seconds) >= 0.0
+
+
+class TestNodeMinutes:
+    def test_two_node_minutes(self):
+        assert node_minutes_to_hours(2) == pytest.approx(2 / 60)
+
+    def test_sixty_node_minutes_is_one_hour(self):
+        assert node_minutes_to_hours(60) == pytest.approx(1.0)
+
+
+class TestFormatDuration:
+    def test_seconds_only(self):
+        assert format_duration(65) == "00:01:05"
+
+    def test_days(self):
+        assert format_duration(2 * DAY + 3 * HOUR + 4 * MINUTE + 5) == "2d 03:04:05"
+
+    def test_negative(self):
+        assert format_duration(-HOUR).startswith("-")
+
+    def test_zero(self):
+        assert format_duration(0) == "00:00:00"

@@ -1,0 +1,98 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timeutils import DAY, HOUR
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator, generate_job_log
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        config = WorkloadConfig()
+        assert config.max_job_nodes > 0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_job_nodes", 0),
+            ("mean_job_duration_seconds", -1),
+            ("duration_sigma", 0),
+            ("target_utilization", 1.5),
+            ("node_count_decay", 1.0),
+            ("min_job_duration_seconds", 0),
+        ],
+    )
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**{field: value})
+
+    def test_node_count_probabilities_sum_to_one(self):
+        config = WorkloadConfig(max_job_nodes=128)
+        probs = config.node_count_probabilities()
+        assert probs.sum() == pytest.approx(1.0)
+        assert len(probs) == 8  # 1, 2, ..., 128
+
+    def test_node_count_values_are_powers_of_two(self):
+        config = WorkloadConfig(max_job_nodes=64)
+        values = config.node_count_values()
+        assert values.tolist() == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_small_jobs_more_likely(self):
+        config = WorkloadConfig(max_job_nodes=64)
+        probs = config.node_count_probabilities()
+        assert np.all(np.diff(probs) < 0)
+
+
+class TestWorkloadGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        config = WorkloadConfig(max_job_nodes=32, mean_job_duration_seconds=6 * HOUR)
+        generator = WorkloadGenerator(
+            config, n_cluster_nodes=64, duration_seconds=60 * DAY, seed=5
+        )
+        return generator.generate()
+
+    def test_produces_jobs(self, generated):
+        assert len(generated) > 50
+
+    def test_jobs_start_within_period(self, generated):
+        assert generated.start.min() >= 0
+        assert generated.start.max() < 60 * DAY
+
+    def test_node_counts_bounded(self, generated):
+        assert generated.n_nodes.max() <= 32
+        assert generated.n_nodes.min() >= 1
+
+    def test_durations_heavy_tailed(self, generated):
+        durations = generated.durations
+        assert durations.max() > 4 * np.median(durations)
+
+    def test_high_utilization(self, generated):
+        util = generated.utilization(64, 60 * DAY)
+        assert util > 0.7
+
+    def test_node_counts_span_orders_of_magnitude(self, generated):
+        assert generated.n_nodes.max() / generated.n_nodes.min() >= 16
+
+    def test_reproducible(self):
+        a = generate_job_log(n_cluster_nodes=16, duration_seconds=20 * DAY, seed=3)
+        b = generate_job_log(n_cluster_nodes=16, duration_seconds=20 * DAY, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_job_log(n_cluster_nodes=16, duration_seconds=20 * DAY, seed=3)
+        b = generate_job_log(n_cluster_nodes=16, duration_seconds=20 * DAY, seed=4)
+        assert a != b
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(n_cluster_nodes=0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(duration_seconds=0)
+
+    def test_sample_durations_respect_minimum(self):
+        config = WorkloadConfig(min_job_duration_seconds=600)
+        generator = WorkloadGenerator(config, n_cluster_nodes=8, duration_seconds=DAY, seed=0)
+        durations = generator.sample_durations(500)
+        assert durations.min() >= 600

@@ -1,0 +1,116 @@
+"""Tests for node-level job timeline sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.timeutils import DAY, HOUR
+from repro.workload.job import JobLog, JobRecord
+from repro.workload.sampling import JobSequenceSampler, NodeJobTimeline
+
+
+def _simple_job_log():
+    return JobLog.from_records(
+        [
+            JobRecord(submit=0, start=0, end=2 * HOUR, n_nodes=1, job_id=0),
+            JobRecord(submit=0, start=0, end=10 * HOUR, n_nodes=100, job_id=1),
+        ]
+    )
+
+
+class TestNodeJobTimeline:
+    def _timeline(self):
+        return NodeJobTimeline(
+            starts=np.array([0.0, 2 * HOUR, 6 * HOUR]),
+            durations=np.array([2 * HOUR, 4 * HOUR, 10 * HOUR]),
+            n_nodes=np.array([4.0, 16.0, 2.0]),
+        )
+
+    def test_job_at(self):
+        timeline = self._timeline()
+        start, nodes = timeline.job_at(1 * HOUR)
+        assert start == 0.0 and nodes == 4.0
+        start, nodes = timeline.job_at(3 * HOUR)
+        assert start == 2 * HOUR and nodes == 16.0
+
+    def test_job_at_beyond_horizon_uses_last_job(self):
+        timeline = self._timeline()
+        start, nodes = timeline.job_at(100 * HOUR)
+        assert nodes == 2.0
+
+    def test_potential_ue_cost_from_job_start(self):
+        timeline = self._timeline()
+        # At t = 4h the 16-node job has been running 2 hours.
+        cost = timeline.potential_ue_cost(4 * HOUR, None, restartable=True)
+        assert cost == pytest.approx(32.0)
+
+    def test_potential_ue_cost_resets_after_mitigation(self):
+        timeline = self._timeline()
+        cost = timeline.potential_ue_cost(4 * HOUR, 3 * HOUR, restartable=True)
+        assert cost == pytest.approx(16.0)
+
+    def test_non_restartable_ignores_mitigation(self):
+        timeline = self._timeline()
+        cost = timeline.potential_ue_cost(4 * HOUR, 3 * HOUR, restartable=False)
+        assert cost == pytest.approx(32.0)
+
+    def test_mitigation_before_job_start_is_ignored(self):
+        timeline = self._timeline()
+        cost = timeline.potential_ue_cost(4 * HOUR, 1 * HOUR, restartable=True)
+        assert cost == pytest.approx(32.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeJobTimeline(
+                starts=np.array([1.0, 0.0]),
+                durations=np.array([1.0, 1.0]),
+                n_nodes=np.array([1.0, 1.0]),
+            )
+        with pytest.raises(ValueError):
+            NodeJobTimeline(
+                starts=np.array([]), durations=np.array([]), n_nodes=np.array([])
+            )
+
+
+class TestJobSequenceSampler:
+    def test_rejects_empty_log(self):
+        with pytest.raises(ValueError):
+            JobSequenceSampler(JobLog.empty())
+
+    def test_node_count_weighting(self):
+        sampler = JobSequenceSampler(_simple_job_log(), seed=0)
+        durations, nodes = sampler.sample_jobs(2000)
+        # The 100-node job should be drawn ~100x more often than the 1-node job.
+        fraction_large = np.mean(nodes == 100)
+        assert fraction_large > 0.9
+
+    def test_timeline_covers_range(self, job_sampler):
+        timeline = job_sampler.sample_timeline(0.0, 5 * DAY)
+        assert timeline.starts[0] <= 0.0
+        assert timeline.ends[-1] >= 5 * DAY
+
+    def test_timeline_jobs_are_back_to_back(self, job_sampler):
+        timeline = job_sampler.sample_timeline(0.0, 10 * DAY)
+        gaps = timeline.starts[1:] - timeline.ends[:-1]
+        assert np.allclose(gaps, 0.0, atol=1e-6)
+
+    def test_timeline_deterministic_given_rng(self, job_log):
+        sampler = JobSequenceSampler(job_log, seed=0)
+        a = sampler.sample_timeline(0, DAY, rng=np.random.default_rng(9))
+        b = JobSequenceSampler(job_log, seed=0).sample_timeline(
+            0, DAY, rng=np.random.default_rng(9)
+        )
+        assert np.array_equal(a.starts, b.starts)
+        assert np.array_equal(a.n_nodes, b.n_nodes)
+
+    def test_rejects_empty_range(self, job_sampler):
+        with pytest.raises(ValueError):
+            job_sampler.sample_timeline(DAY, DAY)
+
+    @given(st.floats(min_value=HOUR, max_value=30 * DAY))
+    @settings(max_examples=20, deadline=None)
+    def test_property_cost_non_negative_over_range(self, horizon):
+        sampler = JobSequenceSampler(_simple_job_log(), seed=1)
+        timeline = sampler.sample_timeline(0.0, horizon)
+        for t in np.linspace(0, horizon, 10):
+            assert timeline.potential_ue_cost(t, None, True) >= 0.0

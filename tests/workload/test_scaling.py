@@ -1,0 +1,51 @@
+"""Tests for job-size scaling (Section 5.6)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timeutils import HOUR
+from repro.workload.job import JobLog, JobRecord
+from repro.workload.scaling import PAPER_SCALING_FACTORS, scale_job_log
+
+
+@pytest.fixture()
+def log():
+    return JobLog.from_records(
+        [
+            JobRecord(submit=0, start=0, end=HOUR, n_nodes=1, job_id=0),
+            JobRecord(submit=0, start=0, end=HOUR, n_nodes=64, job_id=1),
+        ]
+    )
+
+
+class TestScaleJobLog:
+    def test_scaling_factors_match_paper(self):
+        assert PAPER_SCALING_FACTORS == (0.1, 0.3, 1.0, 3.0, 10.0)
+
+    def test_scale_up(self, log):
+        scaled = scale_job_log(log, 10.0)
+        assert scaled.n_nodes.tolist() == [10.0, 640.0]
+
+    def test_scale_down_keeps_fractional_weight(self, log):
+        scaled = scale_job_log(log, 0.1)
+        assert scaled.n_nodes[0] == pytest.approx(0.1)
+        assert scaled.n_nodes[1] == pytest.approx(6.4)
+
+    def test_durations_unchanged(self, log):
+        scaled = scale_job_log(log, 3.0)
+        assert np.array_equal(scaled.durations, log.durations)
+
+    def test_total_node_hours_scale_proportionally(self, log):
+        scaled = scale_job_log(log, 3.0)
+        assert scaled.total_node_hours() == pytest.approx(3 * log.total_node_hours())
+
+    def test_identity_scaling(self, log):
+        assert scale_job_log(log, 1.0).n_nodes.tolist() == log.n_nodes.tolist()
+
+    def test_minimum_node_floor(self, log):
+        scaled = scale_job_log(log, 1e-6, min_nodes=0.5)
+        assert scaled.n_nodes.min() == pytest.approx(0.5)
+
+    def test_rejects_non_positive_factor(self, log):
+        with pytest.raises(ValueError):
+            scale_job_log(log, 0.0)

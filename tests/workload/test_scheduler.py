@@ -1,0 +1,77 @@
+"""Tests for the FCFS cluster scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timeutils import HOUR
+from repro.workload.scheduler import ClusterScheduler
+
+
+class TestSchedule:
+    def test_job_starts_at_submit_when_cluster_free(self):
+        scheduler = ClusterScheduler(n_nodes=8)
+        job = scheduler.schedule(submit=100.0, n_nodes=4, duration=HOUR)
+        assert job.record.start == pytest.approx(100.0)
+        assert job.n_nodes == 4
+
+    def test_job_waits_when_cluster_busy(self):
+        scheduler = ClusterScheduler(n_nodes=4)
+        first = scheduler.schedule(submit=0.0, n_nodes=4, duration=HOUR)
+        second = scheduler.schedule(submit=10.0, n_nodes=2, duration=HOUR)
+        assert second.record.start == pytest.approx(first.record.end)
+
+    def test_small_job_backfills_free_nodes(self):
+        scheduler = ClusterScheduler(n_nodes=4)
+        scheduler.schedule(submit=0.0, n_nodes=2, duration=HOUR)
+        second = scheduler.schedule(submit=0.0, n_nodes=2, duration=HOUR)
+        # Two free nodes remain, so the second job does not wait.
+        assert second.record.start == pytest.approx(0.0)
+
+    def test_allocated_nodes_do_not_overlap_in_time(self):
+        scheduler = ClusterScheduler(n_nodes=6)
+        jobs = scheduler.schedule_all(
+            submits=[0.0, 0.0, 0.0, 0.0],
+            n_nodes=[3, 3, 3, 3],
+            durations=[HOUR, HOUR, HOUR, HOUR],
+        )
+        intervals = {}
+        for job in jobs:
+            for node in job.nodes:
+                intervals.setdefault(node, []).append(
+                    (job.record.start, job.record.end)
+                )
+        for spans in intervals.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-9
+
+    def test_rejects_oversized_job(self):
+        scheduler = ClusterScheduler(n_nodes=2)
+        with pytest.raises(ValueError):
+            scheduler.schedule(submit=0.0, n_nodes=3, duration=HOUR)
+
+    def test_rejects_non_positive_duration(self):
+        scheduler = ClusterScheduler(n_nodes=2)
+        with pytest.raises(ValueError):
+            scheduler.schedule(submit=0.0, n_nodes=1, duration=0.0)
+
+    def test_reset(self):
+        scheduler = ClusterScheduler(n_nodes=2)
+        scheduler.schedule(submit=0.0, n_nodes=2, duration=HOUR)
+        scheduler.reset()
+        job = scheduler.schedule(submit=0.0, n_nodes=2, duration=HOUR)
+        assert job.record.start == pytest.approx(0.0)
+
+    def test_schedule_all_requires_aligned_arrays(self):
+        scheduler = ClusterScheduler(n_nodes=2)
+        with pytest.raises(ValueError):
+            scheduler.schedule_all([0.0], [1, 1], [HOUR])
+
+    def test_to_job_log(self):
+        scheduler = ClusterScheduler(n_nodes=4)
+        jobs = scheduler.schedule_all(
+            submits=[0.0, 5.0], n_nodes=[2, 2], durations=[HOUR, HOUR]
+        )
+        log = ClusterScheduler.to_job_log(jobs)
+        assert len(log) == 2
+        assert log.total_node_hours() == pytest.approx(4.0)

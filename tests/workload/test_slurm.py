@@ -1,0 +1,60 @@
+"""Tests for sacct-style serialisation."""
+
+import pytest
+
+from repro.workload.job import JobLog, JobRecord
+from repro.workload.slurm import format_sacct, parse_sacct
+
+
+@pytest.fixture()
+def log():
+    return JobLog.from_records(
+        [
+            JobRecord(submit=0.0, start=10.0, end=3610.0, n_nodes=16, job_id=100),
+            JobRecord(submit=5.0, start=20.0, end=7220.0, n_nodes=1, job_id=101),
+        ]
+    )
+
+
+class TestFormat:
+    def test_header_present(self, log):
+        text = format_sacct(log)
+        assert text.splitlines()[0] == "JobID|Submit|Start|End|NNodes"
+
+    def test_header_optional(self, log):
+        text = format_sacct(log, include_header=False)
+        assert not text.startswith("JobID")
+        assert len(text.splitlines()) == 2
+
+    def test_empty_log(self):
+        assert format_sacct(JobLog.empty(), include_header=False) == ""
+
+
+class TestParse:
+    def test_roundtrip(self, log):
+        parsed = parse_sacct(format_sacct(log))
+        assert parsed == log
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# comment\n\nJobID|Submit|Start|End|NNodes\n7|0.000|1.000|2.000|4\n"
+        parsed = parse_sacct(text)
+        assert len(parsed) == 1
+        assert parsed.record(0).n_nodes == 4
+
+    def test_parse_fractional_nodes(self):
+        parsed = parse_sacct("3|0.000|0.000|100.000|0.5")
+        assert parsed.record(0).n_nodes == pytest.approx(0.5)
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_sacct("1|2|3")
+
+    def test_parse_accepts_iterable(self, log):
+        lines = format_sacct(log).splitlines()
+        parsed = parse_sacct(lines)
+        assert parsed == log
+
+    def test_generated_log_roundtrips(self, job_log):
+        subset = job_log.select(job_log.start < job_log.start[0] + 86400.0)
+        parsed = parse_sacct(format_sacct(subset))
+        assert parsed == subset
