@@ -1,0 +1,82 @@
+"""Micro-benchmark: serial vs. parallel scenario-engine wall-clock.
+
+Opt-in (marked ``slow``; the benchmarks directory is outside the tier-1
+``testpaths`` anyway): run with
+
+    python -m pytest benchmarks/test_pipeline_parallel.py -m slow -s
+
+Records the wall-clock of a small experiment under the serial executor and
+under a 4-worker process pool, so future PRs can track the speedup of the
+(split × approach-group) task fan-out.  Results are asserted identical —
+the executor must never trade determinism for speed.
+
+``rl_warm_start`` is disabled: warm starting chains the RL tasks of
+consecutive splits, and the RL hyperparameter search dominates the runtime,
+so the chain would serialize exactly the work worth parallelising.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.config import ScenarioConfig
+from repro.evaluation.experiment import ExperimentConfig, run_experiment
+
+N_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+
+pytestmark = pytest.mark.slow
+
+
+def _bench_config(**overrides) -> ExperimentConfig:
+    return ExperimentConfig(
+        rl_episodes=int(os.environ.get("REPRO_BENCH_EPISODES", "60")),
+        rl_hyperparam_trials=2,
+        rl_hidden_sizes=(32, 16),
+        rf_n_estimators=10,
+        threshold_grid_size=11,
+        rl_warm_start=False,
+        charge_training_time=False,
+    ).with_overrides(**overrides)
+
+
+@pytest.mark.slow
+def test_parallel_speedup_and_equivalence():
+    scenario = ScenarioConfig.small(seed=29)
+
+    started = time.perf_counter()
+    serial = run_experiment(scenario, _bench_config(n_workers=1))
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_experiment(scenario, _bench_config(n_workers=N_WORKERS))
+    parallel_seconds = time.perf_counter() - started
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    print(
+        f"\nserial:   {serial_seconds:8.2f} s"
+        f"\nparallel: {parallel_seconds:8.2f} s  ({N_WORKERS} workers,"
+        f" {os.cpu_count()} cores)"
+        f"\nspeedup:  {speedup:8.2f}x"
+    )
+    # On a single-core machine the process pool can only add overhead; the
+    # speedup is meaningful on >= 2 cores.
+
+    # Correctness first: the schedule must not change a single number.
+    assert serial.approach_names == parallel.approach_names
+    for name in serial.approach_names:
+        for a, b in zip(
+            serial.approaches[name].per_split, parallel.approaches[name].per_split
+        ):
+            assert a.costs == b.costs, name
+            assert a.confusion == b.confusion, name
+
+    # No speedup assertion: CI machines vary too much for a hard bound; the
+    # printed numbers are the record future PRs compare against.

@@ -10,6 +10,13 @@
 * :class:`SC20RandomForestPolicy` — the state-of-the-art threshold-based
   predictor of Boixaderas et al. (SC20), with optimal or perturbed thresholds.
 * :class:`MyopicRFPolicy` — the expected-cost extension of SC20-RF.
+* :class:`FallbackPolicy` — delegate re-labelled under a learned approach's
+  name, substituted when that approach has no history to train on.
+
+Each of these is wired into the experiment driver through
+:mod:`repro.evaluation.registry`: an ``ApproachSpec`` names the approach and
+provides a ``build`` factory, so new baselines plug into the comparison
+without touching the driver.
 """
 
 from repro.baselines.dataset import PredictionDataset, build_prediction_dataset
@@ -24,10 +31,12 @@ from repro.baselines.static import (
     OraclePolicy,
     PeriodicMitigatePolicy,
 )
+from repro.core.policies import FallbackPolicy
 
 __all__ = [
     "AlwaysMitigatePolicy",
     "DecisionTreeClassifier",
+    "FallbackPolicy",
     "MyopicRFPolicy",
     "NeverMitigatePolicy",
     "OraclePolicy",

@@ -147,3 +147,13 @@ class SC20RandomForestPolicy(MitigationPolicy):
     def threshold_grid(n: int = 41) -> np.ndarray:
         """Grid of candidate thresholds used to find the optimal one."""
         return np.linspace(0.0, 1.0, int(n))
+
+    @staticmethod
+    def variant_name(offset: float) -> str:
+        """Canonical display name of a perturbed-threshold variant.
+
+        The approach registry and the experiment driver must agree on the
+        names of the SC20-RF-2% / SC20-RF-5% bars, so the formatting lives
+        here, next to the policy they label.
+        """
+        return f"SC20-RF-{int(round(offset * 100))}%"

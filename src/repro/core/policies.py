@@ -105,3 +105,28 @@ class CallablePolicy(MitigationPolicy):
 
     def decide(self, context: DecisionContext) -> bool:
         return bool(self._fn(context))
+
+
+class FallbackPolicy(MitigationPolicy):
+    """Delegate policy re-labelled under another approach's name.
+
+    A learned approach that cannot be trained yet (no history precedes the
+    test range) still has to be charged *some* behaviour; the experiment
+    substitutes a cheap fallback — typically :class:`NeverMitigatePolicy`,
+    which is also what an untrained model converges to — but records the
+    evaluation under the learned approach's name.  No training cost is
+    charged: nothing was trained.
+    """
+
+    def __init__(self, inner: MitigationPolicy, name: str) -> None:
+        self.inner = inner
+        self.name = name
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def prepare_trace(self, features: np.ndarray) -> None:
+        self.inner.prepare_trace(features)
+
+    def decide(self, context: DecisionContext) -> bool:
+        return self.inner.decide(context)

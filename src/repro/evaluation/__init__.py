@@ -1,18 +1,50 @@
 """Evaluation methodology of Section 4: nested cross-validation, cost–benefit
 accounting in node–hours, classical ML metrics, agent-behaviour maps and the
-high-level experiment driver that reproduces the paper's figures and tables.
+scenario engine that reproduces the paper's figures and tables.
+
+The engine is layered: a pluggable approach :mod:`registry
+<repro.evaluation.registry>`, a staged :mod:`pipeline
+<repro.evaluation.pipeline>` of pure functions, and a parallel
+:mod:`executor <repro.evaluation.executor>` — composed by the thin
+:mod:`experiment <repro.evaluation.experiment>` driver.
 """
 
 from repro.evaluation.behavior import BehaviorGrid, behavior_grid
 from repro.evaluation.costs import CostBreakdown
 from repro.evaluation.cross_validation import TimeSeriesNestedCV, TimeSeriesSplit
+from repro.evaluation.executor import Task, execute_tasks
 from repro.evaluation.experiment import (
+    APPROACH_ORDER,
     ApproachResult,
     ExperimentConfig,
     ExperimentResult,
     run_experiment,
 )
 from repro.evaluation.metrics import ConfusionCounts
+from repro.evaluation.pipeline import (
+    GroupOutcome,
+    PreparedData,
+    SplitContext,
+    SplitEvaluation,
+    TrainedSplit,
+    aggregate,
+    build_split_tasks,
+    evaluate_split,
+    make_splits,
+    prepare_data,
+    train_split,
+)
+from repro.evaluation.registry import (
+    ApproachSpec,
+    approach_order,
+    approach_specs,
+    enabled_specs,
+    ensure_sc20_variants,
+    get_approach,
+    register_approach,
+    register_sc20_variant,
+    unregister_approach,
+)
 from repro.evaluation.runner import (
     EvaluationTrace,
     PolicyEvaluation,
@@ -27,22 +59,45 @@ from repro.evaluation.report import (
 )
 
 __all__ = [
+    "APPROACH_ORDER",
     "ApproachResult",
+    "ApproachSpec",
     "BehaviorGrid",
     "ConfusionCounts",
     "CostBreakdown",
     "EvaluationTrace",
     "ExperimentConfig",
     "ExperimentResult",
+    "GroupOutcome",
     "PolicyEvaluation",
+    "PreparedData",
+    "SplitContext",
+    "SplitEvaluation",
+    "Task",
     "TimeSeriesNestedCV",
     "TimeSeriesSplit",
+    "TrainedSplit",
+    "aggregate",
+    "approach_order",
+    "approach_specs",
     "behavior_grid",
+    "build_split_tasks",
     "build_traces",
+    "enabled_specs",
+    "ensure_sc20_variants",
     "evaluate_policies",
     "evaluate_policy",
+    "evaluate_split",
+    "execute_tasks",
     "format_cost_table",
     "format_metrics_table",
     "format_series",
+    "get_approach",
+    "make_splits",
+    "prepare_data",
+    "register_approach",
+    "register_sc20_variant",
     "run_experiment",
+    "train_split",
+    "unregister_approach",
 ]

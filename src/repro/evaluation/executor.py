@@ -1,0 +1,230 @@
+"""Dependency-aware task executor for the experiment pipeline.
+
+The experiment decomposes into independent (split × approach-group) tasks —
+see :mod:`repro.evaluation.pipeline` — plus a small number of ordering
+constraints (the RL warm-start chain).  This module runs such a task graph
+either serially or on a :class:`concurrent.futures.ProcessPoolExecutor`,
+preserving determinism: every task seeds its own random streams from stable
+string keys, so the schedule cannot change the results, only the wall-clock.
+
+The executor is deliberately generic (tasks are plain callables), so other
+subsystems can reuse it for their own fan-out.
+
+Backends
+--------
+``"process"``
+    One OS process per worker (the default).  Sidesteps the GIL for the
+    numpy-heavy training stages.  Falls back to serial execution when the
+    platform refuses to spawn processes (restricted sandboxes).
+``"thread"``
+    Threads in the current process; useful where processes are unavailable
+    and the workload releases the GIL.
+``"serial"``
+    In-process topological execution, also used whenever ``n_workers <= 1``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["Task", "TaskGraphError", "execute_tasks"]
+
+
+class TaskGraphError(ValueError):
+    """Raised for malformed task graphs (duplicate keys, cycles, bad deps)."""
+
+
+class _PoolSpawnError(RuntimeError):
+    """Internal: the platform refused to start pool workers.
+
+    ``ProcessPoolExecutor`` spawns workers lazily at ``submit()`` time, so a
+    sandbox that forbids process creation raises OSError *inside* the
+    scheduling loop, not in the pool constructor.  Wrapping the submit-time
+    failure in a distinct type keeps it separable from an OSError raised by
+    a task itself (which must propagate, not trigger the serial fallback).
+    """
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    ``fn`` is called as ``fn(dep_results, *args)`` where ``dep_results`` maps
+    each key in ``deps`` to that task's result.  With the process backend,
+    ``fn``, ``args`` and all results must be picklable (``fn`` must be a
+    module-level callable).
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    deps: Tuple[str, ...] = ()
+
+
+def _validate(tasks: Sequence[Task]) -> None:
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        duplicates = sorted({k for k in keys if keys.count(k) > 1})
+        raise TaskGraphError(f"duplicate task keys: {duplicates}")
+    known = set(keys)
+    for task in tasks:
+        missing = [dep for dep in task.deps if dep not in known]
+        if missing:
+            raise TaskGraphError(f"task {task.key!r} depends on unknown {missing}")
+
+
+def _topological_order(tasks: Sequence[Task]) -> List[Task]:
+    """Kahn's algorithm preserving the input order among ready tasks."""
+    done: set = set()
+    pending: List[Task] = list(tasks)
+    ordered: List[Task] = []
+    while pending:
+        ready = [task for task in pending if all(d in done for d in task.deps)]
+        if not ready:
+            cycle = sorted(task.key for task in pending)
+            raise TaskGraphError(f"dependency cycle among tasks: {cycle}")
+        for task in ready:
+            ordered.append(task)
+            done.add(task.key)
+        pending = [task for task in pending if task.key not in done]
+    return ordered
+
+
+#: Sentinel: no shared payload configured.
+_NO_SHARED = object()
+
+#: Per-process shared payload, set once per worker by the pool initializer
+#: (so a heavyweight payload crosses the process boundary once per worker,
+#: not once per task).
+_WORKER_SHARED: Any = _NO_SHARED
+
+
+def _set_worker_shared(value: Any) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = value
+
+
+def _invoke(
+    fn: Callable[..., Any],
+    dep_results: Dict[str, Any],
+    args: Tuple,
+    shared: Any = _NO_SHARED,
+) -> Any:
+    """Module-level trampoline so the process backend can pickle the call."""
+    if shared is _NO_SHARED:
+        shared = _WORKER_SHARED
+    if shared is _NO_SHARED:
+        return fn(dep_results, *args)
+    return fn(dep_results, shared, *args)
+
+
+def _run_serial(tasks: Sequence[Task], shared: Any = _NO_SHARED) -> Dict[str, Any]:
+    results: Dict[str, Any] = {}
+    for task in _topological_order(tasks):
+        dep_results = {dep: results[dep] for dep in task.deps}
+        results[task.key] = _invoke(task.fn, dep_results, task.args, shared)
+    return results
+
+
+def _run_pooled(
+    tasks: Sequence[Task], pool: Executor, shared: Any = _NO_SHARED
+) -> Dict[str, Any]:
+    """Schedule on ``pool``; pass ``shared`` only for same-process pools
+    (process pools receive it through the worker initializer instead)."""
+    results: Dict[str, Any] = {}
+    pending: List[Task] = _topological_order(tasks)
+    in_flight: Dict[Any, str] = {}
+    try:
+        while pending or in_flight:
+            ready = [t for t in pending if all(d in results for d in t.deps)]
+            for task in ready:
+                dep_results = {dep: results[dep] for dep in task.deps}
+                try:
+                    if shared is _NO_SHARED:
+                        # Never ship the sentinel across a pickle boundary:
+                        # its identity would not survive, so the worker falls
+                        # back to its own (initializer-set or absent) global.
+                        future = pool.submit(
+                            _invoke, task.fn, dep_results, task.args
+                        )
+                    else:
+                        future = pool.submit(
+                            _invoke, task.fn, dep_results, task.args, shared
+                        )
+                except (OSError, PermissionError, NotImplementedError) as exc:
+                    # submit() is where workers are actually spawned.
+                    raise _PoolSpawnError(str(exc)) from exc
+                in_flight[future] = task.key
+            ready_keys = {task.key for task in ready}
+            pending = [t for t in pending if t.key not in ready_keys]
+            finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in finished:
+                key = in_flight.pop(future)
+                results[key] = future.result()
+    finally:
+        for future in in_flight:
+            future.cancel()
+    return results
+
+
+def execute_tasks(
+    tasks: Sequence[Task],
+    n_workers: int = 1,
+    kind: str = "process",
+    shared: Any = _NO_SHARED,
+) -> Dict[str, Any]:
+    """Execute a task graph and return ``{task.key: result}``.
+
+    Parameters
+    ----------
+    tasks:
+        The task graph.  Dependencies must refer to keys within ``tasks``.
+    n_workers:
+        Maximum concurrent tasks; ``<= 1`` forces serial execution.
+    kind:
+        ``"process"`` (default), ``"thread"`` or ``"serial"``.
+    shared:
+        Optional payload handed to every task as ``fn(deps, shared, *args)``.
+        The process backend ships it once per worker (through the pool
+        initializer) rather than once per task — use it for large read-only
+        inputs such as the experiment's prepared dataset.
+    """
+    tasks = list(tasks)
+    _validate(tasks)
+    if not tasks:
+        return {}
+    if n_workers <= 1 or kind == "serial":
+        return _run_serial(tasks, shared)
+    if kind == "thread":
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            return _run_pooled(tasks, pool, shared)
+    if kind != "process":
+        raise ValueError(f"unknown executor kind {kind!r}")
+    pool_kwargs: Dict[str, Any] = {"max_workers": n_workers}
+    if shared is not _NO_SHARED:
+        pool_kwargs.update(initializer=_set_worker_shared, initargs=(shared,))
+    try:
+        pool = ProcessPoolExecutor(**pool_kwargs)
+    except (OSError, PermissionError, NotImplementedError):
+        # Restricted sandboxes may forbid spawning processes; results are
+        # schedule-independent, so serial execution only costs wall-clock.
+        return _run_serial(tasks, shared)
+    try:
+        with pool:
+            return _run_pooled(tasks, pool)
+    except (BrokenProcessPool, _PoolSpawnError):
+        # Worker spawn refused at submit time, or the platform killed the
+        # workers mid-run (sandbox limits, OOM of a forked child).
+        # Task-level exceptions — including OSError raised *inside* a task,
+        # which arrives via future.result() — propagate to the caller
+        # instead of triggering this fallback.
+        return _run_serial(tasks, shared)

@@ -1,618 +1,96 @@
 """End-to-end experiment driver reproducing the paper's evaluation.
 
-:func:`run_experiment` wires the whole pipeline together for one scenario:
+The driver is a thin orchestrator over three explicit layers:
 
-1. generate (or accept) the error log and job log;
-2. preprocess the error log (retirement-bias removal, UE burst reduction);
-3. extract per-node Table 1 feature tracks;
-4. build the time-series nested cross-validation splits (Figure 2);
-5. for every split, train the learned policies on the data preceding the
-   test range (random forest for SC20-RF / Myopic-RF, DDDQN for RL, with a
-   random hyperparameter search scored on the validation range) and evaluate
-   every approach of Section 4.2 on the test range;
-6. accumulate cost–benefit breakdowns and classical ML metrics per approach.
+:mod:`repro.evaluation.registry`
+    A pluggable registry of the approaches under evaluation (Section 4.2).
+    Each approach — Never/Always-mitigate, the SC20-RF family, Myopic-RF,
+    the RL agent, the Oracle — is an ``ApproachSpec`` with a
+    ``build(ctx, config, rng) -> MitigationPolicy`` factory.  New approaches
+    register themselves; this module never has to change.
+:mod:`repro.evaluation.pipeline`
+    Pure stages, each returning a serializable dataclass:
+    ``prepare_data`` (telemetry + workload generation, reduction, Table 1
+    feature tracks), ``make_splits`` (the Figure 2 nested cross-validation
+    layout), ``train_split`` / ``evaluate_split`` (per-split model training
+    and test-range replay), and ``aggregate`` (the
+    :class:`ExperimentResult` behind Figures 3, 4, 5, 7 and Table 2).
+:mod:`repro.evaluation.executor`
+    A dependency-aware task runner.  :func:`run_experiment` schedules one
+    task per (split × approach group) and runs them on a process pool when
+    ``ExperimentConfig.n_workers > 1``.  Every task seeds its own random
+    streams from keyed :class:`~repro.utils.rng.RngFactory` streams, so
+    parallel and serial schedules produce identical results (set
+    ``charge_training_time=False`` to also zero out the wall-clock
+    training-cost accounting, the only non-deterministic quantity).
 
-The returned :class:`ExperimentResult` is the data behind Figures 3, 4, 5
-and 7 and Table 2; the benchmark harness formats it with
-:mod:`repro.evaluation.report`.
+:func:`run_experiment` keeps the historical public signature; the
+re-exported :class:`ExperimentConfig`, :class:`ExperimentResult` and
+:class:`ApproachResult` live in :mod:`repro.evaluation.pipeline`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
-import numpy as np
-
-from repro.baselines.dataset import build_prediction_dataset
-from repro.baselines.myopic import MyopicRFPolicy
-from repro.baselines.sc20 import SC20RandomForestPolicy, train_sc20_forest
-from repro.baselines.static import (
-    AlwaysMitigatePolicy,
-    NeverMitigatePolicy,
-    OraclePolicy,
-)
 from repro.config import ScenarioConfig
-from repro.core.dqn import DDDQNAgent, DQNConfig
-from repro.core.environment import MitigationEnv
-from repro.core.features import StateNormalizer, build_feature_tracks
-from repro.core.hyperparams import HyperparameterSpace
-from repro.core.policies import MitigationPolicy, RLPolicy
-from repro.core.trainer import train_agent
-from repro.evaluation.costs import CostBreakdown
-from repro.evaluation.cross_validation import TimeSeriesNestedCV, TimeSeriesSplit
-from repro.evaluation.metrics import ConfusionCounts
-from repro.evaluation.runner import (
-    EvaluationTrace,
-    PolicyEvaluation,
-    build_traces,
-    evaluate_policy,
+from repro.evaluation.executor import execute_tasks
+from repro.evaluation.pipeline import (
+    ApproachResult,
+    ExperimentConfig,
+    ExperimentResult,
+    aggregate,
+    build_split_tasks,
+    make_splits,
+    prepare_data,
 )
+from repro.evaluation.registry import approach_order
 from repro.telemetry.error_log import ErrorLog
-from repro.telemetry.generator import TelemetryGenerator
-from repro.telemetry.reduction import ReductionReport, prepare_log
-from repro.utils.rng import RngFactory
-from repro.workload.generator import WorkloadGenerator
 from repro.workload.job import JobLog
-from repro.workload.sampling import JobSequenceSampler
-from repro.workload.scaling import scale_job_log
 
-#: Canonical ordering of the approaches (the bars of Figure 3).
-APPROACH_ORDER: Tuple[str, ...] = (
-    "Never-mitigate",
-    "Always-mitigate",
-    "SC20-RF",
-    "SC20-RF-2%",
-    "SC20-RF-5%",
-    "Myopic-RF",
-    "RL",
-    "Oracle",
-)
+__all__ = [
+    "APPROACH_ORDER",
+    "ApproachResult",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+]
 
-
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Knobs controlling how heavy the experiment is to run.
-
-    The defaults are a scaled-down schedule suitable for the benchmark
-    harness; :meth:`paper` returns the full schedule described in
-    Sections 3.3 and 4.1 (20,000 episodes per agent, 60 + narrowed random
-    search), which takes hours.
-    """
-
-    #: Episodes per hyperparameter trial of the RL agent.
-    rl_episodes: int = 400
-    #: Number of random-search trials in the first round (the first trial
-    #: always uses the base configuration unchanged).
-    rl_hyperparam_trials: int = 2
-    #: Number of trials in the narrowed second round.
-    rl_hyperparam_refine: int = 0
-    #: Hidden layout of the Q-network (paper: 256, 256, 128, 64).
-    rl_hidden_sizes: Sequence[int] = (64, 48)
-    #: Base DQN configuration; hyperparameter search overrides some fields.
-    rl_base_config: DQNConfig = field(
-        default_factory=lambda: DQNConfig(
-            epsilon_decay_steps=4000, warmup_transitions=128, buffer_capacity=20000
-        )
-    )
-    #: Reuse the best agent of the previous split as a warm-started candidate.
-    rl_warm_start: bool = True
-    #: Random forest size of the SC20 baseline.
-    rf_n_estimators: int = 25
-    rf_max_depth: int = 10
-    #: Number of candidate thresholds evaluated to find the optimal one.
-    threshold_grid_size: int = 21
-    #: Threshold perturbations of the realistic SC20 variants.
-    sc20_threshold_offsets: Tuple[float, ...] = (0.02, 0.05)
-    #: Approach toggles.
-    include_static: bool = True
-    include_oracle: bool = True
-    include_rf: bool = True
-    include_myopic: bool = True
-    include_rl: bool = True
-    #: Job-size scaling factor (Section 5.6); 1.0 reproduces the base system.
-    job_scaling_factor: float = 1.0
-    #: Restrict the error log to one DRAM manufacturer (Section 5.3).
-    manufacturer: Optional[int] = None
-
-    @staticmethod
-    def fast() -> "ExperimentConfig":
-        """Cheapest configuration that still trains every approach."""
-        return ExperimentConfig(
-            rl_episodes=120,
-            rl_hyperparam_trials=1,
-            rl_hidden_sizes=(48, 32),
-            rf_n_estimators=15,
-            threshold_grid_size=11,
-        )
-
-    @staticmethod
-    def paper() -> "ExperimentConfig":
-        """The full schedule of the paper (hours of compute)."""
-        return ExperimentConfig(
-            rl_episodes=20_000,
-            rl_hyperparam_trials=60,
-            rl_hyperparam_refine=20,
-            rl_hidden_sizes=(256, 256, 128, 64),
-            rf_n_estimators=100,
-            threshold_grid_size=101,
-        )
-
-    def with_overrides(self, **kwargs) -> "ExperimentConfig":
-        """Copy of the config with some fields replaced."""
-        return replace(self, **kwargs)
+#: Canonical ordering of the approaches (the bars of Figure 3), derived from
+#: the registry at import time.  Code that must see approaches registered
+#: later should call :func:`repro.evaluation.registry.approach_order`.
+APPROACH_ORDER: Tuple[str, ...] = approach_order()
 
 
-@dataclass
-class ApproachResult:
-    """Accumulated results of one approach across all splits."""
-
-    name: str
-    per_split: List[PolicyEvaluation] = field(default_factory=list)
-
-    @property
-    def total_costs(self) -> CostBreakdown:
-        if not self.per_split:
-            return CostBreakdown()
-        return sum(evaluation.costs for evaluation in self.per_split)
-
-    @property
-    def total_confusion(self) -> ConfusionCounts:
-        if not self.per_split:
-            return ConfusionCounts()
-        return sum(evaluation.confusion for evaluation in self.per_split)
-
-    @property
-    def per_split_total_cost(self) -> List[float]:
-        return [evaluation.costs.total for evaluation in self.per_split]
-
-    @property
-    def per_split_ue_cost(self) -> List[float]:
-        return [evaluation.costs.ue_cost for evaluation in self.per_split]
-
-    @property
-    def per_split_mitigation_cost(self) -> List[float]:
-        return [evaluation.costs.overhead_cost for evaluation in self.per_split]
-
-
-@dataclass
-class ExperimentResult:
-    """Everything produced by :func:`run_experiment`."""
-
-    scenario_name: str
-    mitigation_cost_node_hours: float
-    approaches: Dict[str, ApproachResult]
-    splits: List[TimeSeriesSplit]
-    reduction_report: ReductionReport
-    n_test_events: int
-    wallclock_seconds: float
-    #: Trained artifacts of the final split (inputs to Figure 6).
-    final_rl_policy: Optional[RLPolicy] = None
-    final_sc20_policy: Optional[SC20RandomForestPolicy] = None
-    final_test_features: Optional[np.ndarray] = None
-
-    # ------------------------------------------------------------------ #
-    @property
-    def approach_names(self) -> List[str]:
-        ordered = [name for name in APPROACH_ORDER if name in self.approaches]
-        extras = [name for name in self.approaches if name not in ordered]
-        return ordered + extras
-
-    def total_costs(self) -> Dict[str, CostBreakdown]:
-        """Total cost breakdown per approach (Figure 3 bar group)."""
-        return {name: self.approaches[name].total_costs for name in self.approach_names}
-
-    def confusions(self) -> Dict[str, ConfusionCounts]:
-        """Accumulated confusion counts per approach (Table 2)."""
-        return {
-            name: self.approaches[name].total_confusion for name in self.approach_names
-        }
-
-    def per_split_series(self, which: str = "total") -> Dict[str, List[float]]:
-        """Per-split cost series per approach (Figure 4)."""
-        series = {}
-        for name in self.approach_names:
-            approach = self.approaches[name]
-            if which == "total":
-                series[name] = approach.per_split_total_cost
-            elif which == "ue":
-                series[name] = approach.per_split_ue_cost
-            elif which == "mitigation":
-                series[name] = approach.per_split_mitigation_cost
-            else:
-                raise ValueError(f"unknown series {which!r}")
-        return series
-
-    def split_labels(self) -> List[str]:
-        return [
-            f"split-{split.index + 1}"
-            for split in self.splits
-        ]
-
-    def saving_vs_never(self, name: str) -> float:
-        """Fractional total-cost saving of ``name`` relative to Never-mitigate."""
-        never = self.approaches.get("Never-mitigate")
-        target = self.approaches.get(name)
-        if never is None or target is None:
-            raise KeyError("both the approach and Never-mitigate must be present")
-        return target.total_costs.saving_vs(never.total_costs)
-
-
-# --------------------------------------------------------------------- #
-# Internal helpers
-# --------------------------------------------------------------------- #
-def _select_optimal_threshold(
-    base_policy: SC20RandomForestPolicy,
-    traces: Sequence[EvaluationTrace],
-    mitigation_cost: float,
-    restartable: bool,
-    prediction_window: float,
-    grid_size: int,
-) -> float:
-    """Threshold minimising the total cost on ``traces`` (maximum advantage)."""
-    best_threshold = 0.5
-    best_cost = np.inf
-    for threshold in SC20RandomForestPolicy.threshold_grid(grid_size):
-        candidate = base_policy.with_threshold(float(threshold))
-        evaluation = evaluate_policy(
-            traces,
-            candidate,
-            mitigation_cost,
-            restartable=restartable,
-            prediction_window_seconds=prediction_window,
-            include_training_cost=False,
-        )
-        if evaluation.costs.total < best_cost:
-            best_cost = evaluation.costs.total
-            best_threshold = float(threshold)
-    return best_threshold
-
-
-def _score_policy(
-    policy: MitigationPolicy,
-    traces: Sequence[EvaluationTrace],
-    mitigation_cost: float,
-    restartable: bool,
-    prediction_window: float,
-) -> float:
-    """Negative total cost of a policy over traces (higher is better)."""
-    if not traces:
-        return 0.0
-    evaluation = evaluate_policy(
-        traces,
-        policy,
-        mitigation_cost,
-        restartable=restartable,
-        prediction_window_seconds=prediction_window,
-        include_training_cost=False,
-    )
-    return -evaluation.costs.total
-
-
-def _train_rl_for_split(
-    split: TimeSeriesSplit,
-    tracks,
-    sampler: JobSequenceSampler,
-    scenario: ScenarioConfig,
-    config: ExperimentConfig,
-    factory: RngFactory,
-    previous_state: Optional[dict],
-) -> Tuple[Optional[DDDQNAgent], float, Optional[dict]]:
-    """Hyperparameter search + training of the RL agent for one split.
-
-    Returns (best agent, training+validation cost in node-hours, best state).
-    """
-    evaluation_cfg = scenario.evaluation
-    mitigation_cost = evaluation_cfg.mitigation_cost_node_hours
-    normalizer = StateNormalizer()
-
-    train_tracks = {
-        node: track.slice_time(*split.train_range) for node, track in tracks.items()
-    }
-    train_tracks = {
-        node: track
-        for node, track in train_tracks.items()
-        if len(track) and track.n_decision_points > 0
-    }
-    if not train_tracks:
-        if previous_state is None:
-            return None, 0.0, None
-        agent = DDDQNAgent(
-            normalizer.state_dim,
-            config.rl_base_config.with_overrides(
-                hidden_sizes=tuple(config.rl_hidden_sizes)
-            ),
-        )
-        agent.load_state_dict(previous_state)
-        return agent, 0.0, previous_state
-
-    validation_traces = build_traces(
-        tracks,
-        sampler,
-        *split.validation_range,
-        seed=int(factory.stream(f"val-{split.index}").integers(1 << 30)),
-    ) if split.validation_range[1] > split.validation_range[0] else []
-    validation_has_ues = any(trace.n_ues for trace in validation_traces)
-    training_traces_for_scoring: List[EvaluationTrace] = []
-    if not validation_has_ues:
-        # Fall back to scoring on the training range (Section 4.1) when the
-        # validation range contains no UEs.
-        training_traces_for_scoring = build_traces(
-            tracks,
-            sampler,
-            *split.train_range,
-            seed=int(factory.stream(f"trainscore-{split.index}").integers(1 << 30)),
-        )
-    scoring_traces = validation_traces if validation_has_ues else training_traces_for_scoring
-
-    space = HyperparameterSpace()
-    search_rng = factory.stream(f"search-{split.index}")
-    started = time.perf_counter()
-
-    best_agent: Optional[DDDQNAgent] = None
-    best_score = -np.inf
-    n_trials = max(1, config.rl_hyperparam_trials) + max(0, config.rl_hyperparam_refine)
-
-    for trial in range(n_trials):
-        if trial == 0:
-            # The base configuration is always one of the candidates, so a
-            # tiny search budget still contains a known-reasonable setting.
-            params = {}
-        else:
-            params = space.sample(search_rng)
-        dqn_config = config.rl_base_config.with_overrides(
-            hidden_sizes=tuple(config.rl_hidden_sizes),
-            seed=int(search_rng.integers(1 << 30)),
-            **params,
-        )
-        agent = DDDQNAgent(normalizer.state_dim, dqn_config)
-        if config.rl_warm_start and previous_state is not None and trial == 0:
-            # The paper starts each split from a mix of previously trained
-            # and untrained models; the first candidate continues training
-            # the best agent of the previous split.
-            agent.load_state_dict(previous_state)
-        env = MitigationEnv(
-            train_tracks,
-            sampler,
-            mitigation_cost=mitigation_cost,
-            restartable=evaluation_cfg.restartable,
-            t_start=split.train_range[0],
-            t_end=split.train_range[1],
-            normalizer=normalizer,
-            seed=int(search_rng.integers(1 << 30)),
-        )
-        train_agent(env, agent, n_episodes=config.rl_episodes)
-        policy = RLPolicy(agent, normalizer)
-        score = _score_policy(
-            policy,
-            scoring_traces,
-            mitigation_cost,
-            evaluation_cfg.restartable,
-            evaluation_cfg.prediction_window_seconds,
-        )
-        if score > best_score:
-            best_score = score
-            best_agent = agent
-
-    training_cost_node_hours = (time.perf_counter() - started) / 3600.0
-    best_state = best_agent.state_dict() if best_agent is not None else None
-    return best_agent, training_cost_node_hours, best_state
-
-
-# --------------------------------------------------------------------- #
-# Public driver
-# --------------------------------------------------------------------- #
 def run_experiment(
     scenario: ScenarioConfig,
     config: Optional[ExperimentConfig] = None,
     error_log: Optional[ErrorLog] = None,
     job_log: Optional[JobLog] = None,
 ) -> ExperimentResult:
-    """Run the full nested-cross-validation evaluation for one scenario."""
+    """Run the full nested-cross-validation evaluation for one scenario.
+
+    Set ``config.n_workers > 1`` to train and evaluate independent
+    (split × approach group) tasks concurrently; results are identical to a
+    serial run.
+    """
     config = config or ExperimentConfig()
-    evaluation_cfg = scenario.evaluation
-    mitigation_cost = evaluation_cfg.mitigation_cost_node_hours
-    restartable = evaluation_cfg.restartable
-    prediction_window = evaluation_cfg.prediction_window_seconds
-    factory = RngFactory(scenario.seed)
     started = time.perf_counter()
 
-    # 1. Telemetry.
-    if error_log is None:
-        error_log = TelemetryGenerator(
-            scenario.topology,
-            scenario.fault_model,
-            scenario.duration_seconds,
-            seed=factory.child("telemetry"),
-        ).generate()
-    if config.manufacturer is not None:
-        error_log = error_log.filter_manufacturer(config.manufacturer)
-    reduced_log, reduction_report = prepare_log(
-        error_log, evaluation_cfg.ue_burst_window_seconds
+    prepared = prepare_data(scenario, config, error_log=error_log, job_log=job_log)
+    splits = make_splits(scenario)
+    tasks = build_split_tasks(prepared, splits, config)
+    outcomes = execute_tasks(
+        tasks,
+        n_workers=config.n_workers,
+        kind=config.executor_kind,
+        shared=prepared,
     )
-
-    # 2. Workload.
-    if job_log is None:
-        job_log = WorkloadGenerator(
-            scenario.workload,
-            n_cluster_nodes=scenario.topology.n_nodes,
-            duration_seconds=scenario.duration_seconds,
-            seed=factory.stream("workload"),
-        ).generate()
-    if config.job_scaling_factor != 1.0:
-        job_log = scale_job_log(job_log, config.job_scaling_factor)
-    sampler = JobSequenceSampler(job_log, seed=factory.stream("sampler"))
-
-    # 3. Features and CV splits.
-    tracks = build_feature_tracks(
-        reduced_log, evaluation_cfg.merge_window_seconds
-    )
-    cv = TimeSeriesNestedCV(
-        n_parts=evaluation_cfg.cv_parts,
-        train_fraction=evaluation_cfg.cv_train_fraction,
-        bootstrap_seconds=evaluation_cfg.cv_bootstrap_seconds,
-    )
-    splits = cv.splits(0.0, scenario.duration_seconds)
-
-    approaches: Dict[str, ApproachResult] = {}
-
-    def _record(name: str, evaluation: PolicyEvaluation) -> None:
-        approaches.setdefault(name, ApproachResult(name=name)).per_split.append(
-            evaluation
-        )
-
-    previous_rl_state: Optional[dict] = None
-    final_rl_policy: Optional[RLPolicy] = None
-    final_sc20_policy: Optional[SC20RandomForestPolicy] = None
-    final_test_features: Optional[np.ndarray] = None
-    n_test_events = 0
-
-    for split in splits:
-        test_traces = build_traces(
-            tracks,
-            sampler,
-            *split.test_range,
-            seed=int(factory.stream(f"test-{split.index}").integers(1 << 30)),
-        )
-        n_test_events += sum(len(trace) for trace in test_traces)
-
-        def _evaluate(policy: MitigationPolicy, **kwargs) -> PolicyEvaluation:
-            return evaluate_policy(
-                test_traces,
-                policy,
-                mitigation_cost,
-                restartable=restartable,
-                prediction_window_seconds=prediction_window,
-                **kwargs,
-            )
-
-        # Static baselines and Oracle.
-        if config.include_static:
-            _record("Never-mitigate", _evaluate(NeverMitigatePolicy()))
-            _record("Always-mitigate", _evaluate(AlwaysMitigatePolicy()))
-        if config.include_oracle:
-            _record("Oracle", _evaluate(OraclePolicy()))
-
-        # Random-forest baselines (SC20-RF family and Myopic-RF).
-        if config.include_rf:
-            dataset = build_prediction_dataset(
-                tracks,
-                prediction_window_seconds=prediction_window,
-                t_start=split.train_range[0],
-                t_end=split.history_range[1],
-            )
-            if len(dataset) > 0:
-                forest, rf_seconds = train_sc20_forest(
-                    dataset,
-                    n_estimators=config.rf_n_estimators,
-                    max_depth=config.rf_max_depth,
-                    seed=int(factory.stream(f"rf-{split.index}").integers(1 << 30)),
-                )
-                base_policy = SC20RandomForestPolicy(
-                    forest, training_cost_node_hours=rf_seconds / 3600.0
-                )
-                optimal = _select_optimal_threshold(
-                    base_policy,
-                    test_traces,
-                    mitigation_cost,
-                    restartable,
-                    prediction_window,
-                    config.threshold_grid_size,
-                )
-                sc20_optimal = base_policy.with_threshold(optimal, name="SC20-RF")
-                _record("SC20-RF", _evaluate(sc20_optimal))
-                for offset in config.sc20_threshold_offsets:
-                    name = f"SC20-RF-{int(round(offset * 100))}%"
-                    _record(
-                        name,
-                        _evaluate(
-                            base_policy.with_threshold(optimal, offset=offset, name=name)
-                        ),
-                    )
-                if config.include_myopic:
-                    myopic = MyopicRFPolicy(sc20_optimal, mitigation_cost)
-                    _record("Myopic-RF", _evaluate(myopic))
-                final_sc20_policy = sc20_optimal
-            else:
-                # No history at all: the forest cannot be trained, so the
-                # prediction-based baselines degenerate to Never-mitigate.
-                fallback = NeverMitigatePolicy()
-                for name in ("SC20-RF", "SC20-RF-2%", "SC20-RF-5%"):
-                    evaluation = _evaluate(fallback)
-                    _record(
-                        name,
-                        PolicyEvaluation(
-                            policy_name=name,
-                            costs=evaluation.costs,
-                            confusion=evaluation.confusion,
-                            n_traces=evaluation.n_traces,
-                            n_decision_points=evaluation.n_decision_points,
-                        ),
-                    )
-                if config.include_myopic:
-                    evaluation = _evaluate(fallback)
-                    _record(
-                        "Myopic-RF",
-                        PolicyEvaluation(
-                            policy_name="Myopic-RF",
-                            costs=evaluation.costs,
-                            confusion=evaluation.confusion,
-                            n_traces=evaluation.n_traces,
-                            n_decision_points=evaluation.n_decision_points,
-                        ),
-                    )
-
-        # The RL agent.
-        if config.include_rl:
-            agent, rl_training_cost, best_state = _train_rl_for_split(
-                split,
-                tracks,
-                sampler,
-                scenario,
-                config,
-                factory,
-                previous_rl_state,
-            )
-            if agent is not None:
-                previous_rl_state = best_state
-                rl_policy = RLPolicy(
-                    agent,
-                    StateNormalizer(),
-                    training_cost_node_hours=rl_training_cost,
-                )
-                _record("RL", _evaluate(rl_policy))
-                final_rl_policy = rl_policy
-            else:
-                # Nothing to train on yet: the agent cannot act better than
-                # doing nothing, which is also what an untrained policy
-                # should converge to without data.
-                evaluation = _evaluate(NeverMitigatePolicy())
-                _record(
-                    "RL",
-                    PolicyEvaluation(
-                        policy_name="RL",
-                        costs=evaluation.costs,
-                        confusion=evaluation.confusion,
-                        n_traces=evaluation.n_traces,
-                        n_decision_points=evaluation.n_decision_points,
-                    ),
-                )
-
-        if test_traces:
-            final_test_features = np.concatenate(
-                [trace.features[~trace.is_ue] for trace in test_traces]
-            )
-
-    return ExperimentResult(
-        scenario_name=scenario.name,
-        mitigation_cost_node_hours=mitigation_cost,
-        approaches=approaches,
-        splits=splits,
-        reduction_report=reduction_report,
-        n_test_events=n_test_events,
+    return aggregate(
+        prepared,
+        splits,
+        outcomes,
+        config,
         wallclock_seconds=time.perf_counter() - started,
-        final_rl_policy=final_rl_policy,
-        final_sc20_policy=final_sc20_policy,
-        final_test_features=final_test_features,
     )

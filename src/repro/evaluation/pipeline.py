@@ -1,0 +1,901 @@
+"""Staged experiment pipeline: pure stages composed by the driver.
+
+The monolithic ``run_experiment`` loop is decomposed into five stages, each a
+pure function returning a serializable dataclass:
+
+``prepare_data``
+    Telemetry generation (or ingestion), retirement-bias / UE-burst
+    reduction, workload generation and per-node Table 1 feature tracks.
+``make_splits``
+    The time-series nested cross-validation layout (Figure 2).
+``train_split``
+    Builds every enabled approach's policy for one split via the approach
+    registry (random-forest training, threshold selection, RL hyperparameter
+    search).
+``evaluate_split``
+    Replays trained policies over the split's test traces.
+``aggregate``
+    Folds per-split evaluations into the :class:`ExperimentResult` behind
+    Figures 3, 4, 5, 7 and Table 2.
+
+For parallel execution the driver does not call ``train_split`` /
+``evaluate_split`` directly: it schedules one :func:`run_split_group` task
+per (split × approach group) through :mod:`repro.evaluation.executor`, so
+e.g. the random-forest family of split 3 trains while the RL agent of split
+1 is still learning.  All randomness is drawn from keyed
+:class:`~repro.utils.rng.RngFactory` streams, which makes every task
+self-seeding: serial and parallel schedules produce identical results
+(wall-clock training-cost accounting aside — disable
+``ExperimentConfig.charge_training_time`` for bitwise-identical runs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.dataset import build_prediction_dataset
+from repro.baselines.sc20 import SC20RandomForestPolicy, train_sc20_forest
+from repro.config import ScenarioConfig
+from repro.core.dqn import DDDQNAgent, DQNConfig
+from repro.core.environment import MitigationEnv
+from repro.core.features import NodeFeatureTrack, StateNormalizer, build_feature_tracks
+from repro.core.hyperparams import HyperparameterSpace
+from repro.core.policies import MitigationPolicy, RLPolicy
+from repro.core.trainer import train_agent
+from repro.evaluation.costs import CostBreakdown
+from repro.evaluation.cross_validation import TimeSeriesNestedCV, TimeSeriesSplit
+from repro.evaluation.executor import Task
+from repro.evaluation.metrics import ConfusionCounts
+from repro.evaluation.registry import (
+    approach_groups,
+    approach_order,
+    enabled_specs,
+    ensure_sc20_variants,
+)
+from repro.evaluation.runner import (
+    EvaluationTrace,
+    PolicyEvaluation,
+    build_traces,
+    evaluate_policy,
+)
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.generator import TelemetryGenerator
+from repro.telemetry.reduction import ReductionReport, prepare_log
+from repro.utils.rng import RngFactory
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.job import JobLog
+from repro.workload.sampling import JobSequenceSampler
+from repro.workload.scaling import scale_job_log
+
+__all__ = [
+    "ApproachResult",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "GroupOutcome",
+    "PreparedData",
+    "SC20SplitArtifacts",
+    "SplitContext",
+    "SplitEvaluation",
+    "TrainedSplit",
+    "aggregate",
+    "build_split_tasks",
+    "evaluate_split",
+    "make_splits",
+    "prepare_data",
+    "run_split_group",
+    "train_split",
+]
+
+
+# --------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs controlling how heavy the experiment is to run.
+
+    The defaults are a scaled-down schedule suitable for the benchmark
+    harness; :meth:`paper` returns the full schedule described in
+    Sections 3.3 and 4.1 (20,000 episodes per agent, 60 + narrowed random
+    search), which takes hours.
+    """
+
+    #: Episodes per hyperparameter trial of the RL agent.
+    rl_episodes: int = 400
+    #: Number of random-search trials in the first round (the first trial
+    #: always uses the base configuration unchanged).
+    rl_hyperparam_trials: int = 2
+    #: Number of trials in the narrowed second round.
+    rl_hyperparam_refine: int = 0
+    #: Hidden layout of the Q-network (paper: 256, 256, 128, 64).
+    rl_hidden_sizes: Sequence[int] = (64, 48)
+    #: Base DQN configuration; hyperparameter search overrides some fields.
+    rl_base_config: DQNConfig = field(
+        default_factory=lambda: DQNConfig(
+            epsilon_decay_steps=4000, warmup_transitions=128, buffer_capacity=20000
+        )
+    )
+    #: Reuse the best agent of the previous split as a warm-started candidate.
+    #: Warm starting chains the RL tasks of consecutive splits, limiting how
+    #: much of the RL work the parallel executor can overlap.
+    rl_warm_start: bool = True
+    #: Random forest size of the SC20 baseline.
+    rf_n_estimators: int = 25
+    rf_max_depth: int = 10
+    #: Number of candidate thresholds evaluated to find the optimal one.
+    threshold_grid_size: int = 21
+    #: Threshold perturbations of the realistic SC20 variants.
+    sc20_threshold_offsets: Tuple[float, ...] = (0.02, 0.05)
+    #: Approach toggles (consumed by the registry's ``enabled`` predicates).
+    include_static: bool = True
+    include_oracle: bool = True
+    include_rf: bool = True
+    include_myopic: bool = True
+    include_rl: bool = True
+    #: Job-size scaling factor (Section 5.6); 1.0 reproduces the base system.
+    job_scaling_factor: float = 1.0
+    #: Restrict the error log to one DRAM manufacturer (Section 5.3).
+    manufacturer: Optional[int] = None
+    #: Maximum concurrent (split × approach-group) tasks; 1 runs serially.
+    n_workers: int = 1
+    #: Executor backend: "process", "thread" or "serial".
+    executor_kind: str = "process"
+    #: Charge wall-clock training/validation time to the learned policies
+    #: (Section 4.3).  Wall-clock is inherently non-deterministic; disable to
+    #: make two runs of the same experiment bitwise identical (the
+    #: determinism tests and the parallel-vs-serial comparison rely on this).
+    charge_training_time: bool = True
+
+    @staticmethod
+    def fast() -> "ExperimentConfig":
+        """Cheapest configuration that still trains every approach."""
+        return ExperimentConfig(
+            rl_episodes=120,
+            rl_hyperparam_trials=1,
+            rl_hidden_sizes=(48, 32),
+            rf_n_estimators=15,
+            threshold_grid_size=11,
+        )
+
+    @staticmethod
+    def paper() -> "ExperimentConfig":
+        """The full schedule of the paper (hours of compute)."""
+        return ExperimentConfig(
+            rl_episodes=20_000,
+            rl_hyperparam_trials=60,
+            rl_hyperparam_refine=20,
+            rl_hidden_sizes=(256, 256, 128, 64),
+            rf_n_estimators=100,
+            threshold_grid_size=101,
+        )
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Copy of the config with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Result containers
+# --------------------------------------------------------------------- #
+@dataclass
+class ApproachResult:
+    """Accumulated results of one approach across all splits."""
+
+    name: str
+    per_split: List[PolicyEvaluation] = field(default_factory=list)
+
+    @property
+    def total_costs(self) -> CostBreakdown:
+        if not self.per_split:
+            return CostBreakdown()
+        return sum(evaluation.costs for evaluation in self.per_split)
+
+    @property
+    def total_confusion(self) -> ConfusionCounts:
+        if not self.per_split:
+            return ConfusionCounts()
+        return sum(evaluation.confusion for evaluation in self.per_split)
+
+    @property
+    def per_split_total_cost(self) -> List[float]:
+        return [evaluation.costs.total for evaluation in self.per_split]
+
+    @property
+    def per_split_ue_cost(self) -> List[float]:
+        return [evaluation.costs.ue_cost for evaluation in self.per_split]
+
+    @property
+    def per_split_mitigation_cost(self) -> List[float]:
+        return [evaluation.costs.overhead_cost for evaluation in self.per_split]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by :func:`repro.evaluation.experiment.run_experiment`."""
+
+    scenario_name: str
+    mitigation_cost_node_hours: float
+    approaches: Dict[str, ApproachResult]
+    splits: List[TimeSeriesSplit]
+    reduction_report: ReductionReport
+    n_test_events: int
+    wallclock_seconds: float
+    #: Trained artifacts of the final split (inputs to Figure 6).
+    final_rl_policy: Optional[RLPolicy] = None
+    final_sc20_policy: Optional[SC20RandomForestPolicy] = None
+    final_test_features: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def approach_names(self) -> List[str]:
+        ordered = [name for name in approach_order() if name in self.approaches]
+        extras = [name for name in self.approaches if name not in ordered]
+        return ordered + extras
+
+    def total_costs(self) -> Dict[str, CostBreakdown]:
+        """Total cost breakdown per approach (Figure 3 bar group)."""
+        return {name: self.approaches[name].total_costs for name in self.approach_names}
+
+    def confusions(self) -> Dict[str, ConfusionCounts]:
+        """Accumulated confusion counts per approach (Table 2)."""
+        return {
+            name: self.approaches[name].total_confusion for name in self.approach_names
+        }
+
+    def per_split_series(self, which: str = "total") -> Dict[str, List[float]]:
+        """Per-split cost series per approach (Figure 4)."""
+        series = {}
+        for name in self.approach_names:
+            approach = self.approaches[name]
+            if which == "total":
+                series[name] = approach.per_split_total_cost
+            elif which == "ue":
+                series[name] = approach.per_split_ue_cost
+            elif which == "mitigation":
+                series[name] = approach.per_split_mitigation_cost
+            else:
+                raise ValueError(f"unknown series {which!r}")
+        return series
+
+    def split_labels(self) -> List[str]:
+        return [f"split-{split.index + 1}" for split in self.splits]
+
+    def saving_vs_never(self, name: str) -> float:
+        """Fractional total-cost saving of ``name`` relative to Never-mitigate."""
+        never = self.approaches.get("Never-mitigate")
+        target = self.approaches.get(name)
+        if never is None or target is None:
+            raise KeyError("both the approach and Never-mitigate must be present")
+        return target.total_costs.saving_vs(never.total_costs)
+
+
+# --------------------------------------------------------------------- #
+# Stage outputs
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PreparedData:
+    """Output of :func:`prepare_data` — everything the splits consume."""
+
+    scenario: ScenarioConfig
+    tracks: Dict[int, NodeFeatureTrack]
+    sampler: JobSequenceSampler
+    reduction_report: ReductionReport
+
+
+@dataclass(frozen=True)
+class TrainedSplit:
+    """Output of :func:`train_split` — ready-to-evaluate policies."""
+
+    split_index: int
+    policies: Dict[str, MitigationPolicy]
+    #: Best RL agent state after this split (input to the next split's
+    #: warm start); passes the incoming state through when RL did not train.
+    rl_state: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class SplitEvaluation:
+    """Output of :func:`evaluate_split` — per-approach test-range results."""
+
+    split_index: int
+    evaluations: Dict[str, PolicyEvaluation]
+    n_test_events: int
+
+
+@dataclass(frozen=True)
+class GroupOutcome:
+    """Result of one (split × approach-group) executor task."""
+
+    split_index: int
+    group: str
+    evaluations: Dict[str, PolicyEvaluation]
+    n_test_events: int
+    #: RL warm-start carry (only set by the "rl" group).
+    rl_state: Optional[dict] = None
+    #: Trained artifacts for Figure 6 (last split wins during aggregation).
+    sc20_policy: Optional[SC20RandomForestPolicy] = None
+    rl_policy: Optional[RLPolicy] = None
+
+
+# --------------------------------------------------------------------- #
+# Stages 1 and 2: data preparation and CV layout
+# --------------------------------------------------------------------- #
+def prepare_data(
+    scenario: ScenarioConfig,
+    config: ExperimentConfig,
+    error_log: Optional[ErrorLog] = None,
+    job_log: Optional[JobLog] = None,
+) -> PreparedData:
+    """Generate (or accept) the logs and derive feature tracks and sampler."""
+    evaluation_cfg = scenario.evaluation
+    factory = RngFactory(scenario.seed)
+
+    if error_log is None:
+        error_log = TelemetryGenerator(
+            scenario.topology,
+            scenario.fault_model,
+            scenario.duration_seconds,
+            seed=factory.child("telemetry"),
+        ).generate()
+    if config.manufacturer is not None:
+        error_log = error_log.filter_manufacturer(config.manufacturer)
+    reduced_log, reduction_report = prepare_log(
+        error_log, evaluation_cfg.ue_burst_window_seconds
+    )
+
+    if job_log is None:
+        job_log = WorkloadGenerator(
+            scenario.workload,
+            n_cluster_nodes=scenario.topology.n_nodes,
+            duration_seconds=scenario.duration_seconds,
+            seed=factory.stream("workload"),
+        ).generate()
+    if config.job_scaling_factor != 1.0:
+        job_log = scale_job_log(job_log, config.job_scaling_factor)
+    sampler = JobSequenceSampler(job_log, seed=factory.stream("sampler"))
+
+    tracks = build_feature_tracks(reduced_log, evaluation_cfg.merge_window_seconds)
+    return PreparedData(
+        scenario=scenario,
+        tracks=tracks,
+        sampler=sampler,
+        reduction_report=reduction_report,
+    )
+
+
+def make_splits(scenario: ScenarioConfig) -> List[TimeSeriesSplit]:
+    """The nested cross-validation splits of Figure 2 for one scenario."""
+    evaluation_cfg = scenario.evaluation
+    cv = TimeSeriesNestedCV(
+        n_parts=evaluation_cfg.cv_parts,
+        train_fraction=evaluation_cfg.cv_train_fraction,
+        bootstrap_seconds=evaluation_cfg.cv_bootstrap_seconds,
+    )
+    return cv.splits(0.0, scenario.duration_seconds)
+
+
+# --------------------------------------------------------------------- #
+# Shared per-split resources
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SC20SplitArtifacts:
+    """Trained forest of one split, shared by the whole SC20-RF family."""
+
+    base_policy: SC20RandomForestPolicy
+    optimal_threshold: float
+
+    @property
+    def optimal_policy(self) -> SC20RandomForestPolicy:
+        return self.base_policy.with_threshold(self.optimal_threshold, name="SC20-RF")
+
+
+class SplitContext:
+    """Everything an approach builder may need for one split.
+
+    Lazily computes — and caches — the expensive shared resources: the test
+    traces, the trained SC20 forest with its optimal threshold, and the
+    hyperparameter-searched RL agent.  Builders of the same group therefore
+    train each model exactly once per split.
+    """
+
+    _UNSET = object()
+
+    def __init__(
+        self,
+        prepared: PreparedData,
+        split: TimeSeriesSplit,
+        config: ExperimentConfig,
+        rl_carry_in: Optional[dict] = None,
+    ) -> None:
+        self.prepared = prepared
+        self.split = split
+        self.config = config
+        self.rl_carry_in = rl_carry_in
+        self.factory = RngFactory(prepared.scenario.seed)
+        self._test_traces: Optional[List[EvaluationTrace]] = None
+        self._sc20 = self._UNSET
+        self._rl = self._UNSET
+        self._rl_carry_out: Optional[dict] = rl_carry_in
+
+    # -- scenario shortcuts -------------------------------------------- #
+    @property
+    def scenario(self) -> ScenarioConfig:
+        return self.prepared.scenario
+
+    @property
+    def evaluation_config(self):
+        return self.scenario.evaluation
+
+    @property
+    def mitigation_cost(self) -> float:
+        return self.evaluation_config.mitigation_cost_node_hours
+
+    @property
+    def restartable(self) -> bool:
+        return self.evaluation_config.restartable
+
+    @property
+    def prediction_window(self) -> float:
+        return self.evaluation_config.prediction_window_seconds
+
+    @property
+    def tracks(self) -> Dict[int, NodeFeatureTrack]:
+        return self.prepared.tracks
+
+    # -- shared resources ---------------------------------------------- #
+    def test_traces(self) -> List[EvaluationTrace]:
+        """The split's test-range traces (identical for every approach)."""
+        if self._test_traces is None:
+            self._test_traces = build_traces(
+                self.tracks,
+                self.prepared.sampler,
+                *self.split.test_range,
+                seed=int(
+                    self.factory.stream(f"test-{self.split.index}").integers(1 << 30)
+                ),
+            )
+        return self._test_traces
+
+    def evaluate(self, policy: MitigationPolicy, **kwargs) -> PolicyEvaluation:
+        """Replay ``policy`` over the split's test traces."""
+        kwargs.setdefault("include_training_cost", self.config.charge_training_time)
+        return evaluate_policy(
+            self.test_traces(),
+            policy,
+            self.mitigation_cost,
+            restartable=self.restartable,
+            prediction_window_seconds=self.prediction_window,
+            **kwargs,
+        )
+
+    def sc20(self) -> Optional[SC20SplitArtifacts]:
+        """Trained SC20 forest and optimal threshold (None without history)."""
+        if self._sc20 is self._UNSET:
+            self._sc20 = _train_sc20_for_split(self, self.config, self.factory)
+        return self._sc20
+
+    def sc20_if_trained(self) -> Optional[SC20SplitArtifacts]:
+        """The cached SC20 artifacts — never triggers training."""
+        return None if self._sc20 is self._UNSET else self._sc20
+
+    def rl(self) -> Optional[RLPolicy]:
+        """Hyperparameter-searched RL policy (None when nothing trained)."""
+        if self._rl is self._UNSET:
+            agent, training_cost, best_state = _train_rl_for_split(
+                self.split,
+                self.tracks,
+                self.prepared.sampler,
+                self.scenario,
+                self.config,
+                self.factory,
+                self.rl_carry_in,
+            )
+            if agent is not None:
+                self._rl_carry_out = best_state
+                self._rl = RLPolicy(
+                    agent,
+                    StateNormalizer(),
+                    training_cost_node_hours=training_cost,
+                )
+            else:
+                self._rl = None
+        return self._rl
+
+    def rl_if_trained(self) -> Optional[RLPolicy]:
+        """The cached RL policy — never triggers training."""
+        return None if self._rl is self._UNSET else self._rl
+
+    @property
+    def rl_carry_out(self) -> Optional[dict]:
+        """RL state to hand to the next split (after :meth:`rl` ran)."""
+        return self._rl_carry_out
+
+
+# --------------------------------------------------------------------- #
+# Model training helpers
+# --------------------------------------------------------------------- #
+def _select_optimal_threshold(
+    base_policy: SC20RandomForestPolicy,
+    traces: Sequence[EvaluationTrace],
+    mitigation_cost: float,
+    restartable: bool,
+    prediction_window: float,
+    grid_size: int,
+) -> float:
+    """Threshold minimising the total cost on ``traces`` (maximum advantage)."""
+    best_threshold = 0.5
+    best_cost = np.inf
+    for threshold in SC20RandomForestPolicy.threshold_grid(grid_size):
+        candidate = base_policy.with_threshold(float(threshold))
+        evaluation = evaluate_policy(
+            traces,
+            candidate,
+            mitigation_cost,
+            restartable=restartable,
+            prediction_window_seconds=prediction_window,
+            include_training_cost=False,
+        )
+        if evaluation.costs.total < best_cost:
+            best_cost = evaluation.costs.total
+            best_threshold = float(threshold)
+    return best_threshold
+
+
+def _train_sc20_for_split(
+    ctx: SplitContext, config: ExperimentConfig, factory: RngFactory
+) -> Optional[SC20SplitArtifacts]:
+    """Train the split's random forest and pick its optimal threshold."""
+    split = ctx.split
+    dataset = build_prediction_dataset(
+        ctx.tracks,
+        prediction_window_seconds=ctx.prediction_window,
+        t_start=split.train_range[0],
+        t_end=split.history_range[1],
+    )
+    if len(dataset) == 0:
+        return None
+    forest, rf_seconds = train_sc20_forest(
+        dataset,
+        n_estimators=config.rf_n_estimators,
+        max_depth=config.rf_max_depth,
+        seed=int(factory.stream(f"rf-{split.index}").integers(1 << 30)),
+    )
+    base_policy = SC20RandomForestPolicy(
+        forest, training_cost_node_hours=rf_seconds / 3600.0
+    )
+    optimal = _select_optimal_threshold(
+        base_policy,
+        ctx.test_traces(),
+        ctx.mitigation_cost,
+        ctx.restartable,
+        ctx.prediction_window,
+        config.threshold_grid_size,
+    )
+    return SC20SplitArtifacts(base_policy=base_policy, optimal_threshold=optimal)
+
+
+def _score_policy(
+    policy: MitigationPolicy,
+    traces: Sequence[EvaluationTrace],
+    mitigation_cost: float,
+    restartable: bool,
+    prediction_window: float,
+) -> float:
+    """Negative total cost of a policy over traces (higher is better)."""
+    if not traces:
+        return 0.0
+    evaluation = evaluate_policy(
+        traces,
+        policy,
+        mitigation_cost,
+        restartable=restartable,
+        prediction_window_seconds=prediction_window,
+        include_training_cost=False,
+    )
+    return -evaluation.costs.total
+
+
+def _train_rl_for_split(
+    split: TimeSeriesSplit,
+    tracks: Dict[int, NodeFeatureTrack],
+    sampler: JobSequenceSampler,
+    scenario: ScenarioConfig,
+    config: ExperimentConfig,
+    factory: RngFactory,
+    previous_state: Optional[dict],
+) -> Tuple[Optional[DDDQNAgent], float, Optional[dict]]:
+    """Hyperparameter search + training of the RL agent for one split.
+
+    Returns (best agent, training+validation cost in node-hours, best state).
+    """
+    evaluation_cfg = scenario.evaluation
+    mitigation_cost = evaluation_cfg.mitigation_cost_node_hours
+    normalizer = StateNormalizer()
+
+    train_tracks = {
+        node: track.slice_time(*split.train_range) for node, track in tracks.items()
+    }
+    train_tracks = {
+        node: track
+        for node, track in train_tracks.items()
+        if len(track) and track.n_decision_points > 0
+    }
+    if not train_tracks:
+        if previous_state is None:
+            return None, 0.0, None
+        agent = DDDQNAgent(
+            normalizer.state_dim,
+            config.rl_base_config.with_overrides(
+                hidden_sizes=tuple(config.rl_hidden_sizes)
+            ),
+        )
+        agent.load_state_dict(previous_state)
+        return agent, 0.0, previous_state
+
+    validation_traces = build_traces(
+        tracks,
+        sampler,
+        *split.validation_range,
+        seed=int(factory.stream(f"val-{split.index}").integers(1 << 30)),
+    ) if split.validation_range[1] > split.validation_range[0] else []
+    validation_has_ues = any(trace.n_ues for trace in validation_traces)
+    training_traces_for_scoring: List[EvaluationTrace] = []
+    if not validation_has_ues:
+        # Fall back to scoring on the training range (Section 4.1) when the
+        # validation range contains no UEs.
+        training_traces_for_scoring = build_traces(
+            tracks,
+            sampler,
+            *split.train_range,
+            seed=int(factory.stream(f"trainscore-{split.index}").integers(1 << 30)),
+        )
+    scoring_traces = (
+        validation_traces if validation_has_ues else training_traces_for_scoring
+    )
+
+    space = HyperparameterSpace()
+    search_rng = factory.stream(f"search-{split.index}")
+    started = time.perf_counter()
+
+    best_agent: Optional[DDDQNAgent] = None
+    best_score = -np.inf
+    n_trials = max(1, config.rl_hyperparam_trials) + max(0, config.rl_hyperparam_refine)
+
+    for trial in range(n_trials):
+        if trial == 0:
+            # The base configuration is always one of the candidates, so a
+            # tiny search budget still contains a known-reasonable setting.
+            params = {}
+        else:
+            params = space.sample(search_rng)
+        dqn_config = config.rl_base_config.with_overrides(
+            hidden_sizes=tuple(config.rl_hidden_sizes),
+            seed=int(search_rng.integers(1 << 30)),
+            **params,
+        )
+        agent = DDDQNAgent(normalizer.state_dim, dqn_config)
+        if config.rl_warm_start and previous_state is not None and trial == 0:
+            # The paper starts each split from a mix of previously trained
+            # and untrained models; the first candidate continues training
+            # the best agent of the previous split.
+            agent.load_state_dict(previous_state)
+        env = MitigationEnv(
+            train_tracks,
+            sampler,
+            mitigation_cost=mitigation_cost,
+            restartable=evaluation_cfg.restartable,
+            t_start=split.train_range[0],
+            t_end=split.train_range[1],
+            normalizer=normalizer,
+            seed=int(search_rng.integers(1 << 30)),
+        )
+        train_agent(env, agent, n_episodes=config.rl_episodes)
+        policy = RLPolicy(agent, normalizer)
+        score = _score_policy(
+            policy,
+            scoring_traces,
+            mitigation_cost,
+            evaluation_cfg.restartable,
+            evaluation_cfg.prediction_window_seconds,
+        )
+        if score > best_score:
+            best_score = score
+            best_agent = agent
+
+    training_cost_node_hours = (time.perf_counter() - started) / 3600.0
+    best_state = best_agent.state_dict() if best_agent is not None else None
+    return best_agent, training_cost_node_hours, best_state
+
+
+# --------------------------------------------------------------------- #
+# Stages 3 and 4: per-split training and evaluation
+# --------------------------------------------------------------------- #
+def train_split(
+    prepared: PreparedData,
+    split: TimeSeriesSplit,
+    config: ExperimentConfig,
+    rl_state_in: Optional[dict] = None,
+) -> TrainedSplit:
+    """Build every enabled approach's policy for one split via the registry."""
+    ensure_sc20_variants(config)
+    ctx = SplitContext(prepared, split, config, rl_carry_in=rl_state_in)
+    policies = {
+        spec.name: spec.build(ctx, config, ctx.factory)
+        for spec in enabled_specs(config)
+    }
+    return TrainedSplit(
+        split_index=split.index, policies=policies, rl_state=ctx.rl_carry_out
+    )
+
+
+def evaluate_split(
+    prepared: PreparedData,
+    split: TimeSeriesSplit,
+    trained: TrainedSplit,
+    config: ExperimentConfig,
+) -> SplitEvaluation:
+    """Replay a split's trained policies over its test traces."""
+    ctx = SplitContext(prepared, split, config)
+    evaluations = {
+        name: ctx.evaluate(policy) for name, policy in trained.policies.items()
+    }
+    return SplitEvaluation(
+        split_index=split.index,
+        evaluations=evaluations,
+        n_test_events=sum(len(trace) for trace in ctx.test_traces()),
+    )
+
+
+def run_split_group(
+    deps: Dict[str, "GroupOutcome"],
+    prepared: PreparedData,
+    split: TimeSeriesSplit,
+    group: str,
+    config: ExperimentConfig,
+) -> GroupOutcome:
+    """Train and evaluate one approach group on one split (executor task).
+
+    ``deps`` carries at most the previous split's "rl" outcome, whose
+    ``rl_state`` seeds this split's warm start.  ``prepared`` arrives
+    through the executor's ``shared`` channel (shipped once per worker,
+    not once per task).
+    """
+    ensure_sc20_variants(config)
+    rl_state_in: Optional[dict] = None
+    for outcome in deps.values():
+        rl_state_in = outcome.rl_state
+    ctx = SplitContext(prepared, split, config, rl_carry_in=rl_state_in)
+    specs = [spec for spec in enabled_specs(config) if spec.group == group]
+    evaluations = {
+        spec.name: ctx.evaluate(spec.build(ctx, config, ctx.factory))
+        for spec in specs
+    }
+    # Figure 6 artifacts are read from the context cache, never computed
+    # here: a custom approach in the "rf" / "rl" group whose builder did not
+    # ask for the shared model must not pay for training it.
+    sc20_artifacts = ctx.sc20_if_trained()
+    return GroupOutcome(
+        split_index=split.index,
+        group=group,
+        evaluations=evaluations,
+        n_test_events=sum(len(trace) for trace in ctx.test_traces()),
+        rl_state=ctx.rl_carry_out if group == "rl" else None,
+        sc20_policy=sc20_artifacts.optimal_policy if sc20_artifacts else None,
+        rl_policy=ctx.rl_if_trained(),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Task-graph construction
+# --------------------------------------------------------------------- #
+def _has_rl_train_data(prepared: PreparedData, split: TimeSeriesSplit) -> bool:
+    """Whether any node has decision points inside the split's train range."""
+    for track in prepared.tracks.values():
+        sliced = track.slice_time(*split.train_range)
+        if len(sliced) and sliced.n_decision_points > 0:
+            return True
+    return False
+
+
+def build_split_tasks(
+    prepared: PreparedData,
+    splits: Sequence[TimeSeriesSplit],
+    config: ExperimentConfig,
+) -> List[Task]:
+    """One executor task per (split × enabled approach group).
+
+    RL tasks of consecutive splits are chained when the warm start (or the
+    pass-the-previous-agent-through fallback of splits without training
+    data) makes split ``k`` depend on split ``k - 1``; every other task is
+    independent.
+
+    The returned tasks carry only (split, group, config); the driver passes
+    the heavyweight :class:`PreparedData` once through the executor's
+    ``shared`` channel instead of once per task.
+    """
+    ensure_sc20_variants(config)
+    groups = approach_groups(config)
+    chain_rl = "rl" in groups and (
+        config.rl_warm_start
+        or any(not _has_rl_train_data(prepared, split) for split in splits)
+    )
+    tasks: List[Task] = []
+    for split in splits:
+        for group in groups:
+            deps: Tuple[str, ...] = ()
+            if group == "rl" and chain_rl and split.index > 0:
+                deps = (f"rl-{split.index - 1}",)
+            tasks.append(
+                Task(
+                    key=f"{group}-{split.index}",
+                    fn=run_split_group,
+                    args=(split, group, config),
+                    deps=deps,
+                )
+            )
+    return tasks
+
+
+# --------------------------------------------------------------------- #
+# Stage 5: aggregation
+# --------------------------------------------------------------------- #
+def _final_test_features(
+    prepared: PreparedData, splits: Sequence[TimeSeriesSplit], config: ExperimentConfig
+) -> Optional[np.ndarray]:
+    """Non-UE feature matrix of the last split with test events (Figure 6)."""
+    for split in reversed(list(splits)):
+        ctx = SplitContext(prepared, split, config)
+        traces = ctx.test_traces()
+        if traces:
+            return np.concatenate([trace.features[~trace.is_ue] for trace in traces])
+    return None
+
+
+def aggregate(
+    prepared: PreparedData,
+    splits: Sequence[TimeSeriesSplit],
+    outcomes: Dict[str, GroupOutcome],
+    config: ExperimentConfig,
+    wallclock_seconds: float,
+) -> ExperimentResult:
+    """Fold per-(split × group) outcomes into the final result."""
+    groups = approach_groups(config)
+    approaches: Dict[str, ApproachResult] = {}
+    n_test_events = 0
+    final_sc20_policy: Optional[SC20RandomForestPolicy] = None
+    final_rl_policy: Optional[RLPolicy] = None
+
+    for split in splits:
+        split_outcomes = [
+            outcomes[f"{group}-{split.index}"]
+            for group in groups
+            if f"{group}-{split.index}" in outcomes
+        ]
+        if split_outcomes:
+            n_test_events += split_outcomes[0].n_test_events
+        for outcome in split_outcomes:
+            for name, evaluation in outcome.evaluations.items():
+                approaches.setdefault(name, ApproachResult(name=name)).per_split.append(
+                    evaluation
+                )
+            if outcome.sc20_policy is not None:
+                final_sc20_policy = outcome.sc20_policy
+            if outcome.rl_policy is not None:
+                final_rl_policy = outcome.rl_policy
+
+    return ExperimentResult(
+        scenario_name=prepared.scenario.name,
+        mitigation_cost_node_hours=prepared.scenario.evaluation.mitigation_cost_node_hours,
+        approaches=approaches,
+        splits=list(splits),
+        reduction_report=prepared.reduction_report,
+        n_test_events=n_test_events,
+        wallclock_seconds=wallclock_seconds,
+        final_rl_policy=final_rl_policy,
+        final_sc20_policy=final_sc20_policy,
+        final_test_features=_final_test_features(prepared, splits, config),
+    )

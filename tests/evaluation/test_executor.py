@@ -1,0 +1,148 @@
+"""Tests for the dependency-aware task executor."""
+
+import pytest
+
+from repro.evaluation.executor import Task, TaskGraphError, execute_tasks
+
+
+# Module-level so the process backend can pickle them.
+def _const(deps, value):
+    return value
+
+
+def _sum_deps(deps, bonus):
+    return sum(deps.values()) + bonus
+
+
+def _fail(deps):
+    raise RuntimeError("task exploded")
+
+
+def _fail_oserror(deps):
+    raise OSError("task-level I/O failure")
+
+
+def _use_shared(deps, shared, scale):
+    return shared["base"] * scale
+
+
+def _graph():
+    return [
+        Task(key="a", fn=_const, args=(1,)),
+        Task(key="b", fn=_const, args=(10,)),
+        Task(key="c", fn=_sum_deps, args=(100,), deps=("a", "b")),
+        Task(key="d", fn=_sum_deps, args=(1000,), deps=("c",)),
+    ]
+
+
+class TestSerial:
+    def test_results_and_dep_propagation(self):
+        results = execute_tasks(_graph(), n_workers=1)
+        assert results == {"a": 1, "b": 10, "c": 111, "d": 1111}
+
+    def test_empty_graph(self):
+        assert execute_tasks([], n_workers=4) == {}
+
+    def test_serial_kind_forces_in_process(self):
+        results = execute_tasks(_graph(), n_workers=8, kind="serial")
+        assert results["d"] == 1111
+
+    def test_declaration_order_does_not_matter(self):
+        results = execute_tasks(list(reversed(_graph())), n_workers=1)
+        assert results == {"a": 1, "b": 10, "c": 111, "d": 1111}
+
+
+class TestValidation:
+    def test_duplicate_keys_raise(self):
+        tasks = [Task(key="a", fn=_const, args=(1,))] * 2
+        with pytest.raises(TaskGraphError, match="duplicate"):
+            execute_tasks(tasks)
+
+    def test_unknown_dep_raises(self):
+        tasks = [Task(key="a", fn=_const, args=(1,), deps=("ghost",))]
+        with pytest.raises(TaskGraphError, match="unknown"):
+            execute_tasks(tasks)
+
+    def test_cycle_raises(self):
+        tasks = [
+            Task(key="a", fn=_const, args=(1,), deps=("b",)),
+            Task(key="b", fn=_const, args=(1,), deps=("a",)),
+        ]
+        with pytest.raises(TaskGraphError, match="cycle"):
+            execute_tasks(tasks)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            execute_tasks(_graph(), n_workers=2, kind="fancy")
+
+
+class TestParallelBackends:
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_matches_serial(self, kind):
+        serial = execute_tasks(_graph(), n_workers=1)
+        parallel = execute_tasks(_graph(), n_workers=3, kind=kind)
+        assert parallel == serial
+
+    def test_wide_fanout(self):
+        tasks = [Task(key=f"t{i}", fn=_const, args=(i,)) for i in range(24)]
+        tasks.append(
+            Task(key="sum", fn=_sum_deps, args=(0,),
+                 deps=tuple(f"t{i}" for i in range(24)))
+        )
+        results = execute_tasks(tasks, n_workers=4, kind="thread")
+        assert results["sum"] == sum(range(24))
+
+    def test_task_exception_propagates(self):
+        tasks = [Task(key="boom", fn=_fail)]
+        with pytest.raises(RuntimeError, match="task exploded"):
+            execute_tasks(tasks, n_workers=2, kind="thread")
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_task_oserror_propagates_not_swallowed(self, kind):
+        # An OSError raised *inside* a task is a task failure, not a
+        # platform-cannot-spawn-processes signal: it must surface instead
+        # of silently re-running the whole graph serially.
+        tasks = [Task(key="boom", fn=_fail_oserror)]
+        with pytest.raises(OSError, match="task-level I/O failure"):
+            execute_tasks(tasks, n_workers=2, kind=kind)
+
+
+class TestSpawnFallback:
+    def test_spawn_refusal_at_submit_falls_back_to_serial(self, monkeypatch):
+        # ProcessPoolExecutor spawns workers lazily at submit() time, which
+        # is where a restricted sandbox refuses: the executor must degrade
+        # to serial execution, not crash.
+        import repro.evaluation.executor as executor_mod
+
+        class RefusingPool:
+            def __init__(self, **kwargs):
+                pass
+
+            def submit(self, *args, **kwargs):
+                raise OSError("Operation not permitted")
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", RefusingPool)
+        results = execute_tasks(_graph(), n_workers=2, kind="process")
+        assert results == {"a": 1, "b": 10, "c": 111, "d": 1111}
+
+
+class TestSharedPayload:
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_shared_reaches_every_task(self, kind):
+        tasks = [
+            Task(key=f"t{i}", fn=_use_shared, args=(i,)) for i in range(1, 5)
+        ]
+        results = execute_tasks(
+            tasks, n_workers=2, kind=kind, shared={"base": 7}
+        )
+        assert results == {"t1": 7, "t2": 14, "t3": 21, "t4": 28}
+
+    def test_without_shared_signature_is_unchanged(self):
+        results = execute_tasks(_graph(), n_workers=2, kind="process")
+        assert results["d"] == 1111
