@@ -25,6 +25,7 @@ Backends
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     Executor,
@@ -214,17 +215,31 @@ def execute_tasks(
         pool_kwargs.update(initializer=_set_worker_shared, initargs=(shared,))
     try:
         pool = ProcessPoolExecutor(**pool_kwargs)
-    except (OSError, PermissionError, NotImplementedError):
+    except (OSError, PermissionError, NotImplementedError) as exc:
         # Restricted sandboxes may forbid spawning processes; results are
         # schedule-independent, so serial execution only costs wall-clock.
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running all "
+            f"{len(tasks)} tasks serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return _run_serial(tasks, shared)
     try:
         with pool:
             return _run_pooled(tasks, pool)
-    except (BrokenProcessPool, _PoolSpawnError):
+    except (BrokenProcessPool, _PoolSpawnError) as exc:
         # Worker spawn refused at submit time, or the platform killed the
-        # workers mid-run (sandbox limits, OOM of a forked child).
+        # workers mid-run (sandbox limits, OOM of a forked child — but also
+        # any native-code crash in a task, which this fallback would
+        # otherwise mask; the warning keeps it visible).
         # Task-level exceptions — including OSError raised *inside* a task,
         # which arrives via future.result() — propagate to the caller
         # instead of triggering this fallback.
+        warnings.warn(
+            f"process pool died mid-run ({exc!r}); discarding partial "
+            f"results and re-running all {len(tasks)} tasks serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return _run_serial(tasks, shared)

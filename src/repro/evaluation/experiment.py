@@ -72,8 +72,10 @@ def run_experiment(
     """Run the full nested-cross-validation evaluation for one scenario.
 
     Set ``config.n_workers > 1`` to train and evaluate independent
-    (split × approach group) tasks concurrently; results are identical to a
-    serial run.
+    (split × approach group) tasks concurrently; with
+    ``config.charge_training_time=False`` results are bitwise-identical to
+    a serial run (the default charges measured wall-clock training time to
+    the mitigation costs, which varies run to run).
     """
     config = config or ExperimentConfig()
     started = time.perf_counter()

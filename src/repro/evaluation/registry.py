@@ -97,6 +97,12 @@ class ApproachSpec:
 
 _REGISTRY: Dict[str, ApproachSpec] = {}
 
+#: Display name -> exact threshold offset of each registered SC20 variant.
+#: :func:`ensure_sc20_variants` consults this (not ``spec.enabled``, which
+#: also folds in the ``include_rf`` toggle) to tell "this offset's variant
+#: already exists" apart from a genuine display-name collision.
+_SC20_OFFSETS: Dict[str, float] = {}
+
 
 def register_approach(spec: ApproachSpec, replace: bool = False) -> ApproachSpec:
     """Register ``spec``; set ``replace=True`` to overwrite an existing name."""
@@ -105,13 +111,18 @@ def register_approach(spec: ApproachSpec, replace: bool = False) -> ApproachSpec
             f"approach {spec.name!r} is already registered "
             "(pass replace=True to overwrite)"
         )
+    # A replacement is no longer (necessarily) an SC20 variant;
+    # register_sc20_variant re-records the offset right after this call.
+    _SC20_OFFSETS.pop(spec.name, None)
     _REGISTRY[spec.name] = spec
     return spec
 
 
 def unregister_approach(name: str) -> ApproachSpec:
     """Remove and return a registered approach (KeyError when unknown)."""
-    return _REGISTRY.pop(name)
+    spec = _REGISTRY.pop(name)
+    _SC20_OFFSETS.pop(name, None)
+    return spec
 
 
 def get_approach(name: str) -> ApproachSpec:
@@ -201,9 +212,10 @@ def register_sc20_variant(offset: float, replace: bool = False) -> ApproachSpec:
     approach set of other experiments.  Sorted between SC20-RF and
     Myopic-RF, larger offsets later.
     """
-    return register_approach(
+    name = SC20RandomForestPolicy.variant_name(offset)
+    spec = register_approach(
         ApproachSpec(
-            name=SC20RandomForestPolicy.variant_name(offset),
+            name=name,
             build=_sc20_variant_builder(offset),
             group="rf",
             order=min(49.0, 30.0 + 100.0 * float(offset)),
@@ -212,6 +224,8 @@ def register_sc20_variant(offset: float, replace: bool = False) -> ApproachSpec:
         ),
         replace=replace,
     )
+    _SC20_OFFSETS[name] = float(offset)
+    return spec
 
 
 def ensure_sc20_variants(config: "ExperimentConfig") -> None:
@@ -222,17 +236,18 @@ def ensure_sc20_variants(config: "ExperimentConfig") -> None:
     The pipeline calls this before resolving the enabled specs.
 
     Raises ``ValueError`` when a configured offset percent-rounds to the
-    display name of a variant registered for a *different* offset (e.g.
-    0.049 collides with the default 0.05 → both would be "SC20-RF-5%"):
-    silently evaluating neither — or mixing two offsets under one name —
-    would corrupt the sweep.
+    display name of an approach registered for a *different* offset (e.g.
+    0.049 collides with the default 0.05 → both would be "SC20-RF-5%") or
+    to the name of a non-variant approach: silently evaluating neither —
+    or mixing two offsets under one name — would corrupt the sweep.
+    Whether the variants actually *run* (``include_rf``, the configured
+    offsets) is a separate question answered by ``spec.enabled``.
     """
     for offset in tuple(config.sc20_threshold_offsets):
         name = SC20RandomForestPolicy.variant_name(offset)
-        spec = _REGISTRY.get(name)
-        if spec is None:
+        if name not in _REGISTRY:
             register_sc20_variant(offset)
-        elif not spec.enabled(config):
+        elif _SC20_OFFSETS.get(name) != float(offset):
             raise ValueError(
                 f"SC20 threshold offset {offset!r} rounds to display name "
                 f"{name!r}, which is already registered for a different "

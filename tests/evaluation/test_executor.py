@@ -128,7 +128,20 @@ class TestSpawnFallback:
                 return False
 
         monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", RefusingPool)
-        results = execute_tasks(_graph(), n_workers=2, kind="process")
+        # The fallback warns so masked worker crashes stay visible.
+        with pytest.warns(RuntimeWarning, match="serially"):
+            results = execute_tasks(_graph(), n_workers=2, kind="process")
+        assert results == {"a": 1, "b": 10, "c": 111, "d": 1111}
+
+    def test_pool_constructor_failure_falls_back_to_serial(self, monkeypatch):
+        import repro.evaluation.executor as executor_mod
+
+        def _refuse(**kwargs):
+            raise PermissionError("no processes for you")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _refuse)
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            results = execute_tasks(_graph(), n_workers=2, kind="process")
         assert results == {"a": 1, "b": 10, "c": 111, "d": 1111}
 
 

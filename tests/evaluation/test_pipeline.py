@@ -140,6 +140,20 @@ class TestStages:
         assert list(outcome.evaluations) == ["Cheap-RL-variant"]
         assert outcome.rl_policy is None
 
+    def test_build_split_tasks_without_rf_family(self, tiny_prepared, tiny_scenario):
+        # Regression: include_rf=False used to crash in ensure_sc20_variants,
+        # which mistook the disabled default variants for name collisions.
+        splits = make_splits(tiny_scenario)
+        config = TINY_CONFIG.with_overrides(include_rf=False)
+        tasks = build_split_tasks(tiny_prepared, splits, config)
+        assert len(tasks) == 3 * len(splits)  # static, rl, oracle
+        assert not any(task.key.startswith("rf-") for task in tasks)
+
+    def test_run_experiment_without_rf_family(self, tiny_scenario):
+        config = TINY_CONFIG.with_overrides(include_rf=False, include_rl=False)
+        result = run_experiment(tiny_scenario, config)
+        assert result.approach_names == ["Never-mitigate", "Always-mitigate", "Oracle"]
+
     def test_rl_chain_released_without_warm_start(self, tiny_prepared, tiny_scenario):
         splits = make_splits(tiny_scenario)
         config = TINY_CONFIG.with_overrides(rl_warm_start=False)

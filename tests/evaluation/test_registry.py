@@ -106,6 +106,35 @@ class TestRegistration:
         with pytest.raises(ValueError, match="SC20-RF-5%"):
             ensure_sc20_variants(config)
 
+    def test_disabled_default_variants_are_not_collisions(self):
+        # Regression: include_rf=False disables the default variants, which
+        # must read as "this offset's variant already exists", not as a name
+        # collision (ensure_sc20_variants used to consult spec.enabled, which
+        # folds in the include_rf toggle).
+        config = ExperimentConfig(include_rf=False)
+        ensure_sc20_variants(config)  # must not raise
+        names = {s.name for s in enabled_specs(config)}
+        assert not names & {"SC20-RF", "SC20-RF-2%", "SC20-RF-5%", "Myopic-RF"}
+
+    def test_offset_colliding_with_non_variant_approach_raises(self):
+        # A name squatted by a custom (non-variant) approach is a genuine
+        # collision even though no variant offset is recorded for it.
+        from repro.baselines.sc20 import SC20RandomForestPolicy
+
+        name = SC20RandomForestPolicy.variant_name(0.07)
+        register_approach(ApproachSpec(
+            name=name,
+            build=lambda ctx, config, factory: CallablePolicy(
+                lambda context: False, name=name
+            ),
+        ))
+        try:
+            config = ExperimentConfig(sc20_threshold_offsets=(0.07,))
+            with pytest.raises(ValueError, match="SC20-RF-7%"):
+                ensure_sc20_variants(config)
+        finally:
+            unregister_approach(name)
+
     def test_custom_threshold_offsets_auto_register_variants(self):
         # A non-default offset sweep must still produce its SC20-RF-N% bar
         # (the old monolith built one per configured offset).
