@@ -27,8 +27,10 @@ if _SRC not in sys.path:  # pragma: no cover - environment dependent
 
 from repro.config import ScenarioConfig
 from repro.evaluation.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.evaluation.sweep import SweepResult, SweepSpec, run_sweep
 
 _CACHE: Dict[Tuple, ExperimentResult] = {}
+_SWEEP_CACHE: Dict[Tuple, SweepResult] = {}
 
 
 def bench_scenario() -> ScenarioConfig:
@@ -74,6 +76,35 @@ def cached_experiment(
     if key not in _CACHE:
         _CACHE[key] = run_experiment(scenario, config)
     return _CACHE[key]
+
+
+def _axis_key(values) -> Tuple:
+    return None if values is None else tuple(values)
+
+
+def cached_sweep(spec: SweepSpec, config: ExperimentConfig) -> SweepResult:
+    """Run (or reuse) a sweep; the first benchmark that needs it pays.
+
+    Sweeps additionally share prepared data *across* calls through the
+    process-wide :func:`repro.evaluation.default_prepared_cache`, so e.g.
+    the Figure 3 cost sweep and the Figure 7 scaling sweep regenerate the
+    base telemetry only once per pytest session.
+    """
+    # Key on the full frozen dataclasses: any base-scenario or config field
+    # difference yields a distinct sweep (axes are normalised to tuples
+    # because SweepSpec accepts any sequence).
+    key = (
+        spec.base,
+        _axis_key(spec.mitigation_costs),
+        _axis_key(spec.restartable),
+        _axis_key(spec.manufacturers),
+        _axis_key(spec.job_scales),
+        _axis_key(spec.seeds),
+        config,
+    )
+    if key not in _SWEEP_CACHE:
+        _SWEEP_CACHE[key] = run_sweep(spec, config)
+    return _SWEEP_CACHE[key]
 
 
 @pytest.fixture(scope="session")

@@ -11,22 +11,25 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_experiment, sweep_experiment_config
+from benchmarks.conftest import cached_sweep, sweep_experiment_config
 from repro.evaluation.report import format_cost_table, format_series
+from repro.evaluation.sweep import SweepSpec
+from repro.telemetry.records import MANUFACTURER_NAMES
 
 MANUFACTURERS = {"MN/A": 0, "MN/B": 1, "MN/C": 2}
 
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_per_manufacturer_costs(benchmark, scenario, headline_experiment):
-    config = sweep_experiment_config()
+    """One sweep over the manufacturer axis; the raw telemetry is generated
+    once and filtered per point (MN/All stays the shared headline run)."""
+    spec = SweepSpec(base=scenario, manufacturers=tuple(MANUFACTURERS.values()))
 
     def run():
+        sweep = cached_sweep(spec, sweep_experiment_config())
         results = {"MN/All": headline_experiment}
         for label, manufacturer in MANUFACTURERS.items():
-            results[label] = cached_experiment(
-                scenario, config.with_overrides(manufacturer=manufacturer)
-            )
+            results[label] = sweep[f"mfr={MANUFACTURER_NAMES[manufacturer]}"]
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

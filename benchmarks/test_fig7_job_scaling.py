@@ -16,19 +16,20 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_experiment, sweep_experiment_config
+from benchmarks.conftest import cached_sweep, sweep_experiment_config
 from repro.evaluation.report import format_series
+from repro.evaluation.sweep import SweepSpec
 from repro.workload.scaling import PAPER_SCALING_FACTORS
 
 
 @pytest.fixture(scope="module")
 def scaling_results(scenario):
-    config = sweep_experiment_config()
+    """All five Figure 7 scaling points as one sweep: the raw telemetry and
+    workload logs are generated once and only re-scaled per point."""
+    spec = SweepSpec(base=scenario, job_scales=PAPER_SCALING_FACTORS)
+    sweep = cached_sweep(spec, sweep_experiment_config())
     return {
-        factor: cached_experiment(
-            scenario, config.with_overrides(job_scaling_factor=factor)
-        )
-        for factor in PAPER_SCALING_FACTORS
+        factor: sweep[f"scale=x{factor:g}"] for factor in PAPER_SCALING_FACTORS
     }
 
 

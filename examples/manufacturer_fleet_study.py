@@ -8,14 +8,18 @@ full nested-cross-validation experiment separately per manufacturer to answer
 the operational question: *is one model for the whole machine enough, or
 should each vendor's DIMMs get their own mitigation policy?*
 
-Run time: a few minutes (three full experiments with a reduced RL budget).
+The per-manufacturer experiments run as a single
+:func:`~repro.evaluation.sweep.run_sweep` over the manufacturer axis: one
+task graph, one telemetry generation, four scenario points.
+
+Run time: a few minutes (four experiments with a reduced RL budget).
 """
 
 from __future__ import annotations
 
 from repro.analysis import manufacturer_breakdown, summarize_log, ue_burst_statistics
 from repro.config import ScenarioConfig
-from repro.evaluation import ExperimentConfig, format_cost_table, run_experiment
+from repro.evaluation import ExperimentConfig, SweepSpec, format_cost_table, run_sweep
 from repro.telemetry import MANUFACTURER_NAMES, TelemetryGenerator, prepare_log
 
 
@@ -45,18 +49,30 @@ def main() -> None:
             f"UEs={stats['uncorrected_errors']:.0f}, DIMMs={stats['dimms_with_events']:.0f}"
         )
 
-    # Whole-machine experiment versus one experiment per manufacturer.
-    print("\nRunning the whole-machine experiment (MN/All) ...")
-    all_result = run_experiment(scenario, config, error_log=error_log)
+    # Whole-machine experiment versus one experiment per manufacturer — one
+    # sweep over the manufacturer axis (None = the whole fleet).  All four
+    # points run through a single executor task graph and share the
+    # telemetry generated above; each point's result is identical to an
+    # independent run_experiment call.
+    spec = SweepSpec(
+        base=scenario,
+        manufacturers=(None,) + tuple(range(len(MANUFACTURER_NAMES))),
+    )
+    print(f"\nRunning the {spec.n_points}-point manufacturer sweep ...")
+    sweep = run_sweep(spec, config, error_log=error_log)
+    print(
+        f"(prepared data built {sweep.prepare_calls}x for "
+        f"{len(sweep)} points, {sweep.wallclock_seconds:.1f}s)\n"
+    )
+
+    all_result = sweep["mfr=all"]
     print(format_cost_table(all_result.total_costs(), title="MN/All"))
 
     per_manufacturer_totals = {}
     for index, letter in enumerate(MANUFACTURER_NAMES):
-        print(f"\nRunning the Manufacturer {letter} experiment (MN/{letter}) ...")
-        result = run_experiment(
-            scenario, config.with_overrides(manufacturer=index), error_log=error_log
-        )
+        result = sweep[f"mfr={letter}"]
         per_manufacturer_totals[letter] = result.total_costs()
+        print()
         print(format_cost_table(result.total_costs(), title=f"MN/{letter}"))
 
     # MN/ABC: the sum of the three separately trained sub-fleets.

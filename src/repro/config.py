@@ -74,6 +74,12 @@ class ScenarioConfig:
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     #: Duration of the simulated production period, seconds.
     duration_seconds: float = 180 * DAY
+    #: Restrict the telemetry to one DRAM manufacturer (Section 5.3 / the
+    #: Figure 5 per-manufacturer subsystems); ``None`` keeps the whole fleet.
+    manufacturer: Optional[int] = None
+    #: Job-size scaling factor applied to the generated workload (Section
+    #: 5.6 / Figure 7); 1.0 reproduces the base system.
+    job_scaling_factor: float = 1.0
 
     # ------------------------------------------------------------------ #
     # Presets
@@ -181,3 +187,14 @@ class ScenarioConfig:
     def with_duration(self, duration_seconds: float) -> "ScenarioConfig":
         """Return a copy covering a different production period."""
         return replace(self, duration_seconds=duration_seconds)
+
+    def with_manufacturer(self, manufacturer: Optional[int]) -> "ScenarioConfig":
+        """Return a copy restricted to one DRAM manufacturer (Figure 5 sweep).
+
+        ``None`` lifts the restriction and evaluates the whole fleet.
+        """
+        return replace(self, manufacturer=manufacturer)
+
+    def with_job_scale(self, factor: float) -> "ScenarioConfig":
+        """Return a copy with the workload scaled by ``factor`` (Figure 7 sweep)."""
+        return replace(self, job_scaling_factor=factor)

@@ -24,14 +24,19 @@ from repro.evaluation.metrics import ConfusionCounts
 from repro.evaluation.pipeline import (
     GroupOutcome,
     PreparedData,
+    PreparedDataCache,
     SplitContext,
     SplitEvaluation,
     TrainedSplit,
     aggregate,
     build_split_tasks,
+    clear_trace_cache,
+    default_prepared_cache,
     evaluate_split,
     make_splits,
     prepare_data,
+    prepared_data_key,
+    trace_cache_stats,
     train_split,
 )
 from repro.evaluation.registry import (
@@ -56,7 +61,9 @@ from repro.evaluation.report import (
     format_cost_table,
     format_metrics_table,
     format_series,
+    format_sweep_table,
 )
+from repro.evaluation.sweep import SweepPoint, SweepResult, SweepSpec, run_sweep
 
 __all__ = [
     "APPROACH_ORDER",
@@ -71,8 +78,12 @@ __all__ = [
     "GroupOutcome",
     "PolicyEvaluation",
     "PreparedData",
+    "PreparedDataCache",
     "SplitContext",
     "SplitEvaluation",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
     "Task",
     "TimeSeriesNestedCV",
     "TimeSeriesSplit",
@@ -83,6 +94,8 @@ __all__ = [
     "behavior_grid",
     "build_split_tasks",
     "build_traces",
+    "clear_trace_cache",
+    "default_prepared_cache",
     "enabled_specs",
     "ensure_sc20_variants",
     "evaluate_policies",
@@ -92,12 +105,16 @@ __all__ = [
     "format_cost_table",
     "format_metrics_table",
     "format_series",
+    "format_sweep_table",
     "get_approach",
     "make_splits",
     "prepare_data",
+    "prepared_data_key",
     "register_approach",
     "register_sc20_variant",
     "run_experiment",
+    "run_sweep",
+    "trace_cache_stats",
     "train_split",
     "unregister_approach",
 ]

@@ -27,13 +27,23 @@ e.g. the random-forest family of split 3 trains while the RL agent of split
 self-seeding: serial and parallel schedules produce identical results
 (wall-clock training-cost accounting aside — disable
 ``ExperimentConfig.charge_training_time`` for bitwise-identical runs).
+
+Two content-keyed caches remove redundant work across experiments:
+:class:`PreparedDataCache` shares one :class:`PreparedData` product between
+scenarios whose data-preparation inputs match (the sweep engine of
+:mod:`repro.evaluation.sweep` relies on it), and a process-wide trace cache
+keyed by ``(data key, split, seed)`` lets every approach group of a split
+replay the same immutable test traces instead of rebuilding them per task.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,16 +87,21 @@ __all__ = [
     "ExperimentResult",
     "GroupOutcome",
     "PreparedData",
+    "PreparedDataCache",
     "SC20SplitArtifacts",
     "SplitContext",
     "SplitEvaluation",
     "TrainedSplit",
     "aggregate",
     "build_split_tasks",
+    "clear_trace_cache",
+    "default_prepared_cache",
     "evaluate_split",
     "make_splits",
     "prepare_data",
+    "prepared_data_key",
     "run_split_group",
+    "trace_cache_stats",
     "train_split",
 ]
 
@@ -284,6 +299,11 @@ class PreparedData:
     tracks: Dict[int, NodeFeatureTrack]
     sampler: JobSequenceSampler
     reduction_report: ReductionReport
+    #: Content key of the data-preparation inputs (see
+    #: :func:`prepared_data_key`).  Identical keys guarantee identical
+    #: tracks/sampler, which the per-split trace cache relies on; the empty
+    #: tuple (hand-built instances) opts out of trace caching.
+    data_key: Tuple = ()
 
 
 @dataclass(frozen=True)
@@ -324,6 +344,49 @@ class GroupOutcome:
 # --------------------------------------------------------------------- #
 # Stages 1 and 2: data preparation and CV layout
 # --------------------------------------------------------------------- #
+def _effective_manufacturer(
+    scenario: ScenarioConfig, config: ExperimentConfig
+) -> Optional[int]:
+    """Manufacturer restriction: the config override wins over the scenario."""
+    if config.manufacturer is not None:
+        return config.manufacturer
+    return scenario.manufacturer
+
+
+def _effective_job_scaling(scenario: ScenarioConfig, config: ExperimentConfig) -> float:
+    """Job-size scaling: the scenario axis composes with the config knob."""
+    return scenario.job_scaling_factor * config.job_scaling_factor
+
+
+def prepared_data_key(scenario: ScenarioConfig, config: ExperimentConfig) -> Tuple:
+    """Content key of everything :func:`prepare_data` consumes.
+
+    Two (scenario, config) pairs with equal keys produce identical
+    :class:`PreparedData` products (same telemetry, same reduction, same
+    feature tracks, same sampler).  Evaluation-only parameters — mitigation
+    cost, restartability, the CV layout, the prediction window — are
+    deliberately excluded: sweeps over them share one prepared dataset.
+    """
+    return (
+        scenario.seed,
+        scenario.topology,
+        scenario.fault_model,
+        scenario.workload,
+        scenario.duration_seconds,
+        scenario.evaluation.ue_burst_window_seconds,
+        scenario.evaluation.merge_window_seconds,
+        _effective_manufacturer(scenario, config),
+        _effective_job_scaling(scenario, config),
+    )
+
+
+#: Distinguishes products built from externally supplied logs: their content
+#: is not derivable from (scenario, config), so each gets a unique data key
+#: and never shares trace-cache entries with synthetic runs (or with other
+#: external logs of the same scenario).
+_EXTERNAL_DATA_NONCE = itertools.count()
+
+
 def prepare_data(
     scenario: ScenarioConfig,
     config: ExperimentConfig,
@@ -333,6 +396,7 @@ def prepare_data(
     """Generate (or accept) the logs and derive feature tracks and sampler."""
     evaluation_cfg = scenario.evaluation
     factory = RngFactory(scenario.seed)
+    external_inputs = error_log is not None or job_log is not None
 
     if error_log is None:
         error_log = TelemetryGenerator(
@@ -341,8 +405,9 @@ def prepare_data(
             scenario.duration_seconds,
             seed=factory.child("telemetry"),
         ).generate()
-    if config.manufacturer is not None:
-        error_log = error_log.filter_manufacturer(config.manufacturer)
+    manufacturer = _effective_manufacturer(scenario, config)
+    if manufacturer is not None:
+        error_log = error_log.filter_manufacturer(manufacturer)
     reduced_log, reduction_report = prepare_log(
         error_log, evaluation_cfg.ue_burst_window_seconds
     )
@@ -354,17 +419,164 @@ def prepare_data(
             duration_seconds=scenario.duration_seconds,
             seed=factory.stream("workload"),
         ).generate()
-    if config.job_scaling_factor != 1.0:
-        job_log = scale_job_log(job_log, config.job_scaling_factor)
+    job_scaling = _effective_job_scaling(scenario, config)
+    if job_scaling != 1.0:
+        job_log = scale_job_log(job_log, job_scaling)
     sampler = JobSequenceSampler(job_log, seed=factory.stream("sampler"))
 
     tracks = build_feature_tracks(reduced_log, evaluation_cfg.merge_window_seconds)
+    data_key = prepared_data_key(scenario, config)
+    if external_inputs:
+        data_key += (("external", next(_EXTERNAL_DATA_NONCE)),)
     return PreparedData(
         scenario=scenario,
         tracks=tracks,
         sampler=sampler,
         reduction_report=reduction_report,
+        data_key=data_key,
     )
+
+
+class PreparedDataCache:
+    """Content-keyed cache of :func:`prepare_data` products.
+
+    Sweeps that vary only evaluation parameters (mitigation cost,
+    restartability, CV layout) share a single prepared dataset; sweeps along
+    a data axis (seed, manufacturer, job scale) additionally share the raw
+    telemetry and workload logs through two sub-caches, so e.g. the Figure 5
+    per-manufacturer points regenerate nothing but the filtered reduction.
+
+    A cached product is re-bound (``dataclasses.replace``) to each
+    requester's scenario, so downstream stages read the right evaluation
+    parameters while the heavyweight ``tracks`` / ``sampler`` objects stay
+    shared.  Sharing is safe because the pipeline never mutates them: every
+    consumer draws randomness from its own keyed stream, never from the
+    sampler's internal generator.
+
+    ``hits`` / ``misses`` / ``prepare_calls`` count cache behaviour;
+    the property tests assert on them.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        self.maxsize = maxsize
+        self._prepared: "OrderedDict[Tuple, Tuple[PreparedData, Tuple]]" = OrderedDict()
+        self._telemetry: "OrderedDict[Tuple, ErrorLog]" = OrderedDict()
+        self._job_logs: "OrderedDict[Tuple, JobLog]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.prepare_calls = 0
+
+    def __len__(self) -> int:
+        return len(self._prepared)
+
+    def clear(self) -> None:
+        self._prepared.clear()
+        self._telemetry.clear()
+        self._job_logs.clear()
+
+    @staticmethod
+    def _evict(cache: "OrderedDict", maxsize: int) -> None:
+        while len(cache) > maxsize:
+            cache.popitem(last=False)
+
+    def _raw_error_log(self, scenario: ScenarioConfig) -> ErrorLog:
+        key = (
+            scenario.seed,
+            scenario.topology,
+            scenario.fault_model,
+            scenario.duration_seconds,
+        )
+        if key not in self._telemetry:
+            self._telemetry[key] = TelemetryGenerator(
+                scenario.topology,
+                scenario.fault_model,
+                scenario.duration_seconds,
+                seed=RngFactory(scenario.seed).child("telemetry"),
+            ).generate()
+            self._evict(self._telemetry, self.maxsize)
+        else:
+            self._telemetry.move_to_end(key)
+        return self._telemetry[key]
+
+    def _raw_job_log(self, scenario: ScenarioConfig) -> JobLog:
+        key = (
+            scenario.seed,
+            scenario.workload,
+            scenario.topology.n_nodes,
+            scenario.duration_seconds,
+        )
+        if key not in self._job_logs:
+            self._job_logs[key] = WorkloadGenerator(
+                scenario.workload,
+                n_cluster_nodes=scenario.topology.n_nodes,
+                duration_seconds=scenario.duration_seconds,
+                seed=RngFactory(scenario.seed).stream("workload"),
+            ).generate()
+            self._evict(self._job_logs, self.maxsize)
+        else:
+            self._job_logs.move_to_end(key)
+        return self._job_logs[key]
+
+    def get(
+        self,
+        scenario: ScenarioConfig,
+        config: ExperimentConfig,
+        error_log: Optional[ErrorLog] = None,
+        job_log: Optional[JobLog] = None,
+    ) -> PreparedData:
+        """Return (building at most once) the prepared data for a scenario.
+
+        Externally supplied logs are folded into the key by identity; the
+        cache entry keeps a reference to them so the identity stays valid
+        for the entry's lifetime.
+        """
+        external = (
+            None if error_log is None else id(error_log),
+            None if job_log is None else id(job_log),
+        )
+        key = prepared_data_key(scenario, config) + (external,)
+        entry = self._prepared.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._prepared.move_to_end(key)
+            prepared = entry[0]
+            if prepared.scenario != scenario:
+                prepared = replace(prepared, scenario=scenario)
+            return prepared
+        self.misses += 1
+        self.prepare_calls += 1
+        if error_log is None:
+            error_log = self._raw_error_log(scenario)
+            pinned_error_log = None
+        else:
+            pinned_error_log = error_log
+        if job_log is None:
+            job_log = self._raw_job_log(scenario)
+            pinned_job_log = None
+        else:
+            pinned_job_log = job_log
+        prepared = prepare_data(scenario, config, error_log=error_log, job_log=job_log)
+        if pinned_error_log is None and pinned_job_log is None:
+            # Both logs came from the sub-caches, which regenerate exactly
+            # what prepare_data itself would have: the product is fully
+            # derivable from (scenario, config), so restore the pure content
+            # key that prepare_data replaced with an external-input nonce —
+            # synthetic runs inside and outside the cache then share traces.
+            prepared = replace(prepared, data_key=prepared_data_key(scenario, config))
+        self._prepared[key] = (prepared, (pinned_error_log, pinned_job_log))
+        self._evict(self._prepared, self.maxsize)
+        return prepared
+
+
+#: Process-wide default cache used by :func:`repro.evaluation.sweep.run_sweep`
+#: when the caller does not supply one, so consecutive sweeps in one session
+#: (e.g. the benchmark harness) share prepared data across calls.
+_DEFAULT_PREPARED_CACHE = PreparedDataCache()
+
+
+def default_prepared_cache() -> PreparedDataCache:
+    """The process-wide :class:`PreparedDataCache`."""
+    return _DEFAULT_PREPARED_CACHE
 
 
 def make_splits(scenario: ScenarioConfig) -> List[TimeSeriesSplit]:
@@ -381,6 +593,65 @@ def make_splits(scenario: ScenarioConfig) -> List[TimeSeriesSplit]:
 # --------------------------------------------------------------------- #
 # Shared per-split resources
 # --------------------------------------------------------------------- #
+#: Process-wide cache of built test traces, keyed by
+#: ``(PreparedData.data_key, split index, test range, trace seed)``.  Every
+#: approach group of a split — and every sweep point sharing the same
+#: prepared data — replays the *same* trace objects, so rebuilding them once
+#: per (split × group) task is pure waste.  Traces are immutable
+#: (frozen dataclasses over read-only arrays), which makes sharing safe.
+_TRACE_CACHE: "OrderedDict[Tuple, List[EvaluationTrace]]" = OrderedDict()
+_TRACE_CACHE_MAXSIZE = 64
+_TRACE_CACHE_STATS = {"hits": 0, "misses": 0}
+#: Guards cache + counters against the thread executor backend (lookup,
+#: LRU reordering and eviction race otherwise: a concurrent evict between
+#: get() and move_to_end() raises KeyError and kills the task).
+_TRACE_CACHE_LOCK = threading.Lock()
+
+
+def trace_cache_stats() -> Dict[str, int]:
+    """Copy of the process-wide trace-cache hit/miss counters."""
+    with _TRACE_CACHE_LOCK:
+        return dict(_TRACE_CACHE_STATS)
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces and reset the counters (test isolation)."""
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE.clear()
+        _TRACE_CACHE_STATS["hits"] = 0
+        _TRACE_CACHE_STATS["misses"] = 0
+
+
+def _cached_test_traces(
+    prepared: PreparedData, split: TimeSeriesSplit, seed: int
+) -> List[EvaluationTrace]:
+    """Build (or reuse) the test traces of one split of one prepared dataset."""
+    if not prepared.data_key:
+        # Hand-built PreparedData carries no content key; skip caching rather
+        # than risk colliding two unrelated datasets.
+        return build_traces(
+            prepared.tracks, prepared.sampler, *split.test_range, seed=seed
+        )
+    key = (prepared.data_key, split.index, split.test_range, seed)
+    with _TRACE_CACHE_LOCK:
+        traces = _TRACE_CACHE.get(key)
+        if traces is not None:
+            _TRACE_CACHE_STATS["hits"] += 1
+            _TRACE_CACHE.move_to_end(key)
+            return traces
+        _TRACE_CACHE_STATS["misses"] += 1
+    # Build outside the lock (expensive); concurrent builders of the same
+    # key produce identical traces, so the last insert winning is harmless.
+    traces = build_traces(
+        prepared.tracks, prepared.sampler, *split.test_range, seed=seed
+    )
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE[key] = traces
+        while len(_TRACE_CACHE) > _TRACE_CACHE_MAXSIZE:
+            _TRACE_CACHE.popitem(last=False)
+    return traces
+
+
 @dataclass(frozen=True)
 class SC20SplitArtifacts:
     """Trained forest of one split, shared by the whole SC20-RF family."""
@@ -448,16 +719,17 @@ class SplitContext:
 
     # -- shared resources ---------------------------------------------- #
     def test_traces(self) -> List[EvaluationTrace]:
-        """The split's test-range traces (identical for every approach)."""
+        """The split's test-range traces (identical for every approach).
+
+        Served from the process-wide trace cache keyed by
+        ``(data key, split, seed)``, so all approach groups of a split — and
+        all sweep points sharing the prepared data — reuse one trace set.
+        """
         if self._test_traces is None:
-            self._test_traces = build_traces(
-                self.tracks,
-                self.prepared.sampler,
-                *self.split.test_range,
-                seed=int(
-                    self.factory.stream(f"test-{self.split.index}").integers(1 << 30)
-                ),
+            seed = int(
+                self.factory.stream(f"test-{self.split.index}").integers(1 << 30)
             )
+            self._test_traces = _cached_test_traces(self.prepared, self.split, seed)
         return self._test_traces
 
     def evaluate(self, policy: MitigationPolicy, **kwargs) -> PolicyEvaluation:
@@ -805,6 +1077,9 @@ def build_split_tasks(
     prepared: PreparedData,
     splits: Sequence[TimeSeriesSplit],
     config: ExperimentConfig,
+    key_prefix: str = "",
+    task_fn: Optional[Callable[..., Any]] = None,
+    task_args: Tuple = (),
 ) -> List[Task]:
     """One executor task per (split × enabled approach group).
 
@@ -816,8 +1091,16 @@ def build_split_tasks(
     The returned tasks carry only (split, group, config); the driver passes
     the heavyweight :class:`PreparedData` once through the executor's
     ``shared`` channel instead of once per task.
+
+    ``key_prefix`` namespaces the task keys (and the RL chain's dependency
+    edges) so several experiments can coexist in one task graph — the sweep
+    engine prefixes each point's tasks with its label.  ``task_fn`` /
+    ``task_args`` substitute a custom module-level task callable invoked as
+    ``task_fn(deps, shared, *task_args, split, group, config)`` in place of
+    :func:`run_split_group`.
     """
     ensure_sc20_variants(config)
+    fn = run_split_group if task_fn is None else task_fn
     groups = approach_groups(config)
     chain_rl = "rl" in groups and (
         config.rl_warm_start
@@ -828,12 +1111,12 @@ def build_split_tasks(
         for group in groups:
             deps: Tuple[str, ...] = ()
             if group == "rl" and chain_rl and split.index > 0:
-                deps = (f"rl-{split.index - 1}",)
+                deps = (f"{key_prefix}rl-{split.index - 1}",)
             tasks.append(
                 Task(
-                    key=f"{group}-{split.index}",
-                    fn=run_split_group,
-                    args=(split, group, config),
+                    key=f"{key_prefix}{group}-{split.index}",
+                    fn=fn,
+                    args=tuple(task_args) + (split, group, config),
                     deps=deps,
                 )
             )

@@ -70,6 +70,47 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_sweep_table(
+    totals: Mapping[str, Mapping[str, CostBreakdown]],
+    which: str = "total",
+    title: str = "Sweep — total cost (node-hours)",
+) -> str:
+    """Render a sweep's points × approaches cost matrix.
+
+    ``totals`` maps point label -> approach -> cost breakdown (the shape of
+    :meth:`repro.evaluation.sweep.SweepResult.totals`); ``which`` selects the
+    :class:`CostBreakdown` attribute shown (``total``, ``ue_cost``,
+    ``mitigation_cost``, ``training_cost``, ...).  Approaches are rows and
+    sweep points are columns, matching the grouped bars of Figures 3/5/7.
+    """
+    labels = list(totals)
+    approaches: list = []
+    for label in labels:
+        for name in totals[label]:
+            if name not in approaches:
+                approaches.append(name)
+    lines = []
+    if title:
+        lines.append(title)
+    column_width = max(12, max((len(label) for label in labels), default=12))
+    header = f"{'approach':<18} " + " ".join(
+        f"{label:>{column_width}}" for label in labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in approaches:
+        cells = []
+        for label in labels:
+            breakdown = totals[label].get(name)
+            if breakdown is None:
+                cells.append(f"{'—':>{column_width}}")
+            else:
+                value = getattr(breakdown, which)
+                cells.append(f"{_format_number(value):>{column_width}}")
+        lines.append(f"{name:<18} " + " ".join(cells))
+    return "\n".join(lines)
+
+
 def format_metrics_table(
     metrics: Mapping[str, ConfusionCounts],
     title: str = "Classical machine learning metrics (Table 2)",

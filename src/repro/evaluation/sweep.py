@@ -1,0 +1,361 @@
+"""Scenario sweep engine: many experiments, one task graph, shared data.
+
+The paper's results are a *grid* of experiments, not a single run.  Each
+sweep axis maps directly onto one of its figures:
+
+``mitigation_costs``
+    The 2 / 5 / 10 node–minute cost groups of **Figure 3** (and the cost
+    sensitivity discussion of Section 5.2).
+``restartable``
+    The restartable vs. non-restartable job assumption of **Figure 3**
+    (checkpointing on/off, Section 4.3).
+``manufacturers``
+    The per-DRAM-manufacturer subsystems MN/A, MN/B, MN/C of **Figure 5**
+    (Section 5.3); ``None`` is the whole fleet MN/All.
+``job_scales``
+    The job-size scaling factors 0.1–10× of **Figure 7** (Section 5.6).
+``seeds``
+    Replicated runs over independent synthetic histories (the confidence
+    intervals of Figure 4 and Table 2).
+
+:class:`SweepSpec` crosses a base :class:`~repro.config.ScenarioConfig` with
+any subset of these axes; :func:`run_sweep` schedules *all* resulting
+(point × split × approach-group) tasks as one dependency-aware graph on the
+:mod:`executor <repro.evaluation.executor>` — an 18-task RL chain of one
+point can overlap with the forest training of another — instead of N
+sequential ``run_experiment`` calls.
+
+Crucially, points that share data-preparation inputs (same fault model and
+seed, differing only in evaluation parameters such as the mitigation cost)
+reuse **one** :class:`~repro.evaluation.pipeline.PreparedData` product via
+the content-keyed :class:`~repro.evaluation.pipeline.PreparedDataCache`, and
+points on a data axis still share the raw telemetry/workload logs.  Results
+are identical to independent ``run_experiment`` calls because every task
+seeds its own keyed random streams — the sweep only removes redundant work,
+never reorders randomness.
+
+>>> spec = SweepSpec(
+...     base=ScenarioConfig.small(),
+...     mitigation_costs=(2.0, 5.0, 10.0),
+...     restartable=(True, False),
+... )
+>>> result = run_sweep(spec, ExperimentConfig.fast())   # doctest: +SKIP
+>>> print(result.table())                               # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ScenarioConfig
+from repro.evaluation.executor import Task, execute_tasks
+from repro.evaluation.pipeline import (
+    ExperimentConfig,
+    ExperimentResult,
+    GroupOutcome,
+    PreparedData,
+    PreparedDataCache,
+    aggregate,
+    build_split_tasks,
+    default_prepared_cache,
+    make_splits,
+    run_split_group,
+)
+from repro.evaluation.report import format_cost_table, format_sweep_table
+from repro.telemetry.error_log import ErrorLog
+from repro.telemetry.records import MANUFACTURER_NAMES
+from repro.workload.job import JobLog
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
+]
+
+
+# --------------------------------------------------------------------- #
+# Sweep specification
+# --------------------------------------------------------------------- #
+def _format_axis(axis: str, value: Any) -> str:
+    """Human-readable ``axis=value`` fragment of a point label."""
+    if axis == "mitigation_cost":
+        return f"cost={value:g}"
+    if axis == "restartable":
+        return "restart=on" if value else "restart=off"
+    if axis == "manufacturer":
+        if value is None:
+            return "mfr=all"
+        if 0 <= value < len(MANUFACTURER_NAMES):
+            return f"mfr={MANUFACTURER_NAMES[value]}"
+        return f"mfr={value}"
+    if axis == "job_scale":
+        return f"scale=x{value:g}"
+    if axis == "seed":
+        return f"seed={value}"
+    return f"{axis}={value}"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved scenario of a sweep."""
+
+    #: Unique human-readable label, e.g. ``"cost=5,restart=off"``; doubles as
+    #: the task-key prefix and the key of :attr:`SweepResult.results`.
+    label: str
+    #: The base scenario with every axis value applied.
+    scenario: ScenarioConfig
+    #: The ``(axis, value)`` assignments that produced this point.
+    axes: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario crossed with any subset of the paper's sweep axes.
+
+    Axes left at ``None`` are not swept; the cross product of the supplied
+    axes defines the points.  An empty spec is the degenerate one-point
+    sweep of the base scenario.
+    """
+
+    base: ScenarioConfig
+    #: Mitigation costs in node–minutes (Figure 3: 2, 5, 10).
+    mitigation_costs: Optional[Sequence[float]] = None
+    #: Restartable-job assumptions (Figure 3: checkpointing on/off).
+    restartable: Optional[Sequence[bool]] = None
+    #: DRAM manufacturers, ``None`` entries meaning the whole fleet
+    #: (Figure 5: MN/All plus MN/A, MN/B, MN/C).
+    manufacturers: Optional[Sequence[Optional[int]]] = None
+    #: Job-size scaling factors (Figure 7: 0.1–10×).
+    job_scales: Optional[Sequence[float]] = None
+    #: Root seeds for replicated synthetic histories.
+    seeds: Optional[Sequence[int]] = None
+
+    def _axes(self) -> List[Tuple[str, Tuple[Any, ...]]]:
+        """The swept axes, in canonical application order."""
+        axes: List[Tuple[str, Tuple[Any, ...]]] = []
+        for name, values in (
+            ("seed", self.seeds),
+            ("manufacturer", self.manufacturers),
+            ("job_scale", self.job_scales),
+            ("mitigation_cost", self.mitigation_costs),
+            ("restartable", self.restartable),
+        ):
+            if values is not None:
+                values = tuple(values)
+                if not values:
+                    raise ValueError(f"sweep axis {name!r} must not be empty")
+                axes.append((name, values))
+        return axes
+
+    @property
+    def n_points(self) -> int:
+        count = 1
+        for _, values in self._axes():
+            count *= len(values)
+        return count
+
+    def points(self) -> Tuple[SweepPoint, ...]:
+        """The cross product of all supplied axes, base scenario applied."""
+        assignments: List[Tuple[Tuple[str, Any], ...]] = [()]
+        for name, values in self._axes():
+            assignments = [
+                done + ((name, value),) for done in assignments for value in values
+            ]
+        points: List[SweepPoint] = []
+        seen: Dict[str, Tuple[Tuple[str, Any], ...]] = {}
+        for axes in assignments:
+            scenario = self.base
+            for name, value in axes:
+                if name == "seed":
+                    scenario = scenario.with_seed(value)
+                elif name == "manufacturer":
+                    scenario = scenario.with_manufacturer(value)
+                elif name == "job_scale":
+                    scenario = scenario.with_job_scale(value)
+                elif name == "mitigation_cost":
+                    scenario = scenario.with_mitigation_cost(value)
+                elif name == "restartable":
+                    scenario = scenario.with_restartable(value)
+            label = (
+                ",".join(_format_axis(name, value) for name, value in axes)
+                or self.base.name
+            )
+            if label in seen:
+                raise ValueError(
+                    f"duplicate sweep point {label!r} "
+                    f"(axes {seen[label]!r} and {axes!r}); "
+                    "remove repeated axis values"
+                )
+            seen[label] = axes
+            points.append(SweepPoint(label=label, scenario=scenario, axes=axes))
+        return tuple(points)
+
+
+# --------------------------------------------------------------------- #
+# Sweep result
+# --------------------------------------------------------------------- #
+@dataclass
+class SweepResult:
+    """Everything produced by :func:`run_sweep`."""
+
+    spec: SweepSpec
+    points: Tuple[SweepPoint, ...]
+    #: Point label -> the point's :class:`ExperimentResult`, exactly as an
+    #: independent ``run_experiment`` call would have produced it.
+    results: Dict[str, ExperimentResult]
+    wallclock_seconds: float
+    #: How many :func:`prepare_data` products were actually built (vs. the
+    #: number of points — the difference is the cross-scenario cache's win).
+    prepare_calls: int = 0
+    cache_hits: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, label: str) -> ExperimentResult:
+        return self.results[label]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def labels(self) -> List[str]:
+        return [point.label for point in self.points]
+
+    @property
+    def approach_names(self) -> List[str]:
+        """Union of approach names across points, canonical order first."""
+        names: List[str] = []
+        for label in self.labels:
+            for name in self.results[label].approach_names:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def totals(self) -> Dict[str, Dict[str, "Any"]]:
+        """Point label -> approach -> :class:`CostBreakdown` (Figure 3/5/7)."""
+        return {label: self.results[label].total_costs() for label in self.labels}
+
+    def series(self, approach: str, which: str = "total") -> List[float]:
+        """One approach's per-point cost series, in point order."""
+        values = []
+        for label in self.labels:
+            breakdown = self.results[label].total_costs()[approach]
+            values.append(getattr(breakdown, which))
+        return values
+
+    def table(self, which: str = "total", title: str = "") -> str:
+        """Points × approaches cost matrix as aligned text."""
+        return format_sweep_table(
+            self.totals(), which=which, title=title or f"Sweep — {which} cost"
+        )
+
+    def point_table(self, label: str) -> str:
+        """One point's full cost breakdown (a Figure 3/5 bar group)."""
+        return format_cost_table(self.results[label].total_costs(), title=label)
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+def _run_sweep_group(
+    deps: Dict[str, GroupOutcome],
+    shared: Dict[str, PreparedData],
+    label: str,
+    split,
+    group: str,
+    config: ExperimentConfig,
+) -> GroupOutcome:
+    """Executor task of one (point × split × group); module-level so the
+    process backend can pickle it.  ``shared`` is the per-point prepared-data
+    map shipped once per worker."""
+    return run_split_group(deps, shared[label], split, group, config)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[PreparedDataCache] = None,
+    error_log: Optional[ErrorLog] = None,
+    job_log: Optional[JobLog] = None,
+) -> SweepResult:
+    """Run every point of ``spec`` as one dependency-aware task graph.
+
+    Equivalent to — and tested against — one ``run_experiment`` call per
+    point, but (a) all points' (split × approach-group) tasks are scheduled
+    together on the executor, so ``config.n_workers`` parallelism spans the
+    whole sweep rather than one experiment at a time, and (b) points sharing
+    data-preparation inputs reuse one prepared dataset through ``cache``
+    (the process-wide default when ``None``).
+
+    ``error_log`` / ``job_log`` optionally substitute externally supplied
+    logs for the synthetic generators, exactly as in ``run_experiment``.
+
+    With the process backend, the whole label -> prepared-data map crosses
+    into each worker once (points sharing a product are pickled once —
+    pickle preserves object identity within one payload), because any
+    worker may execute any point's tasks.  Data-axis sweeps with many large
+    *distinct* products therefore cost O(points) memory per worker; split
+    such sweeps into chunks if that bites.
+
+    Per-point ``wallclock_seconds`` is the whole sweep's wall-clock (the
+    points ran concurrently; attributing shares would be fiction).
+    """
+    config = config or ExperimentConfig()
+    cache = cache if cache is not None else default_prepared_cache()
+    points = spec.points()
+    started = time.perf_counter()
+    hits_before, calls_before = cache.hits, cache.prepare_calls
+
+    prepared: Dict[str, PreparedData] = {}
+    splits_by_label: Dict[str, list] = {}
+    tasks: List[Task] = []
+    for point in points:
+        prepared[point.label] = cache.get(
+            point.scenario, config, error_log=error_log, job_log=job_log
+        )
+        splits_by_label[point.label] = make_splits(point.scenario)
+        tasks.extend(
+            build_split_tasks(
+                prepared[point.label],
+                splits_by_label[point.label],
+                config,
+                key_prefix=f"{point.label}/",
+                task_fn=_run_sweep_group,
+                task_args=(point.label,),
+            )
+        )
+
+    outcomes = execute_tasks(
+        tasks,
+        n_workers=config.n_workers,
+        kind=config.executor_kind,
+        shared=prepared,
+    )
+    elapsed = time.perf_counter() - started
+
+    results: Dict[str, ExperimentResult] = {}
+    for point in points:
+        prefix = f"{point.label}/"
+        point_outcomes = {
+            key[len(prefix):]: outcome
+            for key, outcome in outcomes.items()
+            if key.startswith(prefix)
+        }
+        results[point.label] = aggregate(
+            prepared[point.label],
+            splits_by_label[point.label],
+            point_outcomes,
+            config,
+            wallclock_seconds=elapsed,
+        )
+
+    return SweepResult(
+        spec=spec,
+        points=points,
+        results=results,
+        wallclock_seconds=elapsed,
+        prepare_calls=cache.prepare_calls - calls_before,
+        cache_hits=cache.hits - hits_before,
+    )

@@ -27,6 +27,17 @@ from repro.workload.generator import WorkloadGenerator
 from repro.workload.sampling import JobSequenceSampler
 
 
+def pytest_addoption(parser):
+    """Options of the golden-result regression harness (tests/golden/)."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="re-record the golden ExperimentResult fingerprints instead of "
+        "comparing against them (intentional result changes only)",
+    )
+
+
 @pytest.fixture(scope="session")
 def scenario():
     """The small laptop-scale scenario used throughout the tests."""

@@ -1,0 +1,102 @@
+"""Round-trip tests for the ScenarioConfig presets and ``with_*`` modifiers.
+
+Every modifier must change exactly the intended field and preserve
+frozen-dataclass equality everywhere else — the sweep engine derives its
+points through these modifiers, so a modifier that silently touched another
+field would corrupt whole sweep axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import EvaluationConfig, ScenarioConfig
+from repro.utils.timeutils import DAY
+
+
+@pytest.fixture()
+def base():
+    return ScenarioConfig.small(seed=7)
+
+
+class TestPresets:
+    def test_presets_have_neutral_axes(self):
+        for preset in (
+            ScenarioConfig.small(),
+            ScenarioConfig.benchmark(),
+            ScenarioConfig.paper(),
+        ):
+            assert preset.manufacturer is None
+            assert preset.job_scaling_factor == 1.0
+
+    def test_evaluation_cost_conversion(self):
+        assert EvaluationConfig(
+            mitigation_cost_node_minutes=30.0
+        ).mitigation_cost_node_hours == pytest.approx(0.5)
+
+
+class TestModifierRoundTrips:
+    """Each modifier: intended field changes, everything else is equal."""
+
+    def test_with_mitigation_cost(self, base):
+        modified = base.with_mitigation_cost(10.0)
+        assert modified.evaluation.mitigation_cost_node_minutes == 10.0
+        restored = replace(
+            modified,
+            evaluation=replace(
+                modified.evaluation,
+                mitigation_cost_node_minutes=base.evaluation.mitigation_cost_node_minutes,
+            ),
+        )
+        assert restored == base
+
+    def test_with_restartable(self, base):
+        modified = base.with_restartable(False)
+        assert modified.evaluation.restartable is False
+        restored = replace(
+            modified,
+            evaluation=replace(
+                modified.evaluation, restartable=base.evaluation.restartable
+            ),
+        )
+        assert restored == base
+
+    def test_with_seed(self, base):
+        modified = base.with_seed(123)
+        assert modified.seed == 123
+        assert replace(modified, seed=base.seed) == base
+
+    def test_with_duration(self, base):
+        modified = base.with_duration(42 * DAY)
+        assert modified.duration_seconds == 42 * DAY
+        assert replace(modified, duration_seconds=base.duration_seconds) == base
+
+    def test_with_manufacturer(self, base):
+        modified = base.with_manufacturer(1)
+        assert modified.manufacturer == 1
+        assert replace(modified, manufacturer=base.manufacturer) == base
+        # None lifts the restriction again.
+        assert modified.with_manufacturer(None).manufacturer is None
+
+    def test_with_job_scale(self, base):
+        modified = base.with_job_scale(3.0)
+        assert modified.job_scaling_factor == 3.0
+        assert replace(modified, job_scaling_factor=base.job_scaling_factor) == base
+
+    def test_modifiers_compose_and_commute(self, base):
+        a = base.with_mitigation_cost(5.0).with_manufacturer(2).with_job_scale(0.3)
+        b = base.with_job_scale(0.3).with_manufacturer(2).with_mitigation_cost(5.0)
+        assert a == b
+        assert a != base
+
+    def test_modifiers_do_not_mutate_the_original(self, base):
+        snapshot = replace(base)
+        base.with_mitigation_cost(9.0)
+        base.with_restartable(False)
+        base.with_seed(1)
+        base.with_duration(1 * DAY)
+        base.with_manufacturer(0)
+        base.with_job_scale(10.0)
+        assert base == snapshot
