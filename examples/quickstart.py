@@ -1,117 +1,72 @@
 #!/usr/bin/env python
-"""Quickstart: generate a small cluster's telemetry, train the RL mitigation
-agent, and compare its cost–benefit against the static baselines.
+"""Quickstart: the stable top-level API in three moves.
 
-This walks through the whole public API in one file:
+1. ``Study.from_scenario(...)`` + ``.run(config)`` — the whole nested
+   cross-validation evaluation of a synthetic cluster (telemetry generation,
+   preprocessing, workload sampling, RF/RL training, cost-benefit replay) in
+   one call, with every approach of the paper's Section 4.2 comparison.
+2. ``.report()`` — the Figure 3-style lost-node-hours table (and the
+   Table 2 classical-ML metrics via ``report("metrics")``).
+3. ``ArtifactStore`` + ``.resume()`` — persist the result to disk and get it
+   back in a later session without recomputing anything.
 
-1. describe the cluster and generate a synthetic error log (the substitute
-   for the MareNostrum 3 production logs);
-2. preprocess it (DIMM-retirement bias removal + UE burst reduction);
-3. generate a Slurm-like job log and build the node-count-weighted sampler;
-4. extract the Table 1 feature tracks and train a dueling double deep
-   Q-network on the first 60 % of the period;
-5. evaluate the trained policy, Never-mitigate, Always-mitigate and the
-   Oracle on the remaining 40 % and print the lost node–hours of each.
+The same flow scales from this laptop-sized scenario to
+``ScenarioConfig.paper()`` and to multi-point sweeps
+(``Study.from_sweep`` — see ``manufacturer_fleet_study.py``).  For the
+step-by-step internals the facade drives (generators, feature tracks, the
+DQN training loop), see ``online_daemon_simulation.py`` and
+``checkpoint_vs_migration.py``.
 
 Run time: well under a minute on a laptop.
+
+Equivalent CLI::
+
+    python -m repro run --preset small --fast --store runs/quickstart
 """
 
 from __future__ import annotations
 
-from repro.baselines import AlwaysMitigatePolicy, NeverMitigatePolicy, OraclePolicy
-from repro.config import ScenarioConfig
-from repro.core import (
-    DDDQNAgent,
-    DQNConfig,
-    MitigationEnv,
-    RLPolicy,
-    StateNormalizer,
-    build_feature_tracks,
-    train_agent,
-)
-from repro.evaluation import build_traces, evaluate_policies, format_cost_table
-from repro.telemetry import TelemetryGenerator, prepare_log
-from repro.workload import JobSequenceSampler, WorkloadGenerator
+from repro import ArtifactStore, ExperimentConfig, ScenarioConfig, Study
 
 
-def main() -> None:
-    # 1. A small, fully synthetic scenario (48 nodes, 4 months of production).
+def main(store_dir: str = "runs/quickstart") -> None:
+    # 1. One call: a small, fully synthetic scenario (48 nodes, 4 months of
+    #    production), evaluated end to end with a reduced training budget.
+    #    The store directory persists across invocations: delete it to
+    #    recompute from scratch, keep it to make re-runs instant.
     scenario = ScenarioConfig.small(seed=7)
+    config = ExperimentConfig.fast()
 
-    print("Generating telemetry ...")
-    error_log = TelemetryGenerator(
-        scenario.topology,
-        scenario.fault_model,
-        scenario.duration_seconds,
-        seed=scenario.seed,
-    ).generate()
+    study = Study.from_scenario(scenario, store=ArtifactStore(store_dir))
 
-    # 2. Preprocessing: remove retired DIMMs, keep only the first UE per burst.
-    reduced_log, report = prepare_log(error_log)
+    print("Running the full nested-CV evaluation (one call) ...")
+    result = study.run(config)
     print(
-        f"  raw UEs: {report.raw_ues}, first-of-burst UEs: {report.reduced_ues}, "
-        f"corrected errors: {reduced_log.total_corrected_errors():,}"
+        f"  {len(result.approach_names)} approaches x {len(result.splits)} splits, "
+        f"{result.n_test_events:,} test events, "
+        f"{result.wallclock_seconds:.1f}s wall-clock"
     )
 
-    # 3. Workload: Slurm-like job log and per-node job sequences.
-    job_log = WorkloadGenerator(
-        scenario.workload,
-        n_cluster_nodes=scenario.topology.n_nodes,
-        duration_seconds=scenario.duration_seconds,
-        seed=scenario.seed,
-    ).generate()
-    sampler = JobSequenceSampler(job_log, seed=1)
-    print(f"  jobs: {len(job_log):,}, delivered node-hours: {job_log.total_node_hours():,.0f}")
-
-    # 4. Feature extraction and RL training on the first 60 % of the period.
-    tracks = build_feature_tracks(reduced_log)
-    t_split = 0.6 * scenario.duration_seconds
-    train_tracks = {
-        node: track.slice_time(0.0, t_split) for node, track in tracks.items()
-    }
-    train_tracks = {
-        node: track
-        for node, track in train_tracks.items()
-        if len(track) and track.n_decision_points > 0
-    }
-
-    normalizer = StateNormalizer()
-    mitigation_cost = scenario.evaluation.mitigation_cost_node_hours
-    env = MitigationEnv(
-        train_tracks,
-        sampler,
-        mitigation_cost=mitigation_cost,
-        restartable=scenario.evaluation.restartable,
-        t_start=0.0,
-        t_end=t_split,
-        normalizer=normalizer,
-        seed=11,
-    )
-    agent = DDDQNAgent(
-        env.state_dim,
-        DQNConfig(hidden_sizes=(64, 48), epsilon_decay_steps=4000, seed=3),
-    )
-    print("Training the RL agent (300 episodes) ...")
-    result = train_agent(env, agent, n_episodes=300)
-    print(
-        f"  {result.env_steps} environment steps, mean episode reward "
-        f"{result.mean_reward:.1f} node-hours, wall-clock {result.wallclock_seconds:.1f}s"
-    )
-
-    # 5. Evaluation on the held-out 40 % of the period.
-    test_traces = build_traces(tracks, sampler, t_split, scenario.duration_seconds, seed=5)
-    policies = [
-        NeverMitigatePolicy(),
-        AlwaysMitigatePolicy(),
-        RLPolicy(agent, normalizer, training_cost_node_hours=result.training_cost_node_hours),
-        OraclePolicy(),
-    ]
-    results = evaluate_policies(test_traces, policies, mitigation_cost)
+    # 2. The paper's tables, rendered from the result.
     print()
+    print(study.report())
+    print()
+    print(study.report(which="metrics"))
+
+    # 3. Everything is already on disk: a new Study over the same scenario
+    #    resumes from the store instead of recomputing (in a real workflow
+    #    this happens in a different process, days later).
+    resumed = Study.from_scenario(scenario, store=ArtifactStore(store_dir))
+    reloaded = resumed.resume(config)
+    assert reloaded.to_json() == result.to_json()
+    print()
+    print(f"Resumed byte-identical result from {store_dir} without recomputing.")
     print(
-        format_cost_table(
-            {name: evaluation.costs for name, evaluation in results.items()},
-            title="Lost node-hours over the held-out period",
+        "Savings vs Never-mitigate: "
+        + ", ".join(
+            f"{name}: {100 * reloaded.saving_vs_never(name):+.0f}%"
+            for name in ("SC20-RF", "RL", "Oracle")
+            if name in reloaded.approaches
         )
     )
 

@@ -1,0 +1,88 @@
+"""Reproduction of "Reinforcement learning-based adaptive mitigation of
+uncorrected DRAM errors" (HPDC'24, Boixaderas et al.).
+
+The blessed public API is this module's ``__all__`` — a stable contract for
+building tools and services on top of the reproduction:
+
+Facade
+    :class:`~repro.study.Study` (run / resume experiments and sweeps),
+    :class:`~repro.store.ArtifactStore` (disk-backed, content-keyed
+    artifact persistence).
+Configuration
+    :class:`~repro.config.ScenarioConfig` (what to simulate),
+    :class:`~repro.evaluation.pipeline.ExperimentConfig` (how hard to
+    train), :class:`~repro.evaluation.sweep.SweepSpec` (which grid).
+Results
+    :class:`~repro.evaluation.pipeline.ExperimentResult`,
+    :class:`~repro.evaluation.sweep.SweepResult`,
+    :class:`~repro.evaluation.costs.CostBreakdown`.
+Low-level engines
+    :func:`~repro.evaluation.experiment.run_experiment`,
+    :func:`~repro.evaluation.sweep.run_sweep` — what ``Study`` drives
+    internally, kept public for scripting.
+
+Everything else (pipeline stages, executors, caches, telemetry generators)
+remains importable from its home module — see :mod:`repro.evaluation` — but
+is not part of the stability contract.
+
+Attributes resolve lazily (PEP 562), so ``import repro`` stays cheap and the
+CLI (``python -m repro``) starts fast.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ArtifactStore",
+    "CostBreakdown",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ScenarioConfig",
+    "Study",
+    "SweepResult",
+    "SweepSpec",
+    "__version__",
+    "run_experiment",
+    "run_sweep",
+]
+
+#: name -> home module of each lazily resolved public attribute.
+_EXPORTS = {
+    "ArtifactStore": "repro.store",
+    "CostBreakdown": "repro.evaluation.costs",
+    "ExperimentConfig": "repro.evaluation.pipeline",
+    "ExperimentResult": "repro.evaluation.pipeline",
+    "ScenarioConfig": "repro.config",
+    "Study": "repro.study",
+    "SweepResult": "repro.evaluation.sweep",
+    "SweepSpec": "repro.evaluation.sweep",
+    "run_experiment": "repro.evaluation.experiment",
+    "run_sweep": "repro.evaluation.sweep",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.config import ScenarioConfig
+    from repro.evaluation.costs import CostBreakdown
+    from repro.evaluation.experiment import run_experiment
+    from repro.evaluation.pipeline import ExperimentConfig, ExperimentResult
+    from repro.evaluation.sweep import SweepResult, SweepSpec, run_sweep
+    from repro.store import ArtifactStore
+    from repro.study import Study
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,363 @@
+"""``python -m repro`` — run, sweep, report and list from the command line.
+
+Four subcommands over the :class:`~repro.study.Study` facade and the
+:class:`~repro.store.ArtifactStore`:
+
+``run``
+    One experiment on a preset scenario, axis flags applied::
+
+        python -m repro run --preset small --mitigation-cost 5 \\
+            --restartable off --fast --store runs/
+
+``sweep``
+    A grid over the paper's axes; comma-separated flag values become sweep
+    axes (``--restartable both`` is shorthand for ``on,off``)::
+
+        python -m repro sweep --mitigation-cost 2,5,10 --restartable both \\
+            --store runs/
+
+    With ``--store``, completed points load from disk and the run reports
+    how many points it actually computed — re-running a finished sweep
+    prints ``points computed: 0``.
+
+``report``
+    Render a stored sweep's points × approaches table without recomputing
+    anything: ``python -m repro report --store runs/``.
+
+``list``
+    Inventory of a store: sweeps, experiment results, prepared products.
+
+Every table is rendered by :mod:`repro.evaluation.report` — the CLI prints
+exactly what the library's ``format_*`` helpers produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.config import ScenarioConfig
+from repro.evaluation.costs import CostBreakdown
+from repro.evaluation.pipeline import ExperimentConfig
+from repro.evaluation.report import format_cost_table, format_metrics_table
+from repro.evaluation.sweep import SweepSpec
+from repro.store import ArtifactStore
+from repro.study import Study
+from repro.telemetry.records import MANUFACTURER_NAMES
+from repro.utils.timeutils import DAY
+
+__all__ = ["main", "build_parser"]
+
+PRESETS = ("small", "benchmark", "paper")
+
+
+# --------------------------------------------------------------------- #
+# Flag value parsing
+# --------------------------------------------------------------------- #
+def _parse_floats(text: str) -> List[float]:
+    try:
+        return [float(part) for part in text.split(",") if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}")
+
+
+def _parse_ints(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+
+
+def _parse_restartable(text: str) -> List[bool]:
+    """``on`` / ``off`` / ``both`` / any comma combination thereof."""
+    if text == "both":
+        return [True, False]
+    values: List[bool] = []
+    for part in text.split(","):
+        if part == "on":
+            values.append(True)
+        elif part == "off":
+            values.append(False)
+        else:
+            raise argparse.ArgumentTypeError(
+                f"restartable values are 'on', 'off' or 'both', got {part!r}"
+            )
+    return values
+
+
+def _parse_manufacturers(text: str) -> List[Optional[int]]:
+    """``all`` (whole fleet), a manufacturer letter, or an index."""
+    values: List[Optional[int]] = []
+    for part in text.split(","):
+        if part == "all":
+            values.append(None)
+        elif part.upper() in MANUFACTURER_NAMES:
+            values.append(MANUFACTURER_NAMES.index(part.upper()))
+        elif part.isdigit():
+            values.append(int(part))
+        else:
+            raise argparse.ArgumentTypeError(
+                f"manufacturer values are 'all', one of "
+                f"{'/'.join(MANUFACTURER_NAMES)}, or an index; got {part!r}"
+            )
+    return values
+
+
+def _single(values, flag: str):
+    if values is None:
+        return None
+    if len(values) != 1:
+        raise SystemExit(
+            f"error: `run` takes exactly one value for {flag} "
+            f"(got {len(values)}); use the `sweep` subcommand for grids"
+        )
+    return values[0]
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        choices=PRESETS,
+        default="small",
+        help="base ScenarioConfig preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root scenario seed")
+    parser.add_argument(
+        "--duration-days",
+        type=float,
+        default=None,
+        help="override the simulated production period, in days",
+    )
+
+
+def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use ExperimentConfig.fast() instead of the default schedule",
+    )
+    parser.add_argument(
+        "--episodes", type=int, default=None, help="RL episodes per split"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="parallel (split x group) tasks"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default=None,
+        help="executor backend",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="ArtifactStore directory: load completed work, persist the rest",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DRAM error-mitigation study runner (HPDC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    _add_scenario_flags(run)
+    run.add_argument("--mitigation-cost", type=_parse_floats, default=None,
+                     metavar="NODE_MINUTES")
+    run.add_argument("--restartable", type=_parse_restartable, default=None,
+                     metavar="on|off")
+    run.add_argument("--manufacturer", type=_parse_manufacturers, default=None,
+                     metavar="all|A|B|C")
+    run.add_argument("--job-scale", type=_parse_floats, default=None, metavar="FACTOR")
+    _add_experiment_flags(run)
+    run.add_argument("--metrics", action="store_true",
+                     help="also print the Table 2 classical-ML metrics")
+
+    sweep = sub.add_parser("sweep", help="run a grid over the paper's axes")
+    _add_scenario_flags(sweep)
+    sweep.add_argument("--mitigation-cost", type=_parse_floats, default=None,
+                       metavar="2,5,10")
+    sweep.add_argument("--restartable", type=_parse_restartable, default=None,
+                       metavar="on|off|both")
+    sweep.add_argument("--manufacturer", type=_parse_manufacturers, default=None,
+                       metavar="all,A,B,C")
+    sweep.add_argument("--job-scale", type=_parse_floats, default=None,
+                       metavar="0.1,1,10")
+    sweep.add_argument("--seeds", type=_parse_ints, default=None, metavar="1,2,3")
+    _add_experiment_flags(sweep)
+    sweep.add_argument("--which", default="total",
+                       choices=CostBreakdown.series_fields(),
+                       help="cost series shown in the table (default: total)")
+
+    report = sub.add_parser("report", help="render a stored sweep without recomputing")
+    report.add_argument("--store", metavar="DIR", required=True)
+    report.add_argument("--sweep", metavar="KEY", default=None,
+                        help="sweep manifest key (defaults to the only stored sweep)")
+    report.add_argument("--which", default="total",
+                        choices=CostBreakdown.series_fields(),
+                        help="cost series shown in the table (default: total)")
+
+    listing = sub.add_parser("list", help="inventory of a store")
+    listing.add_argument("--store", metavar="DIR", required=True)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Argument -> object assembly
+# --------------------------------------------------------------------- #
+def _scenario_from_args(args) -> ScenarioConfig:
+    scenario = getattr(ScenarioConfig, args.preset)()
+    if args.seed is not None:
+        scenario = scenario.with_seed(args.seed)
+    if args.duration_days is not None:
+        scenario = scenario.with_duration(args.duration_days * DAY)
+    return scenario
+
+
+def _config_from_args(args) -> ExperimentConfig:
+    config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
+    overrides = {}
+    if args.episodes is not None:
+        overrides["rl_episodes"] = args.episodes
+    if args.workers is not None:
+        overrides["n_workers"] = args.workers
+    if args.executor is not None:
+        overrides["executor_kind"] = args.executor
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _store_from_args(args) -> Optional[ArtifactStore]:
+    return None if args.store is None else ArtifactStore(args.store)
+
+
+# --------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------- #
+def _cmd_run(args) -> int:
+    scenario = _scenario_from_args(args)
+    cost = _single(args.mitigation_cost, "--mitigation-cost")
+    if cost is not None:
+        scenario = scenario.with_mitigation_cost(cost)
+    restartable = _single(args.restartable, "--restartable")
+    if restartable is not None:
+        scenario = scenario.with_restartable(restartable)
+    if args.manufacturer is not None:
+        scenario = scenario.with_manufacturer(
+            _single(args.manufacturer, "--manufacturer")
+        )
+    scale = _single(args.job_scale, "--job-scale")
+    if scale is not None:
+        scenario = scenario.with_job_scale(scale)
+
+    study = Study.from_scenario(scenario, store=_store_from_args(args))
+    study.run(_config_from_args(args))
+    print(study.report())
+    if args.metrics:
+        print()
+        print(study.report(which="metrics"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    def axis(values):
+        return None if values is None else tuple(values)
+
+    spec = SweepSpec(
+        base=_scenario_from_args(args),
+        mitigation_costs=axis(args.mitigation_cost),
+        restartable=axis(args.restartable),
+        manufacturers=axis(args.manufacturer),
+        job_scales=axis(args.job_scale),
+        seeds=axis(args.seeds),
+    )
+    store = _store_from_args(args)
+    study = Study.from_sweep(spec, store=store)
+    result = study.run(_config_from_args(args))
+    print(result.table(which=args.which))
+    print()
+    print(f"wallclock: {result.wallclock_seconds:.1f}s, "
+          f"prepare_data calls: {result.prepare_calls} for {len(result)} point(s)")
+    if store is not None:
+        loaded = study.points_loaded
+        print(f"store: {store.root} (sweep {store.sweep_key(spec, study.config)})")
+        print(f"points loaded from store: {len(loaded)}")
+        print(f"points computed: {len(study.points_computed)}")
+    return 0
+
+
+def _pick_sweep_key(store: ArtifactStore, requested: Optional[str]) -> Optional[str]:
+    if requested is not None:
+        return requested
+    sweeps = store.list_sweeps()
+    if len(sweeps) == 1:
+        return sweeps[0]["key"]
+    if not sweeps:
+        print("error: the store holds no sweeps", file=sys.stderr)
+        return None
+    print(
+        "error: the store holds several sweeps; pick one with --sweep KEY:",
+        file=sys.stderr,
+    )
+    for entry in sweeps:
+        print(
+            f"  {entry['key']}  base={entry['base_scenario']}  "
+            f"points={len(entry['labels'])}",
+            file=sys.stderr,
+        )
+    return None
+
+
+def _cmd_report(args) -> int:
+    store = ArtifactStore(args.store)
+    key = _pick_sweep_key(store, args.sweep)
+    if key is None:
+        return 2
+    result = store.load_sweep_by_key(key)
+    if result is None:
+        print(f"error: no stored sweep with key {key!r}", file=sys.stderr)
+        return 2
+    print(result.table(which=args.which, title=f"Sweep {key} — {args.which} cost"))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    store = ArtifactStore(args.store)
+    sweeps = store.list_sweeps()
+    results = store.list_results()
+    prepared = store.list_prepared()
+    print(f"store: {store.root}")
+    print(f"sweeps ({len(sweeps)}):")
+    for entry in sweeps:
+        labels = ", ".join(entry["labels"])
+        print(f"  {entry['key']}  base={entry['base_scenario']}  points: {labels}")
+    print(f"results ({len(results)}):")
+    for entry in results:
+        print(
+            f"  {entry['key']}  scenario={entry['scenario']} seed={entry['seed']} "
+            f"cost={entry['mitigation_cost_node_minutes']:g} "
+            f"approaches={len(entry['approaches'])}"
+        )
+    print(f"prepared ({len(prepared)}):")
+    for key in prepared:
+        print(f"  {key}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro``; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    commands = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+        "list": _cmd_list,
+    }
+    return commands[args.command](args)

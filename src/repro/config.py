@@ -61,6 +61,19 @@ class EvaluationConfig:
         """Mitigation cost converted to node–hours."""
         return self.mitigation_cost_node_minutes / 60.0
 
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "evaluation_config")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvaluationConfig":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(cls, data, "evaluation_config")
+
 
 @dataclass(frozen=True)
 class ScenarioConfig:
@@ -160,6 +173,46 @@ class ScenarioConfig:
             fault_model=fault,
             workload=workload,
             duration_seconds=2 * 365 * DAY,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import tag
+
+        return tag(
+            "scenario_config",
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "topology": self.topology.to_dict(),
+                "fault_model": self.fault_model.to_dict(),
+                "workload": self.workload.to_dict(),
+                "evaluation": self.evaluation.to_dict(),
+                "duration_seconds": self.duration_seconds,
+                "manufacturer": self.manufacturer,
+                "job_scaling_factor": self.job_scaling_factor,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import untag
+
+        payload = untag(data, "scenario_config")
+        return cls(
+            name=payload["name"],
+            seed=payload["seed"],
+            topology=ClusterTopology.from_dict(payload["topology"]),
+            fault_model=FaultModelConfig.from_dict(payload["fault_model"]),
+            workload=WorkloadConfig.from_dict(payload["workload"]),
+            evaluation=EvaluationConfig.from_dict(payload["evaluation"]),
+            duration_seconds=payload["duration_seconds"],
+            manufacturer=payload["manufacturer"],
+            job_scaling_factor=payload["job_scaling_factor"],
         )
 
     # ------------------------------------------------------------------ #

@@ -87,6 +87,19 @@ class DQNConfig:
         """Copy of the config with some fields replaced."""
         return replace(self, **kwargs)
 
+    def to_dict(self) -> Dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "dqn_config")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DQNConfig":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(cls, data, "dqn_config", tuple_fields=("hidden_sizes",))
+
 
 @dataclass
 class TrainStepStats:

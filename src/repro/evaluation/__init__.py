@@ -7,12 +7,21 @@ The engine is layered: a pluggable approach :mod:`registry
 <repro.evaluation.pipeline>` of pure functions, and a parallel
 :mod:`executor <repro.evaluation.executor>` — composed by the thin
 :mod:`experiment <repro.evaluation.experiment>` driver.
+
+This package re-exports the *public* evaluation surface: configs, result
+types, the ``run_experiment`` / ``run_sweep`` entry points, the approach
+registry, the policy-replay helpers and the report formatters.  Pipeline
+internals (the individual stages, the executor, the content keys and cache
+handles) live in — and should be imported from — their home modules; the
+old package-level import paths still work for one release but raise a
+:class:`DeprecationWarning`.
 """
+
+import warnings as _warnings
 
 from repro.evaluation.behavior import BehaviorGrid, behavior_grid
 from repro.evaluation.costs import CostBreakdown
 from repro.evaluation.cross_validation import TimeSeriesNestedCV, TimeSeriesSplit
-from repro.evaluation.executor import Task, execute_tasks
 from repro.evaluation.experiment import (
     APPROACH_ORDER,
     ApproachResult,
@@ -21,24 +30,7 @@ from repro.evaluation.experiment import (
     run_experiment,
 )
 from repro.evaluation.metrics import ConfusionCounts
-from repro.evaluation.pipeline import (
-    GroupOutcome,
-    PreparedData,
-    PreparedDataCache,
-    SplitContext,
-    SplitEvaluation,
-    TrainedSplit,
-    aggregate,
-    build_split_tasks,
-    clear_trace_cache,
-    default_prepared_cache,
-    evaluate_split,
-    make_splits,
-    prepare_data,
-    prepared_data_key,
-    trace_cache_stats,
-    train_split,
-)
+from repro.evaluation.pipeline import PreparedData, PreparedDataCache
 from repro.evaluation.registry import (
     ApproachSpec,
     approach_order,
@@ -75,46 +67,71 @@ __all__ = [
     "EvaluationTrace",
     "ExperimentConfig",
     "ExperimentResult",
-    "GroupOutcome",
     "PolicyEvaluation",
     "PreparedData",
     "PreparedDataCache",
-    "SplitContext",
-    "SplitEvaluation",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
-    "Task",
     "TimeSeriesNestedCV",
     "TimeSeriesSplit",
-    "TrainedSplit",
-    "aggregate",
     "approach_order",
     "approach_specs",
     "behavior_grid",
-    "build_split_tasks",
     "build_traces",
-    "clear_trace_cache",
-    "default_prepared_cache",
     "enabled_specs",
     "ensure_sc20_variants",
     "evaluate_policies",
     "evaluate_policy",
-    "evaluate_split",
-    "execute_tasks",
     "format_cost_table",
     "format_metrics_table",
     "format_series",
     "format_sweep_table",
     "get_approach",
-    "make_splits",
-    "prepare_data",
-    "prepared_data_key",
     "register_approach",
     "register_sc20_variant",
     "run_experiment",
     "run_sweep",
-    "trace_cache_stats",
-    "train_split",
     "unregister_approach",
 ]
+
+#: Former package-level re-exports of pipeline/executor internals, kept
+#: importable for one release.  name -> home module holding the attribute.
+_DEPRECATED = {
+    "GroupOutcome": "repro.evaluation.pipeline",
+    "SplitContext": "repro.evaluation.pipeline",
+    "SplitEvaluation": "repro.evaluation.pipeline",
+    "TrainedSplit": "repro.evaluation.pipeline",
+    "Task": "repro.evaluation.executor",
+    "aggregate": "repro.evaluation.pipeline",
+    "build_split_tasks": "repro.evaluation.pipeline",
+    "clear_trace_cache": "repro.evaluation.pipeline",
+    "default_prepared_cache": "repro.evaluation.pipeline",
+    "evaluate_split": "repro.evaluation.pipeline",
+    "execute_tasks": "repro.evaluation.executor",
+    "make_splits": "repro.evaluation.pipeline",
+    "prepare_data": "repro.evaluation.pipeline",
+    "prepared_data_key": "repro.evaluation.pipeline",
+    "trace_cache_stats": "repro.evaluation.pipeline",
+    "train_split": "repro.evaluation.pipeline",
+}
+
+
+def __getattr__(name: str):
+    module_name = _DEPRECATED.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    _warnings.warn(
+        f"importing {name!r} from 'repro.evaluation' is deprecated — it is a "
+        f"pipeline internal, not part of the public evaluation API; import it "
+        f"from {module_name!r} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED))

@@ -8,7 +8,8 @@ learned policies — the cost of training and validating the model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Tuple
 
 
 @dataclass(frozen=True)
@@ -31,6 +32,15 @@ class CostBreakdown:
             raise ValueError("costs must be non-negative")
         if self.n_ues < 0 or self.n_mitigations < 0:
             raise ValueError("counts must be non-negative")
+
+    @classmethod
+    def series_fields(cls) -> Tuple[str, ...]:
+        """Every attribute usable as a cost series (fields + derived totals).
+
+        The single source of truth for ``SweepResult.series`` validation and
+        the CLI's ``--which`` choices; stays correct when fields are added.
+        """
+        return tuple(f.name for f in fields(cls)) + ("total", "overhead_cost")
 
     @property
     def total(self) -> float:
@@ -68,6 +78,19 @@ class CostBreakdown:
         if reference.total <= 0:
             return 0.0
         return 1.0 - self.total / reference.total
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "cost_breakdown")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostBreakdown":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(cls, data, "cost_breakdown")
 
     def with_training_cost(self, training_cost: float) -> "CostBreakdown":
         """Copy with the training cost replaced."""

@@ -45,6 +45,24 @@ class TimeSeriesSplit:
         """Everything available before the test range (train + validation)."""
         return (self.train_range[0], self.validation_range[1])
 
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "time_series_split")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimeSeriesSplit":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(
+            cls,
+            data,
+            "time_series_split",
+            tuple_fields=("train_range", "validation_range", "test_range"),
+        )
+
 
 class TimeSeriesNestedCV:
     """Generator of the six time-series splits of Figure 2."""

@@ -40,6 +40,7 @@ from repro.evaluation.pipeline import (
     ApproachResult,
     ExperimentConfig,
     ExperimentResult,
+    PreparedDataCache,
     aggregate,
     build_split_tasks,
     make_splits,
@@ -68,6 +69,7 @@ def run_experiment(
     config: Optional[ExperimentConfig] = None,
     error_log: Optional[ErrorLog] = None,
     job_log: Optional[JobLog] = None,
+    cache: Optional[PreparedDataCache] = None,
 ) -> ExperimentResult:
     """Run the full nested-cross-validation evaluation for one scenario.
 
@@ -76,11 +78,19 @@ def run_experiment(
     ``config.charge_training_time=False`` results are bitwise-identical to
     a serial run (the default charges measured wall-clock training time to
     the mitigation costs, which varies run to run).
+
+    ``cache`` optionally serves the prepared data from a
+    :class:`~repro.evaluation.pipeline.PreparedDataCache` (with whatever
+    sharing and disk-spill behaviour that cache is configured for) instead
+    of always rebuilding it; results are identical either way.
     """
     config = config or ExperimentConfig()
     started = time.perf_counter()
 
-    prepared = prepare_data(scenario, config, error_log=error_log, job_log=job_log)
+    if cache is not None:
+        prepared = cache.get(scenario, config, error_log=error_log, job_log=job_log)
+    else:
+        prepared = prepare_data(scenario, config, error_log=error_log, job_log=job_log)
     splits = make_splits(scenario)
     tasks = build_split_tasks(prepared, splits, config)
     outcomes = execute_tasks(

@@ -66,6 +66,20 @@ class ConfusionCounts:
         return self.true_positives / self.n_mitigations
 
     # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "confusion_counts")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfusionCounts":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(cls, data, "confusion_counts")
+
+    # ------------------------------------------------------------------ #
     def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
         if not isinstance(other, ConfusionCounts):
             return NotImplemented

@@ -38,6 +38,7 @@ replay the same immutable test traces instead of rebuilding them per task.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 import time
@@ -192,6 +193,31 @@ class ExperimentConfig:
         """Copy of the config with some fields replaced."""
         return replace(self, **kwargs)
 
+    def to_dict(self) -> Dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import tag
+
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "rl_base_config"
+        }
+        payload["rl_hidden_sizes"] = list(self.rl_hidden_sizes)
+        payload["sc20_threshold_offsets"] = list(self.sc20_threshold_offsets)
+        payload["rl_base_config"] = self.rl_base_config.to_dict()
+        return tag("experiment_config", payload)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import untag
+
+        payload = dict(untag(data, "experiment_config"))
+        payload["rl_hidden_sizes"] = tuple(payload["rl_hidden_sizes"])
+        payload["sc20_threshold_offsets"] = tuple(payload["sc20_threshold_offsets"])
+        payload["rl_base_config"] = DQNConfig.from_dict(payload["rl_base_config"])
+        return cls(**payload)
+
 
 # --------------------------------------------------------------------- #
 # Result containers
@@ -226,6 +252,31 @@ class ApproachResult:
     @property
     def per_split_mitigation_cost(self) -> List[float]:
         return [evaluation.costs.overhead_cost for evaluation in self.per_split]
+
+    def to_dict(self) -> Dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import tag
+
+        return tag(
+            "approach_result",
+            {
+                "name": self.name,
+                "per_split": [evaluation.to_dict() for evaluation in self.per_split],
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ApproachResult":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import untag
+
+        payload = untag(data, "approach_result")
+        return cls(
+            name=payload["name"],
+            per_split=[
+                PolicyEvaluation.from_dict(item) for item in payload["per_split"]
+            ],
+        )
 
 
 @dataclass
@@ -286,6 +337,69 @@ class ExperimentResult:
         if never is None or target is None:
             raise KeyError("both the approach and Never-mitigate must be present")
         return target.total_costs.saving_vs(never.total_costs)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`).
+
+        Covers the scientific payload — scenario name, per-approach cost and
+        confusion accounting, splits, reduction report, event count and
+        wall-clock.  The trained Figure 6 artifacts (``final_rl_policy``,
+        ``final_sc20_policy``, ``final_test_features``) are *not* serialized:
+        they are model objects, not results, and come back as ``None`` from
+        :meth:`from_dict`.
+        """
+        from repro.serialization import tag
+
+        return tag(
+            "experiment_result",
+            {
+                "scenario_name": self.scenario_name,
+                "mitigation_cost_node_hours": self.mitigation_cost_node_hours,
+                "approaches": {
+                    name: self.approaches[name].to_dict()
+                    for name in self.approach_names
+                },
+                "splits": [split.to_dict() for split in self.splits],
+                "reduction_report": self.reduction_report.to_dict(),
+                "n_test_events": self.n_test_events,
+                "wallclock_seconds": self.wallclock_seconds,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (trained artifacts come back ``None``)."""
+        from repro.serialization import untag
+
+        payload = untag(data, "experiment_result")
+        return cls(
+            scenario_name=payload["scenario_name"],
+            mitigation_cost_node_hours=payload["mitigation_cost_node_hours"],
+            approaches={
+                name: ApproachResult.from_dict(item)
+                for name, item in payload["approaches"].items()
+            },
+            splits=[TimeSeriesSplit.from_dict(item) for item in payload["splits"]],
+            reduction_report=ReductionReport.from_dict(payload["reduction_report"]),
+            n_test_events=payload["n_test_events"],
+            wallclock_seconds=payload["wallclock_seconds"],
+        )
+
+    def to_json(self) -> str:
+        """Deterministic JSON text of :meth:`to_dict` (sorted keys)."""
+        from repro.serialization import canonical_json
+
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_dict(json.loads(text))
 
 
 # --------------------------------------------------------------------- #
@@ -455,16 +569,29 @@ class PreparedDataCache:
 
     ``hits`` / ``misses`` / ``prepare_calls`` count cache behaviour;
     the property tests assert on them.
+
+    ``spill`` optionally attaches a disk backend — any object with
+    ``load_prepared(scenario, config) -> Optional[PreparedData]`` and
+    ``save_prepared(prepared, config)``, in practice a
+    :class:`repro.store.ArtifactStore`.  On a memory miss the spill is
+    consulted before :func:`prepare_data` runs, and every freshly built
+    *synthetic* product is written through, so sweeps resume across
+    sessions (externally supplied logs are never spilled: their content is
+    not derivable from the scenario).  ``spill_hits`` / ``spill_saves``
+    count the disk traffic.
     """
 
-    def __init__(self, maxsize: int = 8) -> None:
+    def __init__(self, maxsize: int = 8, spill=None) -> None:
         self.maxsize = maxsize
+        self.spill = spill
         self._prepared: "OrderedDict[Tuple, Tuple[PreparedData, Tuple]]" = OrderedDict()
         self._telemetry: "OrderedDict[Tuple, ErrorLog]" = OrderedDict()
         self._job_logs: "OrderedDict[Tuple, JobLog]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.prepare_calls = 0
+        self.spill_hits = 0
+        self.spill_saves = 0
 
     def __len__(self) -> int:
         return len(self._prepared)
@@ -544,6 +671,13 @@ class PreparedDataCache:
                 prepared = replace(prepared, scenario=scenario)
             return prepared
         self.misses += 1
+        if self.spill is not None and error_log is None and job_log is None:
+            spilled = self.spill.load_prepared(scenario, config)
+            if spilled is not None:
+                self.spill_hits += 1
+                self._prepared[key] = (spilled, (None, None))
+                self._evict(self._prepared, self.maxsize)
+                return spilled
         self.prepare_calls += 1
         if error_log is None:
             error_log = self._raw_error_log(scenario)
@@ -563,6 +697,9 @@ class PreparedDataCache:
             # key that prepare_data replaced with an external-input nonce —
             # synthetic runs inside and outside the cache then share traces.
             prepared = replace(prepared, data_key=prepared_data_key(scenario, config))
+            if self.spill is not None:
+                self.spill.save_prepared(prepared, config)
+                self.spill_saves += 1
         self._prepared[key] = (prepared, (pinned_error_log, pinned_job_log))
         self._evict(self._prepared, self.maxsize)
         return prepared

@@ -76,6 +76,35 @@ class PolicyEvaluation:
         """Total lost node–hours."""
         return self.costs.total
 
+    def to_dict(self) -> Dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import tag
+
+        return tag(
+            "policy_evaluation",
+            {
+                "policy_name": self.policy_name,
+                "costs": self.costs.to_dict(),
+                "confusion": self.confusion.to_dict(),
+                "n_traces": self.n_traces,
+                "n_decision_points": self.n_decision_points,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PolicyEvaluation":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import untag
+
+        payload = untag(data, "policy_evaluation")
+        return cls(
+            policy_name=payload["policy_name"],
+            costs=CostBreakdown.from_dict(payload["costs"]),
+            confusion=ConfusionCounts.from_dict(payload["confusion"]),
+            n_traces=payload["n_traces"],
+            n_decision_points=payload["n_decision_points"],
+        )
+
 
 def build_traces(
     tracks: Dict[int, NodeFeatureTrack],

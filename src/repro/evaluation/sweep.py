@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ScenarioConfig
+from repro.evaluation.costs import CostBreakdown
 from repro.evaluation.executor import Task, execute_tasks
 from repro.evaluation.pipeline import (
     ExperimentConfig,
@@ -193,6 +194,47 @@ class SweepSpec:
             points.append(SweepPoint(label=label, scenario=scenario, axes=axes))
         return tuple(points)
 
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import tag
+
+        def axis(values):
+            return None if values is None else list(values)
+
+        return tag(
+            "sweep_spec",
+            {
+                "base": self.base.to_dict(),
+                "mitigation_costs": axis(self.mitigation_costs),
+                "restartable": axis(self.restartable),
+                "manufacturers": axis(self.manufacturers),
+                "job_scales": axis(self.job_scales),
+                "seeds": axis(self.seeds),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import untag
+
+        payload = untag(data, "sweep_spec")
+
+        def axis(values):
+            return None if values is None else tuple(values)
+
+        return cls(
+            base=ScenarioConfig.from_dict(payload["base"]),
+            mitigation_costs=axis(payload["mitigation_costs"]),
+            restartable=axis(payload["restartable"]),
+            manufacturers=axis(payload["manufacturers"]),
+            job_scales=axis(payload["job_scales"]),
+            seeds=axis(payload["seeds"]),
+        )
+
 
 # --------------------------------------------------------------------- #
 # Sweep result
@@ -214,7 +256,13 @@ class SweepResult:
     extras: Dict[str, Any] = field(default_factory=dict)
 
     def __getitem__(self, label: str) -> ExperimentResult:
-        return self.results[label]
+        try:
+            return self.results[label]
+        except KeyError:
+            available = ", ".join(repr(known) for known in self.labels)
+            raise KeyError(
+                f"unknown sweep point {label!r}; available points: {available}"
+            ) from None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -238,11 +286,29 @@ class SweepResult:
         return {label: self.results[label].total_costs() for label in self.labels}
 
     def series(self, approach: str, which: str = "total") -> List[float]:
-        """One approach's per-point cost series, in point order."""
+        """One approach's per-point cost series, in point order.
+
+        Raises a :class:`KeyError` naming the available approaches when
+        ``approach`` is unknown, and a :class:`ValueError` naming the
+        :class:`~repro.evaluation.costs.CostBreakdown` fields when ``which``
+        is not one of them.
+        """
+        known_fields = CostBreakdown.series_fields()
+        if which not in known_fields:
+            raise ValueError(
+                f"unknown cost series {which!r}; "
+                f"available: {', '.join(known_fields)}"
+            )
         values = []
         for label in self.labels:
-            breakdown = self.results[label].total_costs()[approach]
-            values.append(getattr(breakdown, which))
+            totals = self.results[label].total_costs()
+            if approach not in totals:
+                available = ", ".join(repr(name) for name in self.approach_names)
+                raise KeyError(
+                    f"approach {approach!r} not present at sweep point "
+                    f"{label!r}; available approaches: {available}"
+                ) from None
+            values.append(getattr(totals[approach], which))
         return values
 
     def table(self, which: str = "total", title: str = "") -> str:
@@ -253,7 +319,65 @@ class SweepResult:
 
     def point_table(self, label: str) -> str:
         """One point's full cost breakdown (a Figure 3/5 bar group)."""
-        return format_cost_table(self.results[label].total_costs(), title=label)
+        return format_cost_table(self[label].total_costs(), title=label)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`).
+
+        Covers the scientific payload: the spec and every point's result.
+        Run diagnostics (``wallclock_seconds``, ``prepare_calls``,
+        ``cache_hits``, ``extras``) describe one particular execution, not
+        the sweep's outcome, and are deliberately excluded — a sweep resumed
+        from a store therefore serializes byte-identically to the run that
+        first produced it (the resume round-trip test pins this).
+        """
+        from repro.serialization import tag
+
+        return tag(
+            "sweep_result",
+            {
+                "spec": self.spec.to_dict(),
+                "results": {
+                    point.label: self.results[point.label].to_dict()
+                    for point in self.points
+                },
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepResult":
+        """Inverse of :meth:`to_dict` (run diagnostics come back zeroed)."""
+        from repro.serialization import SchemaError, untag
+
+        payload = untag(data, "sweep_result")
+        spec = SweepSpec.from_dict(payload["spec"])
+        points = spec.points()
+        results = {
+            label: ExperimentResult.from_dict(item)
+            for label, item in payload["results"].items()
+        }
+        missing = [point.label for point in points if point.label not in results]
+        if missing:
+            raise SchemaError(f"sweep_result payload lacks points {missing!r}")
+        return cls(
+            spec=spec, points=points, results=results, wallclock_seconds=0.0
+        )
+
+    def to_json(self) -> str:
+        """Deterministic JSON text of :meth:`to_dict` (sorted keys)."""
+        from repro.serialization import canonical_json
+
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_dict(json.loads(text))
 
 
 # --------------------------------------------------------------------- #
@@ -279,6 +403,7 @@ def run_sweep(
     cache: Optional[PreparedDataCache] = None,
     error_log: Optional[ErrorLog] = None,
     job_log: Optional[JobLog] = None,
+    store=None,
 ) -> SweepResult:
     """Run every point of ``spec`` as one dependency-aware task graph.
 
@@ -292,6 +417,16 @@ def run_sweep(
     ``error_log`` / ``job_log`` optionally substitute externally supplied
     logs for the synthetic generators, exactly as in ``run_experiment``.
 
+    ``store`` optionally attaches a :class:`repro.store.ArtifactStore`:
+    points whose result is already on disk are loaded instead of executed,
+    every computed point's result is written through (after the task graph
+    completes — a run killed mid-graph persists spilled prepared data but
+    no point results), and a sweep manifest is recorded — so re-running the
+    same spec resumes from disk and only executes the missing points.  ``extras["points_loaded"]`` /
+    ``extras["points_computed"]`` report the split.  Externally supplied
+    logs bypass the store entirely (their content is not derivable from the
+    spec, so stored results would silently mismatch).
+
     With the process backend, the whole label -> prepared-data map crosses
     into each worker once (points sharing a product are pickled once —
     pickle preserves object identity within one payload), because any
@@ -300,7 +435,8 @@ def run_sweep(
     such sweeps into chunks if that bites.
 
     Per-point ``wallclock_seconds`` is the whole sweep's wall-clock (the
-    points ran concurrently; attributing shares would be fiction).
+    points ran concurrently; attributing shares would be fiction); points
+    loaded from a store keep the wall-clock of the run that computed them.
     """
     config = config or ExperimentConfig()
     cache = cache if cache is not None else default_prepared_cache()
@@ -308,10 +444,21 @@ def run_sweep(
     started = time.perf_counter()
     hits_before, calls_before = cache.hits, cache.prepare_calls
 
+    external_inputs = error_log is not None or job_log is not None
+    use_store = store is not None and not external_inputs
+    loaded: Dict[str, ExperimentResult] = {}
+    if use_store:
+        for point in points:
+            stored = store.load_result(point.scenario, config)
+            if stored is not None:
+                loaded[point.label] = stored
+
     prepared: Dict[str, PreparedData] = {}
     splits_by_label: Dict[str, list] = {}
     tasks: List[Task] = []
     for point in points:
+        if point.label in loaded:
+            continue
         prepared[point.label] = cache.get(
             point.scenario, config, error_log=error_log, job_log=job_log
         )
@@ -337,6 +484,9 @@ def run_sweep(
 
     results: Dict[str, ExperimentResult] = {}
     for point in points:
+        if point.label in loaded:
+            results[point.label] = loaded[point.label]
+            continue
         prefix = f"{point.label}/"
         point_outcomes = {
             key[len(prefix):]: outcome
@@ -350,12 +500,23 @@ def run_sweep(
             config,
             wallclock_seconds=elapsed,
         )
+        if use_store:
+            # Persist each point as soon as it is aggregated, so a failure
+            # while assembling later points loses as little as possible.
+            store.save_result(point.scenario, config, results[point.label])
 
-    return SweepResult(
+    result = SweepResult(
         spec=spec,
         points=points,
         results=results,
         wallclock_seconds=elapsed,
         prepare_calls=cache.prepare_calls - calls_before,
         cache_hits=cache.hits - hits_before,
+        extras={
+            "points_loaded": [p.label for p in points if p.label in loaded],
+            "points_computed": [p.label for p in points if p.label not in loaded],
+        },
     )
+    if use_store:
+        store.save_sweep(spec, config, result)
+    return result

@@ -1,0 +1,423 @@
+"""Disk-backed, content-keyed artifact store for experiments and sweeps.
+
+The :class:`ArtifactStore` persists the three artifact families of the
+evaluation pipeline under one root directory, each addressed by a SHA-256
+content key derived from the *inputs* that produced it — never by run order
+or timestamps — so identical work is found again across processes and
+sessions:
+
+``prepared/<key>/``
+    One :class:`~repro.evaluation.pipeline.PreparedData` product (the
+    Table 1 feature tracks, the scaled job log and the reduction report) as
+    ``meta.json`` + ``arrays.npz``.  Keyed by the same inputs as
+    :func:`~repro.evaluation.pipeline.prepared_data_key`, so everything the
+    in-memory :class:`~repro.evaluation.pipeline.PreparedDataCache` would
+    share, the disk store shares too — attach a store as the cache's
+    ``spill`` backend and sweeps warm-start across sessions.
+``results/<key>.json``
+    One :class:`~repro.evaluation.pipeline.ExperimentResult`, keyed by the
+    full (scenario, experiment-config) pair *minus* the scheduling knobs
+    (``n_workers``, ``executor_kind``) — the golden harness proves the
+    schedule never changes the numbers, so serial and parallel runs of one
+    experiment share a result slot.
+``sweeps/<key>.json``
+    One sweep manifest mapping each point label of a
+    :class:`~repro.evaluation.sweep.SweepSpec` to its result key, so
+    ``python -m repro report`` can rebuild the whole
+    :class:`~repro.evaluation.sweep.SweepResult` from disk.
+
+All JSON artifacts use the versioned schema of :mod:`repro.serialization`;
+writes go through a temporary file + ``os.replace`` so a crashed run never
+leaves a half-written artifact behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.config import ScenarioConfig
+from repro.core.features import NodeFeatureTrack
+from repro.evaluation.pipeline import (
+    ExperimentConfig,
+    ExperimentResult,
+    PreparedData,
+    _effective_job_scaling,
+    _effective_manufacturer,
+    prepared_data_key,
+)
+from repro.serialization import SchemaError, canonical_json, tag, untag
+from repro.telemetry.reduction import ReductionReport
+from repro.utils.rng import RngFactory
+from repro.workload.job import JobLog
+from repro.workload.sampling import JobSequenceSampler
+
+__all__ = ["ArtifactStore"]
+
+#: Experiment-config fields that select a *schedule*, not a result: two runs
+#: differing only here produce identical numbers (golden-tested), so they
+#: must share one result slot.
+_SCHEDULE_FIELDS = ("n_workers", "executor_kind")
+
+
+def _digest(payload: Any) -> str:
+    """Content key: SHA-256 of the canonical JSON of ``payload``."""
+    text = canonical_json(payload)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _redacted_config_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    """Config payload with the result-irrelevant scheduling knobs dropped."""
+    payload = config.to_dict()
+    for name in _SCHEDULE_FIELDS:
+        payload.pop(name, None)
+    return payload
+
+
+class ArtifactStore:
+    """Content-keyed on-disk store of prepared data, results and sweeps.
+
+    Creating the store lays down (or validates) a ``store.json`` marker so
+    an arbitrary directory is never silently treated as a store.  All
+    operations are safe to interleave across processes: artifacts are
+    immutable once written and writes are atomic, so the worst concurrent
+    outcome is two processes computing the same artifact once each.
+    """
+
+    MARKER = "store.json"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        marker = self.root / self.MARKER
+        if marker.exists():
+            meta = json.loads(marker.read_text())
+            untag(meta, "artifact_store")  # validates kind + schema
+        else:
+            _atomic_write_text(marker, canonical_json(tag("artifact_store", {})))
+        for sub in ("prepared", "results", "sweeps"):
+            (self.root / sub).mkdir(exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------ #
+    # Content keys
+    # ------------------------------------------------------------------ #
+    def prepared_key(
+        self, scenario: ScenarioConfig, config: ExperimentConfig
+    ) -> str:
+        """Disk twin of :func:`~repro.evaluation.pipeline.prepared_data_key`."""
+        return _digest(
+            {
+                "kind": "prepared_data",
+                "seed": scenario.seed,
+                "topology": scenario.topology.to_dict(),
+                "fault_model": scenario.fault_model.to_dict(),
+                "workload": scenario.workload.to_dict(),
+                "duration_seconds": scenario.duration_seconds,
+                "ue_burst_window_seconds": scenario.evaluation.ue_burst_window_seconds,
+                "merge_window_seconds": scenario.evaluation.merge_window_seconds,
+                "manufacturer": _effective_manufacturer(scenario, config),
+                "job_scaling": _effective_job_scaling(scenario, config),
+            }
+        )
+
+    def result_key(self, scenario: ScenarioConfig, config: ExperimentConfig) -> str:
+        """Content key of one experiment's result."""
+        return _digest(
+            {
+                "kind": "experiment_result",
+                "scenario": scenario.to_dict(),
+                "config": _redacted_config_dict(config),
+            }
+        )
+
+    def sweep_key(self, spec, config: ExperimentConfig) -> str:
+        """Content key of one sweep manifest (``spec`` is a ``SweepSpec``)."""
+        return _digest(
+            {
+                "kind": "sweep",
+                "spec": spec.to_dict(),
+                "config": _redacted_config_dict(config),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prepared data
+    # ------------------------------------------------------------------ #
+    def has_prepared(
+        self, scenario: ScenarioConfig, config: ExperimentConfig
+    ) -> bool:
+        key = self.prepared_key(scenario, config)
+        return (self.root / "prepared" / key / "meta.json").exists()
+
+    def save_prepared(
+        self, prepared: PreparedData, config: ExperimentConfig
+    ) -> str:
+        """Persist one synthetic :class:`PreparedData` product; returns its key.
+
+        Only products fully derivable from their scenario belong here — the
+        caller (normally the :class:`PreparedDataCache` spill path) must not
+        pass products built from externally supplied logs.
+        """
+        scenario = prepared.scenario
+        key = self.prepared_key(scenario, config)
+        directory = self.root / "prepared" / key
+        if (directory / "meta.json").exists():
+            return key
+        directory.mkdir(parents=True, exist_ok=True)
+
+        arrays: Dict[str, np.ndarray] = {}
+        nodes = sorted(prepared.tracks)
+        arrays["nodes"] = np.asarray(nodes, dtype=np.int64)
+        for node in nodes:
+            track = prepared.tracks[node]
+            arrays[f"track_{node}_times"] = track.times
+            arrays[f"track_{node}_features"] = track.features
+            arrays[f"track_{node}_is_ue"] = track.is_ue
+        job_log = prepared.sampler.job_log
+        arrays["job_id"] = job_log.job_id
+        arrays["job_submit"] = job_log.submit
+        arrays["job_start"] = job_log.start
+        arrays["job_end"] = job_log.end
+        arrays["job_n_nodes"] = job_log.n_nodes
+        _atomic_write_npz(directory / "arrays.npz", arrays)
+
+        meta = tag(
+            "prepared_data",
+            {
+                "scenario": scenario.to_dict(),
+                "reduction_report": prepared.reduction_report.to_dict(),
+            },
+        )
+        # meta.json is written last: its presence marks the entry complete.
+        _atomic_write_text(directory / "meta.json", canonical_json(meta))
+        return key
+
+    def load_prepared(
+        self, scenario: ScenarioConfig, config: ExperimentConfig
+    ) -> Optional[PreparedData]:
+        """Reload a prepared product, re-bound to the requesting scenario.
+
+        Returns ``None`` on a miss.  The product is bound to the *caller's*
+        ``scenario`` (evaluation parameters such as the mitigation cost are
+        excluded from the content key, exactly as in the in-memory cache)
+        and its ``data_key`` is restored, so trace caching keeps working.
+        """
+        key = self.prepared_key(scenario, config)
+        directory = self.root / "prepared" / key
+        meta_path = directory / "meta.json"
+        if not meta_path.exists():
+            return None
+        meta = untag(json.loads(meta_path.read_text()), "prepared_data")
+        reduction_report = ReductionReport.from_dict(meta["reduction_report"])
+
+        with np.load(directory / "arrays.npz") as archive:
+            nodes = [int(node) for node in archive["nodes"]]
+            tracks = {
+                node: NodeFeatureTrack(
+                    node=node,
+                    times=archive[f"track_{node}_times"],
+                    features=archive[f"track_{node}_features"],
+                    is_ue=archive[f"track_{node}_is_ue"],
+                )
+                for node in nodes
+            }
+            job_log = JobLog(
+                job_id=archive["job_id"],
+                submit=archive["job_submit"],
+                start=archive["job_start"],
+                end=archive["job_end"],
+                n_nodes=archive["job_n_nodes"],
+            )
+        # Same seed derivation as prepare_data; the pipeline never draws from
+        # the sampler's internal generator, but keep it identical anyway.
+        sampler = JobSequenceSampler(
+            job_log, seed=RngFactory(scenario.seed).stream("sampler")
+        )
+        return PreparedData(
+            scenario=scenario,
+            tracks=tracks,
+            sampler=sampler,
+            reduction_report=reduction_report,
+            data_key=prepared_data_key(scenario, config),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Experiment results
+    # ------------------------------------------------------------------ #
+    def has_result(self, scenario: ScenarioConfig, config: ExperimentConfig) -> bool:
+        return (self.root / "results" / f"{self.result_key(scenario, config)}.json").exists()
+
+    def save_result(
+        self,
+        scenario: ScenarioConfig,
+        config: ExperimentConfig,
+        result: ExperimentResult,
+    ) -> str:
+        """Persist one experiment result with its full provenance; returns its key."""
+        key = self.result_key(scenario, config)
+        payload = tag(
+            "stored_result",
+            {
+                "scenario": scenario.to_dict(),
+                "config": config.to_dict(),
+                "result": result.to_dict(),
+            },
+        )
+        _atomic_write_text(
+            self.root / "results" / f"{key}.json", canonical_json(payload)
+        )
+        return key
+
+    def load_result(
+        self, scenario: ScenarioConfig, config: ExperimentConfig
+    ) -> Optional[ExperimentResult]:
+        """Reload one experiment result, or ``None`` on a miss."""
+        return self.load_result_by_key(self.result_key(scenario, config))
+
+    def load_result_by_key(self, key: str) -> Optional[ExperimentResult]:
+        path = self.root / "results" / f"{key}.json"
+        if not path.exists():
+            return None
+        payload = untag(json.loads(path.read_text()), "stored_result")
+        return ExperimentResult.from_dict(payload["result"])
+
+    # ------------------------------------------------------------------ #
+    # Sweep manifests
+    # ------------------------------------------------------------------ #
+    def save_sweep(self, spec, config: ExperimentConfig, result) -> str:
+        """Persist a sweep manifest (``result`` is a ``SweepResult``).
+
+        Point results must already be stored (``run_sweep`` writes each one
+        before recording the manifest); the manifest only records the spec,
+        the config and the label -> result-key mapping.
+        """
+        key = self.sweep_key(spec, config)
+        payload = tag(
+            "sweep_manifest",
+            {
+                "spec": spec.to_dict(),
+                "config": config.to_dict(),
+                "points": {
+                    point.label: self.result_key(point.scenario, config)
+                    for point in result.points
+                },
+            },
+        )
+        _atomic_write_text(self.root / "sweeps" / f"{key}.json", canonical_json(payload))
+        return key
+
+    def load_sweep_manifest(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw manifest payload of one stored sweep, or ``None``."""
+        path = self.root / "sweeps" / f"{key}.json"
+        if not path.exists():
+            return None
+        return untag(json.loads(path.read_text()), "sweep_manifest")
+
+    def load_sweep_by_key(self, key: str):
+        """Rebuild a :class:`~repro.evaluation.sweep.SweepResult` from disk.
+
+        Raises :class:`repro.serialization.SchemaError` when a point result
+        referenced by the manifest is missing (a partially computed sweep —
+        resume it through :class:`repro.study.Study` first).
+        """
+        from repro.evaluation.sweep import SweepResult, SweepSpec
+
+        manifest = self.load_sweep_manifest(key)
+        if manifest is None:
+            return None
+        spec = SweepSpec.from_dict(manifest["spec"])
+        results: Dict[str, ExperimentResult] = {}
+        for label, result_key in manifest["points"].items():
+            result = self.load_result_by_key(result_key)
+            if result is None:
+                raise SchemaError(
+                    f"sweep {key} references missing result {result_key} "
+                    f"for point {label!r}; resume the sweep to recompute it"
+                )
+            results[label] = result
+        return SweepResult(
+            spec=spec,
+            points=spec.points(),
+            results=results,
+            wallclock_seconds=0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Inventory
+    # ------------------------------------------------------------------ #
+    def list_sweeps(self) -> List[Dict[str, Any]]:
+        """Summaries of every stored sweep (key, base scenario, point labels)."""
+        entries: List[Dict[str, Any]] = []
+        for path in sorted((self.root / "sweeps").glob("*.json")):
+            manifest = untag(json.loads(path.read_text()), "sweep_manifest")
+            spec = manifest["spec"]
+            base = untag(spec, "sweep_spec")["base"]
+            entries.append(
+                {
+                    "key": path.stem,
+                    "base_scenario": untag(base, "scenario_config")["name"],
+                    "labels": list(manifest["points"]),
+                }
+            )
+        return entries
+
+    def list_results(self) -> List[Dict[str, Any]]:
+        """Summaries of every stored experiment result."""
+        entries: List[Dict[str, Any]] = []
+        for path in sorted((self.root / "results").glob("*.json")):
+            payload = untag(json.loads(path.read_text()), "stored_result")
+            scenario = untag(payload["scenario"], "scenario_config")
+            result = untag(payload["result"], "experiment_result")
+            entries.append(
+                {
+                    "key": path.stem,
+                    "scenario": scenario["name"],
+                    "seed": scenario["seed"],
+                    "mitigation_cost_node_minutes": scenario["evaluation"].get(
+                        "mitigation_cost_node_minutes"
+                    ),
+                    "approaches": list(result["approaches"]),
+                }
+            )
+        return entries
+
+    def list_prepared(self) -> List[str]:
+        """Content keys of every stored prepared-data product."""
+        return sorted(
+            path.name
+            for path in (self.root / "prepared").iterdir()
+            if (path / "meta.json").exists()
+        )

@@ -151,3 +151,22 @@ class FaultModelConfig:
             mean_ces_per_faulty_dimm=mean_ces,
             n_retired_dimms=int(n_retired_dimms),
         )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "fault_model_config")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultModelConfig":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(
+            cls,
+            data,
+            "fault_model_config",
+            tuple_fields=("manufacturer_ce_weights", "manufacturer_ue_weights"),
+        )

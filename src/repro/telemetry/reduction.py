@@ -32,6 +32,19 @@ class ReductionReport:
     retired_dimms: int
     removed_retirement_events: int
 
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "reduction_report")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReductionReport":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(cls, data, "reduction_report")
+
 
 def reduce_ue_bursts(log: ErrorLog, window_seconds: float = WEEK) -> ErrorLog:
     """Keep only the first UE of each per-node burst.

@@ -60,6 +60,22 @@ class ClusterTopology:
             raise ValueError("mixed_node_fraction must be in [0, 1]")
 
     # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "cluster_topology")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterTopology":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(
+            cls, data, "cluster_topology", tuple_fields=("manufacturer_shares",)
+        )
+
+    # ------------------------------------------------------------------ #
     @property
     def n_dimms(self) -> int:
         """Total number of DIMMs in the cluster."""

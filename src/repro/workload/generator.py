@@ -55,6 +55,19 @@ class WorkloadConfig:
         if not (0.0 < self.node_count_decay < 1.0):
             raise ValueError("node_count_decay must be in (0, 1)")
 
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "workload_config")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadConfig":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(cls, data, "workload_config")
+
     def node_count_probabilities(self) -> np.ndarray:
         """Probability of each power-of-two node count up to the maximum."""
         n_classes = int(np.floor(np.log2(self.max_job_nodes))) + 1

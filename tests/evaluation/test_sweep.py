@@ -151,6 +151,37 @@ class TestRunSweep:
         point_table = sweep.point_table("cost=2,restart=on")
         assert "Oracle" in point_table
 
+    def test_unknown_point_names_the_available_labels(self, cost_restart_sweep):
+        sweep, _ = cost_restart_sweep
+        with pytest.raises(KeyError) as excinfo:
+            sweep["cost=3,restart=on"]
+        message = str(excinfo.value)
+        assert "cost=3,restart=on" in message
+        assert "available points" in message
+        assert "cost=2,restart=on" in message
+        # point_table goes through the same diagnostic path.
+        with pytest.raises(KeyError, match="available points"):
+            sweep.point_table("nope")
+
+    def test_unknown_approach_names_the_available_approaches(
+        self, cost_restart_sweep
+    ):
+        sweep, _ = cost_restart_sweep
+        with pytest.raises(KeyError) as excinfo:
+            sweep.series("Sometimes-mitigate")
+        message = str(excinfo.value)
+        assert "Sometimes-mitigate" in message
+        assert "available approaches" in message
+        assert "Never-mitigate" in message
+
+    def test_unknown_series_field_names_the_cost_fields(self, cost_restart_sweep):
+        sweep, _ = cost_restart_sweep
+        with pytest.raises(ValueError) as excinfo:
+            sweep.series("Never-mitigate", which="grand_total")
+        message = str(excinfo.value)
+        assert "grand_total" in message
+        assert "ue_cost" in message and "mitigation_cost" in message
+
     def test_thread_backend_matches_serial(self, base_scenario):
         spec = SweepSpec(base=base_scenario, mitigation_costs=(2.0, 10.0))
         serial = run_sweep(spec, TINY, cache=PreparedDataCache())

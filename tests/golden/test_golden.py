@@ -121,6 +121,36 @@ def test_golden_small(n_workers, request):
     )
 
 
+def test_golden_small_with_store_attached(tmp_path, request):
+    """The store must be invisible to the numbers: a ``Study`` run writing
+    into a fresh :class:`~repro.store.ArtifactStore` reproduces the recorded
+    fingerprint, and so does the resumed (loaded-from-disk) result."""
+    from repro.store import ArtifactStore
+    from repro.study import Study
+
+    if request.config.getoption("--update-golden") and not GOLDEN_FILE.exists():
+        pytest.skip("record the golden file with the plain experiment first")
+
+    store = ArtifactStore(tmp_path / "runs")
+    study = Study.from_scenario(ScenarioConfig.small(), store=store)
+    computed = fingerprint(study.run(golden_config()))
+
+    recorded = _load_recorded()
+    differences = golden_diff(recorded, computed)
+    assert not differences, (
+        "store-attached run diverged from the golden fingerprint:\n  "
+        + "\n  ".join(differences)
+    )
+
+    resumed = Study.from_scenario(ScenarioConfig.small(), store=store)
+    reloaded = fingerprint(resumed.resume(golden_config()))
+    differences = golden_diff(recorded, reloaded)
+    assert not differences, (
+        "store-reloaded result diverged from the golden fingerprint:\n  "
+        + "\n  ".join(differences)
+    )
+
+
 class TestGoldenDiff:
     """The comparator itself must produce a readable diff."""
 

@@ -1,0 +1,97 @@
+"""``python -m repro`` — the CLI over Study and ArtifactStore.
+
+The heavyweight path (sweep into a store, report from it, resume with zero
+recomputed points) mirrors the CI smoke step; everything else exercises the
+flag parsing and error reporting without running experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+
+#: Cheapest CLI schedule that still runs every approach.
+FAST_FLAGS = [
+    "--duration-days", "45",
+    "--seed", "11",
+    "--fast",
+    "--episodes", "5",
+    "--executor", "serial",
+]
+
+
+class TestParsing:
+    def test_restartable_values(self):
+        assert cli._parse_restartable("both") == [True, False]
+        assert cli._parse_restartable("on,off") == [True, False]
+        assert cli._parse_restartable("off") == [False]
+        with pytest.raises(Exception, match="restartable"):
+            cli._parse_restartable("maybe")
+
+    def test_manufacturer_values(self):
+        assert cli._parse_manufacturers("all") == [None]
+        assert cli._parse_manufacturers("A,b,2") == [0, 1, 2]
+        with pytest.raises(Exception, match="manufacturer"):
+            cli._parse_manufacturers("Z")
+
+    def test_run_rejects_multi_valued_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="sweep"):
+            cli.main(["run", "--mitigation-cost", "2,5"] + FAST_FLAGS)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])
+
+    def test_invalid_which_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--which", "totl"])
+        assert "invalid choice" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            cli.main(["report", "--store", "x", "--which", "totl"])
+
+
+class TestReportErrors:
+    def test_report_on_empty_store_fails_cleanly(self, tmp_path, capsys):
+        assert cli.main(["report", "--store", str(tmp_path / "runs")]) == 2
+        assert "no sweeps" in capsys.readouterr().err
+
+    def test_report_unknown_key_fails_cleanly(self, tmp_path, capsys):
+        assert (
+            cli.main(
+                ["report", "--store", str(tmp_path / "runs"), "--sweep", "f" * 16]
+            )
+            == 2
+        )
+        assert "no stored sweep" in capsys.readouterr().err
+
+
+class TestSweepLifecycle:
+    def test_sweep_report_resume_lifecycle(self, tmp_path, capsys):
+        """sweep -> report -> identical re-run with zero recomputed points."""
+        store_dir = str(tmp_path / "runs")
+        sweep_args = (
+            ["sweep", "--mitigation-cost", "2,10", "--store", store_dir]
+            + FAST_FLAGS
+        )
+
+        assert cli.main(sweep_args) == 0
+        first = capsys.readouterr().out
+        assert "cost=2" in first and "cost=10" in first
+        assert "points computed: 2" in first
+        assert "points loaded from store: 0" in first
+
+        assert cli.main(["report", "--store", store_dir]) == 0
+        report = capsys.readouterr().out
+        assert "cost=2" in report and "Never-mitigate" in report
+
+        assert cli.main(sweep_args) == 0
+        second = capsys.readouterr().out
+        assert "points computed: 0" in second
+        assert "points loaded from store: 2" in second
+
+        assert cli.main(["list", "--store", store_dir]) == 0
+        listing = capsys.readouterr().out
+        assert "sweeps (1)" in listing
+        assert "results (2)" in listing
+        assert "prepared (1)" in listing

@@ -1,0 +1,90 @@
+"""The curated public surface: ``repro.__all__`` and the deprecation shim.
+
+The top-level package exports exactly the blessed API; the pipeline
+internals that ``repro.evaluation`` used to re-export stay importable from
+their home modules and — for one release — from the package, with a
+:class:`DeprecationWarning` naming the new location.
+"""
+
+from __future__ import annotations
+
+import importlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+import repro.evaluation as evaluation
+
+
+class TestTopLevelSurface:
+    def test_every_blessed_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_dir_covers_the_blessed_names(self):
+        listed = dir(repro)
+        for name in repro.__all__:
+            assert name in listed
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.bogus_name
+
+    def test_blessed_names_match_their_home_modules(self):
+        from repro.evaluation.sweep import SweepSpec
+        from repro.store import ArtifactStore
+        from repro.study import Study
+
+        assert repro.Study is Study
+        assert repro.ArtifactStore is ArtifactStore
+        assert repro.SweepSpec is SweepSpec
+
+    def test_import_repro_is_lightweight(self):
+        """``import repro`` must not drag in the evaluation engine (PEP 562)."""
+        code = (
+            "import sys; import repro; "
+            "assert 'repro.evaluation' not in sys.modules, 'eager import'; "
+            "repro.Study; "
+            "assert 'repro.evaluation' in sys.modules"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(importlib.import_module("pathlib").Path(__file__).parents[1]),
+        )
+
+
+class TestEvaluationSurface:
+    PUBLIC = ("run_experiment", "run_sweep", "SweepSpec", "ExperimentConfig",
+              "PreparedDataCache", "format_cost_table", "register_approach")
+    INTERNAL = ("build_split_tasks", "prepared_data_key", "trace_cache_stats",
+                "train_split", "evaluate_split", "aggregate", "make_splits",
+                "prepare_data", "execute_tasks", "Task", "SplitContext",
+                "GroupOutcome")
+
+    def test_public_names_stay_in_all(self):
+        for name in self.PUBLIC:
+            assert name in evaluation.__all__, name
+
+    def test_internals_removed_from_all(self):
+        for name in self.INTERNAL:
+            assert name not in evaluation.__all__, name
+
+    @pytest.mark.parametrize("name", INTERNAL)
+    def test_old_import_path_warns_and_still_works(self, name):
+        home = evaluation._DEPRECATED[name]
+        with pytest.warns(DeprecationWarning, match=home):
+            value = getattr(evaluation, name)
+        assert value is getattr(importlib.import_module(home), name)
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            evaluation.definitely_not_a_name
+
+    def test_dir_lists_deprecated_names(self):
+        listed = dir(evaluation)
+        for name in self.INTERNAL:
+            assert name in listed

@@ -1,0 +1,256 @@
+"""Round-trip identity of the versioned ``to_dict`` / ``from_dict`` schema.
+
+Every config/result dataclass of the public API must survive
+``to_dict -> json -> from_dict`` unchanged — including a real JSON text
+round-trip, because the artifact store persists these payloads to disk and
+floats must come back to the identical IEEE-754 value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import EvaluationConfig, ScenarioConfig
+from repro.core.dqn import DQNConfig
+from repro.evaluation.costs import CostBreakdown
+from repro.evaluation.cross_validation import TimeSeriesSplit
+from repro.evaluation.metrics import ConfusionCounts
+from repro.evaluation.pipeline import ApproachResult, ExperimentConfig, ExperimentResult
+from repro.evaluation.runner import PolicyEvaluation
+from repro.evaluation.sweep import SweepResult, SweepSpec
+from repro.serialization import (
+    SCHEMA_VERSION,
+    SchemaError,
+    simple_from_dict,
+    simple_to_dict,
+    tag,
+    untag,
+)
+from repro.telemetry.fault_model import FaultModelConfig
+from repro.telemetry.reduction import ReductionReport
+from repro.telemetry.topology import ClusterTopology
+from repro.workload.generator import WorkloadConfig
+
+
+def roundtrip(obj):
+    """to_dict -> canonical JSON text -> from_dict."""
+    data = json.loads(json.dumps(obj.to_dict(), sort_keys=True))
+    return type(obj).from_dict(data)
+
+
+def _policy_evaluation(name="Oracle", seed=0.0):
+    return PolicyEvaluation(
+        policy_name=name,
+        costs=CostBreakdown(
+            ue_cost=123.456 + seed,
+            mitigation_cost=7.25,
+            training_cost=0.125,
+            n_ues=3,
+            n_mitigations=11,
+        ),
+        confusion=ConfusionCounts(2, 1, 9, 100),
+        n_traces=4,
+        n_decision_points=57,
+    )
+
+
+def _experiment_result():
+    splits = [
+        TimeSeriesSplit(
+            index=0,
+            train_range=(0.0, 10.5),
+            validation_range=(10.5, 14.0),
+            test_range=(14.0, 20.0),
+        ),
+        TimeSeriesSplit(
+            index=1,
+            train_range=(0.0, 15.0),
+            validation_range=(15.0, 20.0),
+            test_range=(20.0, 40.0),
+        ),
+    ]
+    approaches = {
+        "Oracle": ApproachResult(
+            name="Oracle",
+            per_split=[_policy_evaluation("Oracle", 0.0), _policy_evaluation("Oracle", 1.0)],
+        ),
+        "Never-mitigate": ApproachResult(
+            name="Never-mitigate", per_split=[_policy_evaluation("Never-mitigate")]
+        ),
+    }
+    return ExperimentResult(
+        scenario_name="small",
+        mitigation_cost_node_hours=1 / 30.0,
+        approaches=approaches,
+        splits=splits,
+        reduction_report=ReductionReport(333, 67, 266, 51, 12),
+        n_test_events=4242,
+        wallclock_seconds=12.75,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Property-style round trips over every serializable dataclass
+# --------------------------------------------------------------------- #
+FLAT_INSTANCES = [
+    ClusterTopology(n_nodes=48, dimms_per_node=4,
+                    manufacturer_shares=(0.26, 0.21, 0.53)),
+    FaultModelConfig.scaled_for(n_dimms=192, duration_seconds=1e7, target_ues=36),
+    WorkloadConfig(max_job_nodes=16, mean_job_duration_seconds=21600.0),
+    EvaluationConfig(mitigation_cost_node_minutes=5.0, restartable=False),
+    DQNConfig(hidden_sizes=(16, 8), epsilon_decay_steps=4000),
+    CostBreakdown(ue_cost=1.5, mitigation_cost=2.25, training_cost=0.75,
+                  n_ues=2, n_mitigations=7),
+    ConfusionCounts(1, 2, 3, 4),
+    ReductionReport(333, 67, 266, 51, 12),
+    TimeSeriesSplit(index=3, train_range=(0.0, 7.5), validation_range=(7.5, 10.0),
+                    test_range=(10.0, 20.0)),
+]
+
+
+@pytest.mark.parametrize(
+    "instance", FLAT_INSTANCES, ids=[type(i).__name__ for i in FLAT_INSTANCES]
+)
+def test_flat_dataclass_roundtrip_identity(instance):
+    rebuilt = roundtrip(instance)
+    assert rebuilt == instance
+    # Field-by-field equality including exact float identity.
+    for field in dataclasses.fields(instance):
+        assert getattr(rebuilt, field.name) == getattr(instance, field.name)
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    [ScenarioConfig.small(), ScenarioConfig.benchmark(),
+     ScenarioConfig.small().with_mitigation_cost(10.0).with_manufacturer(1)],
+    ids=["small", "benchmark", "modified"],
+)
+def test_scenario_config_roundtrip_identity(scenario):
+    assert roundtrip(scenario) == scenario
+
+
+@pytest.mark.parametrize(
+    "config",
+    [ExperimentConfig(), ExperimentConfig.fast(),
+     ExperimentConfig.paper().with_overrides(n_workers=8, include_rl=False)],
+    ids=["default", "fast", "paper-modified"],
+)
+def test_experiment_config_roundtrip_identity(config):
+    assert roundtrip(config) == config
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        SweepSpec(base=ScenarioConfig.small()),
+        SweepSpec(
+            base=ScenarioConfig.small(),
+            mitigation_costs=(2.0, 5.0, 10.0),
+            restartable=(True, False),
+            manufacturers=(None, 0, 1, 2),
+            job_scales=(0.1, 1.0, 10.0),
+            seeds=(7, 8),
+        ),
+    ],
+    ids=["degenerate", "all-axes"],
+)
+def test_sweep_spec_roundtrip_identity(spec):
+    rebuilt = roundtrip(spec)
+    assert rebuilt == spec
+    assert [p.label for p in rebuilt.points()] == [p.label for p in spec.points()]
+
+
+def test_policy_evaluation_roundtrip_identity():
+    evaluation = _policy_evaluation()
+    assert roundtrip(evaluation) == evaluation
+
+
+def test_approach_result_roundtrip_identity():
+    approach = ApproachResult(
+        name="RL", per_split=[_policy_evaluation("RL", 0.5), _policy_evaluation("RL")]
+    )
+    rebuilt = roundtrip(approach)
+    assert rebuilt.name == approach.name
+    assert rebuilt.per_split == approach.per_split
+    assert rebuilt.total_costs == approach.total_costs
+
+
+def test_experiment_result_roundtrip_identity():
+    result = _experiment_result()
+    rebuilt = roundtrip(result)
+    assert rebuilt.scenario_name == result.scenario_name
+    assert rebuilt.mitigation_cost_node_hours == result.mitigation_cost_node_hours
+    assert rebuilt.splits == result.splits
+    assert rebuilt.reduction_report == result.reduction_report
+    assert rebuilt.n_test_events == result.n_test_events
+    assert rebuilt.wallclock_seconds == result.wallclock_seconds
+    assert set(rebuilt.approaches) == set(result.approaches)
+    for name in result.approaches:
+        assert rebuilt.approaches[name].per_split == result.approaches[name].per_split
+    # Trained artifacts are documented as not serialized.
+    assert rebuilt.final_rl_policy is None
+    assert rebuilt.final_sc20_policy is None
+    assert rebuilt.final_test_features is None
+
+
+def test_experiment_result_json_roundtrip_is_byte_stable():
+    result = _experiment_result()
+    text = result.to_json()
+    assert ExperimentResult.from_json(text).to_json() == text
+
+
+def test_sweep_result_roundtrip_and_missing_point_rejected():
+    spec = SweepSpec(base=ScenarioConfig.small(), restartable=(True, False))
+    results = {
+        point.label: _experiment_result() for point in spec.points()
+    }
+    sweep = SweepResult(
+        spec=spec, points=spec.points(), results=results, wallclock_seconds=3.5
+    )
+    text = sweep.to_json()
+    rebuilt = SweepResult.from_json(text)
+    assert rebuilt.labels == sweep.labels
+    assert rebuilt.to_json() == text  # diagnostics excluded -> stable bytes
+
+    crippled = json.loads(text)
+    del crippled["results"]["restart=off"]
+    with pytest.raises(SchemaError, match="restart=off"):
+        SweepResult.from_dict(crippled)
+
+
+# --------------------------------------------------------------------- #
+# Envelope validation
+# --------------------------------------------------------------------- #
+class TestEnvelope:
+    def test_tag_carries_schema_and_kind(self):
+        data = tag("thing", {"a": 1})
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["kind"] == "thing"
+        assert untag(data, "thing") == {"a": 1}
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SchemaError, match="expected kind"):
+            untag(tag("thing", {}), "other")
+
+    def test_newer_schema_rejected(self):
+        data = tag("thing", {})
+        data["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="upgrade the library"):
+            untag(data, "thing")
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SchemaError, match="mapping"):
+            untag([1, 2, 3], "thing")
+
+    def test_unknown_fields_rejected(self):
+        data = simple_to_dict(ConfusionCounts(1, 2, 3, 4), "confusion_counts")
+        data["bogus"] = 1
+        with pytest.raises(SchemaError, match="bogus"):
+            simple_from_dict(ConfusionCounts, data, "confusion_counts")
+
+    def test_wrong_kind_in_concrete_from_dict(self):
+        with pytest.raises(SchemaError):
+            ScenarioConfig.from_dict(CostBreakdown().to_dict())
