@@ -1,0 +1,142 @@
+"""Gate a freshly measured ``BENCH_*.json`` against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        BENCH_rl_parallel.json benchmarks/baselines/BENCH_rl_parallel.json \
+        [--tolerance 0.25]
+
+Exit status 0 when the current measurements are within tolerance of the
+baseline, 1 with a line per violation otherwise.  The rules are chosen to
+be meaningful across machines:
+
+* ``results_identical`` must be true — a benchmark that changed the numbers
+  is a correctness failure, not a performance data point.
+* Cache-behaviour counters (``prepare_calls``) are deterministic: more
+  prepare calls than the baseline means a caching layer regressed.
+* Speed *ratios* (``fan_vs_chain_speedup``, ``parallel_speedup``) are only
+  compared when both runs had more than one core, shielding the gate from
+  single-core laptops and throttled containers; a multi-core run must also
+  clear the structural bound ``fan_vs_chain_speedup >= --min-fan-speedup``
+  (default 1.0) — the per-trial fan-out beating the chained shape is the
+  property the benchmark exists to protect — even when the baseline was
+  recorded on one core.  **A single-core baseline leaves only that
+  structural bound active** (the checker says so in its output); refresh
+  the baseline from a multi-core run — CI uploads one per push as the
+  ``bench-rl-parallel-*`` artifact — to arm the full ratio gate.
+* Absolute seconds are never compared across machines: the recorded
+  ``cpu_count`` travels with the JSON so readers can interpret them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+
+def check(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+    min_fan_speedup: float = 1.0,
+) -> List[str]:
+    """All regression findings of ``current`` against ``baseline``."""
+    findings: List[str] = []
+
+    if not current.get("results_identical", False):
+        findings.append(
+            "results_identical is false: the parallel/fan schedules changed "
+            "the experiment numbers"
+        )
+
+    base_calls = baseline.get("prepare_calls")
+    if base_calls is not None and current.get("prepare_calls", 0) > base_calls:
+        findings.append(
+            f"prepare_calls regressed: {current['prepare_calls']} > "
+            f"baseline {base_calls} (a prepared-data cache stopped sharing)"
+        )
+
+    current_cores = current.get("cpu_count") or 1
+    baseline_cores = baseline.get("cpu_count") or 1
+    if current_cores < 2:
+        # Single-core runs can only measure pool overhead; every speed-ratio
+        # gate below would be noise there.
+        return findings
+
+    fan_vs_chain = current.get("fan_vs_chain_speedup", 0.0)
+    if fan_vs_chain < min_fan_speedup:
+        findings.append(
+            f"fan_vs_chain_speedup {fan_vs_chain:.2f} < {min_fan_speedup:.2f}: "
+            f"the per-trial fan-out no longer clears the structural bound "
+            f"over the chained RL shape on {current_cores} cores"
+        )
+
+    if baseline_cores >= 2:
+        for metric in ("fan_vs_chain_speedup", "parallel_speedup"):
+            base = baseline.get(metric)
+            got = current.get(metric)
+            if base is None or got is None:
+                continue
+            floor = base * (1.0 - tolerance)
+            if got < floor:
+                findings.append(
+                    f"{metric} regressed by more than {tolerance:.0%}: "
+                    f"{got:.2f} < {floor:.2f} (baseline {base:.2f})"
+                )
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly measured BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression of speed ratios (default: 0.25)",
+    )
+    parser.add_argument(
+        "--min-fan-speedup",
+        type=float,
+        default=1.0,
+        help="structural floor on fan_vs_chain_speedup for multi-core runs, "
+        "enforced even against a single-core baseline (default: 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    findings = check(current, baseline, args.tolerance, args.min_fan_speedup)
+    if findings:
+        print(f"benchmark regression gate FAILED ({len(findings)} finding(s)):")
+        for finding in findings:
+            print(f"  - {finding}")
+        return 1
+    cores = current.get("cpu_count") or 1
+    baseline_cores = baseline.get("cpu_count") or 1
+    if cores < 2:
+        gated = "single-core run: ratio gates skipped"
+    elif baseline_cores < 2:
+        gated = (
+            "single-core BASELINE: only the structural fan-vs-chain floor is "
+            "armed — refresh benchmarks/baselines/ from a multi-core run"
+        )
+    else:
+        gated = "ratio gates armed"
+    print(
+        f"benchmark regression gate passed ({gated}; "
+        f"fan_vs_chain={current.get('fan_vs_chain_speedup')}x on {cores} "
+        f"core(s), baseline {baseline.get('fan_vs_chain_speedup')}x on "
+        f"{baseline_cores} core(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,43 @@
-"""Micro-benchmark: serial vs. parallel scenario-engine wall-clock.
+"""Benchmark: RL-chain vs. per-trial fan-out wall-clock, recorded as JSON.
 
 Opt-in (marked ``slow``; the benchmarks directory is outside the tier-1
 ``testpaths`` anyway): run with
 
     python -m pytest benchmarks/test_pipeline_parallel.py -m slow -s
 
-Records the wall-clock of a small experiment under the serial executor and
-under a 4-worker process pool, so future PRs can track the speedup of the
-(split × approach-group) task fan-out.  Results are asserted identical —
-the executor must never trade determinism for speed.
+Measures one small experiment under three schedules —
 
-``rl_warm_start`` is disabled: warm starting chains the RL tasks of
-consecutive splits, and the RL hyperparameter search dominates the runtime,
-so the chain would serialize exactly the work worth parallelising.
+``serial``
+    ``n_workers=1``: every task runs in-process, the reference wall-clock.
+``chain``
+    ``n_workers=N`` with ``rl_trial_tasks=False``: the historical shape,
+    one RL task per split whose hyperparameter trials run serially inside
+    the task; the warm-start chain makes those ``splits × trials`` training
+    runs the graph's critical path.
+``fan``
+    ``n_workers=N`` with ``rl_trial_tasks=True`` (the default): one task
+    per trial plus a select-best reduce, only trial 0 on the chain — the
+    critical path holds ``splits`` training runs and the remaining trials
+    fill idle workers.
+
+Results are asserted identical across all three — the executor must never
+trade determinism for speed — and the measurements are written to
+``BENCH_rl_parallel.json`` in the repository root (override the directory
+with ``REPRO_BENCH_OUTPUT_DIR``).  CI uploads the file as an artifact and
+gates on ``benchmarks/check_bench_regression.py`` against the committed
+baseline in ``benchmarks/baselines/``.
+
+``rl_warm_start`` stays **enabled** here, unlike the pre-fan-out version of
+this benchmark: the chain it creates is exactly what the per-trial
+decomposition is meant to beat, so hiding it would benchmark the wrong
+thing.  On a single-core machine the pools only add overhead; the
+chain-vs-fan comparison is asserted on >= 2 cores only (the recorded JSON
+carries ``cpu_count`` so readers can tell the runs apart).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
@@ -29,8 +50,14 @@ if _SRC not in sys.path:  # pragma: no cover - environment dependent
 
 from repro.config import ScenarioConfig
 from repro.evaluation.experiment import ExperimentConfig, run_experiment
+from repro.evaluation.pipeline import (
+    PreparedDataCache,
+    clear_trace_cache,
+    trace_cache_stats,
+)
 
 N_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+N_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "3"))
 
 pytestmark = pytest.mark.slow
 
@@ -38,45 +65,114 @@ pytestmark = pytest.mark.slow
 def _bench_config(**overrides) -> ExperimentConfig:
     return ExperimentConfig(
         rl_episodes=int(os.environ.get("REPRO_BENCH_EPISODES", "60")),
-        rl_hyperparam_trials=2,
+        rl_hyperparam_trials=N_TRIALS,
         rl_hidden_sizes=(32, 16),
         rf_n_estimators=10,
         threshold_grid_size=11,
-        rl_warm_start=False,
         charge_training_time=False,
     ).with_overrides(**overrides)
 
 
-@pytest.mark.slow
-def test_parallel_speedup_and_equivalence():
-    scenario = ScenarioConfig.small(seed=29)
-
-    started = time.perf_counter()
-    serial = run_experiment(scenario, _bench_config(n_workers=1))
-    serial_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    parallel = run_experiment(scenario, _bench_config(n_workers=N_WORKERS))
-    parallel_seconds = time.perf_counter() - started
-
-    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
-    print(
-        f"\nserial:   {serial_seconds:8.2f} s"
-        f"\nparallel: {parallel_seconds:8.2f} s  ({N_WORKERS} workers,"
-        f" {os.cpu_count()} cores)"
-        f"\nspeedup:  {speedup:8.2f}x"
+def _output_path() -> str:
+    directory = os.environ.get(
+        "REPRO_BENCH_OUTPUT_DIR",
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     )
-    # On a single-core machine the process pool can only add overhead; the
-    # speedup is meaningful on >= 2 cores.
+    return os.path.join(directory, "BENCH_rl_parallel.json")
 
-    # Correctness first: the schedule must not change a single number.
-    assert serial.approach_names == parallel.approach_names
-    for name in serial.approach_names:
-        for a, b in zip(
-            serial.approaches[name].per_split, parallel.approaches[name].per_split
-        ):
-            assert a.costs == b.costs, name
-            assert a.confusion == b.confusion, name
 
-    # No speedup assertion: CI machines vary too much for a hard bound; the
-    # printed numbers are the record future PRs compare against.
+def _identical(a, b) -> bool:
+    if a.approach_names != b.approach_names:
+        return False
+    for name in a.approach_names:
+        for left, right in zip(a.approaches[name].per_split, b.approaches[name].per_split):
+            if left.costs != right.costs or left.confusion != right.confusion:
+                return False
+    return True
+
+
+@pytest.mark.slow
+def test_rl_chain_vs_trial_fanout():
+    scenario = ScenarioConfig.small(seed=29)
+    cache = PreparedDataCache()
+    clear_trace_cache()
+
+    # Untimed warm-up: fills the prepared-data cache (and the in-process
+    # trace cache) so every *timed* run below pays the same prepared-data
+    # cost — i.e. none.  Without it the first run alone would pay
+    # prepare_data and the recorded speedups would partly measure cache
+    # warm-up rather than the executor schedule.
+    warmup = run_experiment(scenario, _bench_config(n_workers=1), cache=cache)
+
+    timings = {}
+    results = {}
+    for label, config in (
+        ("serial", _bench_config(n_workers=1)),
+        ("chain", _bench_config(n_workers=N_WORKERS, rl_trial_tasks=False)),
+        ("fan", _bench_config(n_workers=N_WORKERS, rl_trial_tasks=True)),
+    ):
+        started = time.perf_counter()
+        results[label] = run_experiment(scenario, config, cache=cache)
+        timings[label] = time.perf_counter() - started
+
+    # Correctness first: neither the schedule nor the task shape (nor the
+    # shared cache) may change a single number.
+    results_identical = (
+        _identical(warmup, results["serial"])
+        and _identical(results["serial"], results["chain"])
+        and _identical(results["serial"], results["fan"])
+    )
+    assert results_identical
+
+    fan_stats = results["fan"].executor_stats
+    traces = trace_cache_stats()
+    record = {
+        "benchmark": "rl_parallel",
+        "cpu_count": os.cpu_count(),
+        "n_workers": N_WORKERS,
+        "rl_hyperparam_trials": N_TRIALS,
+        "rl_episodes": _bench_config().rl_episodes,
+        "serial_seconds": round(timings["serial"], 3),
+        "chain_parallel_seconds": round(timings["chain"], 3),
+        "fan_parallel_seconds": round(timings["fan"], 3),
+        "fan_vs_chain_speedup": round(timings["chain"] / timings["fan"], 3),
+        "parallel_speedup": round(timings["serial"] / timings["fan"], 3),
+        "rl_critical_path_seconds": round(fan_stats.critical_path_seconds, 3),
+        "rl_critical_path_tasks": len(fan_stats.critical_path),
+        "executor_tasks": len(fan_stats.task_seconds),
+        "total_task_seconds": round(fan_stats.total_task_seconds, 3),
+        "prepare_calls": cache.prepare_calls,
+        "prepared_cache_hits": cache.hits,
+        "trace_cache_hits": traces["hits"],
+        "trace_cache_misses": traces["misses"],
+        "results_identical": results_identical,
+    }
+    path = _output_path()
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"\nserial: {timings['serial']:8.2f} s"
+        f"\nchain:  {timings['chain']:8.2f} s  ({N_WORKERS} workers, old shape)"
+        f"\nfan:    {timings['fan']:8.2f} s  ({N_WORKERS} workers, per-trial tasks)"
+        f"\nfan-vs-chain speedup: {record['fan_vs_chain_speedup']:.2f}x"
+        f" on {os.cpu_count()} core(s)"
+        f"\nRL critical path: {record['rl_critical_path_seconds']:.2f} s"
+        f" over {record['rl_critical_path_tasks']} tasks"
+        f"\nwritten: {path}"
+    )
+
+    # The acceptance bound: with enough cores for the fan to spread (>= 4,
+    # the CI runner size), fanning the trials out must beat the chained
+    # shape — 3 trials put 3x the fan's training work on the chain's
+    # critical path, so this is a structural gap, not a timing coin flip.
+    # 2-3 core machines oversubscribe the 4-worker pool (noise could flip
+    # a strict comparison) and single-core machines only measure pool
+    # overhead; there the JSON records the numbers without asserting.
+    if (os.cpu_count() or 1) >= 4 and N_WORKERS >= 4 and N_TRIALS >= 2:
+        assert timings["fan"] < timings["chain"], (
+            f"per-trial fan-out ({timings['fan']:.2f}s) did not beat the "
+            f"chained shape ({timings['chain']:.2f}s) on "
+            f"{os.cpu_count()} cores"
+        )

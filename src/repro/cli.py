@@ -153,6 +153,15 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
         help="executor backend",
     )
     parser.add_argument(
+        "--rl-trial-tasks",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="run each split's RL hyperparameter trials as independent "
+        "executor tasks (default: on; --no-rl-trial-tasks restores the "
+        "in-task trial loop — results are identical, only the schedule "
+        "changes)",
+    )
+    parser.add_argument(
         "--store",
         metavar="DIR",
         default=None,
@@ -231,7 +240,27 @@ def _config_from_args(args) -> ExperimentConfig:
         overrides["n_workers"] = args.workers
     if args.executor is not None:
         overrides["executor_kind"] = args.executor
+    if args.rl_trial_tasks is not None:
+        overrides["rl_trial_tasks"] = args.rl_trial_tasks
     return config.with_overrides(**overrides) if overrides else config
+
+
+def _executor_summary(stats) -> Optional[str]:
+    """One-line executor timing report (``None`` without recorded stats).
+
+    The critical path is the heaviest dependency chain of the task graph —
+    the wall-clock lower bound at any worker count — so comparing it with
+    the serial-equivalent total shows how much the RL trial fan-out (or a
+    bigger ``--workers``) can still buy.
+    """
+    if stats is None or not stats.task_seconds:
+        return None
+    return (
+        f"executor: {len(stats.task_seconds)} tasks, "
+        f"{stats.total_task_seconds:.1f}s total work, "
+        f"critical path {stats.critical_path_seconds:.1f}s "
+        f"({len(stats.critical_path)} chained tasks)"
+    )
 
 
 def _store_from_args(args) -> Optional[ArtifactStore]:
@@ -258,8 +287,12 @@ def _cmd_run(args) -> int:
         scenario = scenario.with_job_scale(scale)
 
     study = Study.from_scenario(scenario, store=_store_from_args(args))
-    study.run(_config_from_args(args))
+    result = study.run(_config_from_args(args))
     print(study.report())
+    summary = _executor_summary(result.executor_stats)
+    if summary is not None:
+        print()
+        print(summary)
     if args.metrics:
         print()
         print(study.report(which="metrics"))
@@ -285,6 +318,9 @@ def _cmd_sweep(args) -> int:
     print()
     print(f"wallclock: {result.wallclock_seconds:.1f}s, "
           f"prepare_data calls: {result.prepare_calls} for {len(result)} point(s)")
+    summary = _executor_summary(result.extras.get("executor_stats"))
+    if summary is not None:
+        print(summary)
     if store is not None:
         loaded = study.points_loaded
         print(f"store: {store.root} (sweep {store.sweep_key(spec, study.config)})")

@@ -9,6 +9,7 @@ with the events-to-UEs class imbalance.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
@@ -237,13 +238,59 @@ class DDDQNAgent:
     # Persistence
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Online-network parameters (the policy) for checkpointing."""
+        """Online-network parameters (the policy) for checkpointing.
+
+        A plain ``{name: contiguous ndarray}`` mapping — the unit the
+        parallel experiment pipeline ships between executor tasks (the
+        per-trial RL search results and the warm-start carry), so it must
+        stay cheap to pickle across a process boundary.
+        """
         return self.online.state_dict()
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         """Restore a previously saved policy into both networks."""
         self.online.load_state_dict(state)
         self.target.copy_from(self.online)
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state_dim: int,
+        state: Dict[str, np.ndarray],
+        config: Optional[DQNConfig] = None,
+    ) -> "DDDQNAgent":
+        """Reconstruct an agent from a checkpointed policy, cheaply.
+
+        The inverse of :meth:`state_dict` for the executor round-trip: the
+        pipeline's select-best reduce task receives trial checkpoints from
+        worker processes and needs an agent back for greedy evaluation.  The
+        hidden layout is inferred from the checkpoint's array shapes (and
+        overrides whatever ``config`` says, so a caller cannot silently load
+        parameters into a mismatched network), and the replay buffer is
+        allocated at minimal capacity: the restored agent acts greedily or
+        serves as a warm-start *source* — replay transitions are not part of
+        the checkpoint, so a full-size empty buffer would be pure
+        allocation cost per reconstruction.
+        """
+        hidden_sizes = []
+        for i in itertools.count():
+            weight = state.get(f"hidden_{i}_w")
+            if weight is None:
+                break
+            hidden_sizes.append(int(weight.shape[1]))
+        if not hidden_sizes or int(state["hidden_0_w"].shape[0]) != int(state_dim):
+            raise ValueError(
+                "state dict does not describe a network over "
+                f"{state_dim}-dimensional states"
+            )
+        config = (config or DQNConfig()).with_overrides(
+            hidden_sizes=tuple(hidden_sizes),
+            buffer_capacity=1,
+            warmup_transitions=1,
+        )
+        agent = cls(state_dim, config)
+        agent.load_state_dict(state)
+        return agent
 
     @property
     def training_cost_node_hours(self) -> float:

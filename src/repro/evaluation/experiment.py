@@ -35,7 +35,7 @@ import time
 from typing import Optional, Tuple
 
 from repro.config import ScenarioConfig
-from repro.evaluation.executor import execute_tasks
+from repro.evaluation.executor import ExecutorStats, execute_tasks
 from repro.evaluation.pipeline import (
     ApproachResult,
     ExperimentConfig,
@@ -93,16 +93,20 @@ def run_experiment(
         prepared = prepare_data(scenario, config, error_log=error_log, job_log=job_log)
     splits = make_splits(scenario)
     tasks = build_split_tasks(prepared, splits, config)
+    stats = ExecutorStats()
     outcomes = execute_tasks(
         tasks,
         n_workers=config.n_workers,
         kind=config.executor_kind,
         shared=prepared,
+        stats=stats,
     )
-    return aggregate(
+    result = aggregate(
         prepared,
         splits,
         outcomes,
         config,
         wallclock_seconds=time.perf_counter() - started,
     )
+    result.executor_stats = stats
+    return result

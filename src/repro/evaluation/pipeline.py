@@ -22,11 +22,18 @@ For parallel execution the driver does not call ``train_split`` /
 ``evaluate_split`` directly: it schedules one :func:`run_split_group` task
 per (split × approach group) through :mod:`repro.evaluation.executor`, so
 e.g. the random-forest family of split 3 trains while the RL agent of split
-1 is still learning.  All randomness is drawn from keyed
-:class:`~repro.utils.rng.RngFactory` streams, which makes every task
-self-seeding: serial and parallel schedules produce identical results
-(wall-clock training-cost accounting aside — disable
-``ExperimentConfig.charge_training_time`` for bitwise-identical runs).
+1 is still learning.  The dominant "rl" group additionally decomposes into
+one :func:`run_rl_trial` task per hyperparameter candidate plus a
+:func:`run_rl_reduce` select-best task per split
+(``ExperimentConfig.rl_trial_tasks``): only the warm-started trial 0 rides
+the cross-split chain, while the remaining trials fan out across idle
+workers.  All randomness is drawn from keyed
+:class:`~repro.utils.rng.RngFactory` streams (per-trial settings are
+pre-drawn from one sequential stream per split), which makes every task
+self-seeding: serial and parallel schedules — and both ``rl_trial_tasks``
+shapes — produce identical results (wall-clock training-cost accounting
+aside — disable ``ExperimentConfig.charge_training_time`` for
+bitwise-identical runs).
 
 Two content-keyed caches remove redundant work across experiments:
 :class:`PreparedDataCache` shares one :class:`PreparedData` product between
@@ -59,7 +66,7 @@ from repro.core.policies import MitigationPolicy, RLPolicy
 from repro.core.trainer import train_agent
 from repro.evaluation.costs import CostBreakdown
 from repro.evaluation.cross_validation import TimeSeriesNestedCV, TimeSeriesSplit
-from repro.evaluation.executor import Task
+from repro.evaluation.executor import ExecutorStats, Task
 from repro.evaluation.metrics import ConfusionCounts
 from repro.evaluation.registry import (
     approach_groups,
@@ -89,6 +96,7 @@ __all__ = [
     "GroupOutcome",
     "PreparedData",
     "PreparedDataCache",
+    "RLTrialResult",
     "SC20SplitArtifacts",
     "SplitContext",
     "SplitEvaluation",
@@ -101,6 +109,8 @@ __all__ = [
     "make_splits",
     "prepare_data",
     "prepared_data_key",
+    "run_rl_reduce",
+    "run_rl_trial",
     "run_split_group",
     "trace_cache_stats",
     "train_split",
@@ -139,6 +149,15 @@ class ExperimentConfig:
     #: Warm starting chains the RL tasks of consecutive splits, limiting how
     #: much of the RL work the parallel executor can overlap.
     rl_warm_start: bool = True
+    #: Decompose each split's RL hyperparameter search into one executor task
+    #: per trial plus a select-best reduce task (the default).  Only trial 0 —
+    #: the warm-started base candidate — rides the cross-split dependency
+    #: chain; trials 1..N are independent samples that fan out across workers
+    #: immediately, shrinking the serial critical path from splits × trials
+    #: training runs to splits.  Results are bit-identical either way (every
+    #: trial draws from pre-drawn keyed RNG streams); ``False`` restores the
+    #: old in-task trial loop for one release.
+    rl_trial_tasks: bool = True
     #: Random forest size of the SC20 baseline.
     rf_n_estimators: int = 25
     rf_max_depth: int = 10
@@ -294,6 +313,11 @@ class ExperimentResult:
     final_rl_policy: Optional[RLPolicy] = None
     final_sc20_policy: Optional[SC20RandomForestPolicy] = None
     final_test_features: Optional[np.ndarray] = None
+    #: Task-level timing of the run's executor graph (per-task seconds and
+    #: the measured critical path).  A run diagnostic, not a result: like
+    #: the Figure 6 artifacts it is not serialized and comes back ``None``
+    #: from :meth:`from_dict` / a store load.
+    executor_stats: Optional["ExecutorStats"] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -759,17 +783,26 @@ def clear_trace_cache() -> None:
         _TRACE_CACHE_STATS["misses"] = 0
 
 
-def _cached_test_traces(
-    prepared: PreparedData, split: TimeSeriesSplit, seed: int
+def _cached_range_traces(
+    prepared: PreparedData,
+    split: TimeSeriesSplit,
+    time_range: Tuple[float, float],
+    seed: int,
 ) -> List[EvaluationTrace]:
-    """Build (or reuse) the test traces of one split of one prepared dataset."""
+    """Build (or reuse) the traces of one time range of one prepared dataset.
+
+    Serves the test traces of every approach group and the RL search's
+    validation/fallback scoring traces: with per-trial RL tasks, every trial
+    of a split scores on the same traces, so rebuilding them once per trial
+    (instead of once per split) would be pure waste on the thread/serial
+    backends — and on the process backend each worker builds them at most
+    once per (split, range).
+    """
     if not prepared.data_key:
         # Hand-built PreparedData carries no content key; skip caching rather
         # than risk colliding two unrelated datasets.
-        return build_traces(
-            prepared.tracks, prepared.sampler, *split.test_range, seed=seed
-        )
-    key = (prepared.data_key, split.index, split.test_range, seed)
+        return build_traces(prepared.tracks, prepared.sampler, *time_range, seed=seed)
+    key = (prepared.data_key, split.index, tuple(time_range), seed)
     with _TRACE_CACHE_LOCK:
         traces = _TRACE_CACHE.get(key)
         if traces is not None:
@@ -779,14 +812,19 @@ def _cached_test_traces(
         _TRACE_CACHE_STATS["misses"] += 1
     # Build outside the lock (expensive); concurrent builders of the same
     # key produce identical traces, so the last insert winning is harmless.
-    traces = build_traces(
-        prepared.tracks, prepared.sampler, *split.test_range, seed=seed
-    )
+    traces = build_traces(prepared.tracks, prepared.sampler, *time_range, seed=seed)
     with _TRACE_CACHE_LOCK:
         _TRACE_CACHE[key] = traces
         while len(_TRACE_CACHE) > _TRACE_CACHE_MAXSIZE:
             _TRACE_CACHE.popitem(last=False)
     return traces
+
+
+def _cached_test_traces(
+    prepared: PreparedData, split: TimeSeriesSplit, seed: int
+) -> List[EvaluationTrace]:
+    """Build (or reuse) the test traces of one split of one prepared dataset."""
+    return _cached_range_traces(prepared, split, split.test_range, seed)
 
 
 @dataclass(frozen=True)
@@ -895,13 +933,7 @@ class SplitContext:
         """Hyperparameter-searched RL policy (None when nothing trained)."""
         if self._rl is self._UNSET:
             agent, training_cost, best_state = _train_rl_for_split(
-                self.split,
-                self.tracks,
-                self.prepared.sampler,
-                self.scenario,
-                self.config,
-                self.factory,
-                self.rl_carry_in,
+                self.prepared, self.split, self.config, self.rl_carry_in
             )
             if agent is not None:
                 self._rl_carry_out = best_state
@@ -917,6 +949,20 @@ class SplitContext:
     def rl_if_trained(self) -> Optional[RLPolicy]:
         """The cached RL policy — never triggers training."""
         return None if self._rl is self._UNSET else self._rl
+
+    def _inject_rl(
+        self, policy: Optional[RLPolicy], carry_out: Optional[dict]
+    ) -> None:
+        """Pre-seed the RL slot with an externally assembled policy.
+
+        Used by the per-trial reduce task (:func:`run_rl_reduce`), which
+        selects the best trial itself and must hand the resulting policy to
+        every builder of the "rl" group without retriggering the in-task
+        search.
+        """
+        self._rl = policy
+        if carry_out is not None:
+            self._rl_carry_out = carry_out
 
     @property
     def rl_carry_out(self) -> Optional[dict]:
@@ -1008,116 +1054,248 @@ def _score_policy(
     return -evaluation.costs.total
 
 
-def _train_rl_for_split(
-    split: TimeSeriesSplit,
-    tracks: Dict[int, NodeFeatureTrack],
-    sampler: JobSequenceSampler,
-    scenario: ScenarioConfig,
-    config: ExperimentConfig,
-    factory: RngFactory,
-    previous_state: Optional[dict],
-) -> Tuple[Optional[DDDQNAgent], float, Optional[dict]]:
-    """Hyperparameter search + training of the RL agent for one split.
+@dataclass(frozen=True)
+class RLTrialResult:
+    """Outcome of one hyperparameter trial of one split's RL search.
 
-    Returns (best agent, training+validation cost in node-hours, best state).
+    The unit shipped between the per-trial executor tasks and the
+    select-best reduce task: the trial's validation score, the trained
+    policy parameters (a :meth:`~repro.core.dqn.DDDQNAgent.state_dict` —
+    plain numpy arrays, cheap to pickle across the process backend) and the
+    trial's own wall-clock training span.  ``trained`` is ``False`` when the
+    split had no training data; trial 0 then passes the previous split's
+    state through ``state`` unchanged (the warm-start carry of splits
+    without history).
     """
-    evaluation_cfg = scenario.evaluation
-    mitigation_cost = evaluation_cfg.mitigation_cost_node_hours
-    normalizer = StateNormalizer()
 
-    train_tracks = {
-        node: track.slice_time(*split.train_range) for node, track in tracks.items()
-    }
-    train_tracks = {
-        node: track
-        for node, track in train_tracks.items()
-        if len(track) and track.n_decision_points > 0
-    }
-    if not train_tracks:
-        if previous_state is None:
-            return None, 0.0, None
-        agent = DDDQNAgent(
-            normalizer.state_dim,
-            config.rl_base_config.with_overrides(
-                hidden_sizes=tuple(config.rl_hidden_sizes)
-            ),
-        )
-        agent.load_state_dict(previous_state)
-        return agent, 0.0, previous_state
+    split_index: int
+    trial: int
+    score: float
+    state: Optional[dict]
+    train_seconds: float
+    trained: bool
 
-    validation_traces = build_traces(
-        tracks,
-        sampler,
-        *split.validation_range,
-        seed=int(factory.stream(f"val-{split.index}").integers(1 << 30)),
-    ) if split.validation_range[1] > split.validation_range[0] else []
-    validation_has_ues = any(trace.n_ues for trace in validation_traces)
-    training_traces_for_scoring: List[EvaluationTrace] = []
-    if not validation_has_ues:
-        # Fall back to scoring on the training range (Section 4.1) when the
-        # validation range contains no UEs.
-        training_traces_for_scoring = build_traces(
-            tracks,
-            sampler,
-            *split.train_range,
-            seed=int(factory.stream(f"trainscore-{split.index}").integers(1 << 30)),
-        )
-    scoring_traces = (
-        validation_traces if validation_has_ues else training_traces_for_scoring
-    )
 
+def _rl_n_trials(config: ExperimentConfig) -> int:
+    """Number of hyperparameter trials per split (both search rounds)."""
+    return max(1, config.rl_hyperparam_trials) + max(0, config.rl_hyperparam_refine)
+
+
+def _rl_trial_settings(
+    scenario: ScenarioConfig, config: ExperimentConfig, split_index: int
+) -> List[Tuple[DQNConfig, int]]:
+    """Pre-draw every trial's ``(DQNConfig, env seed)`` for one split.
+
+    All trials' hyperparameters and seeds are drawn *sequentially* from the
+    single keyed ``search-{split}`` stream — exactly the consumption order
+    of the historical in-task trial loop — so the decomposed per-trial
+    tasks reproduce the old loop bit for bit regardless of which worker
+    runs which trial, and both ``rl_trial_tasks`` shapes share one draw
+    sequence.  Trial 0 always uses the base configuration unchanged, so a
+    tiny search budget still contains a known-reasonable setting.
+    """
     space = HyperparameterSpace()
-    search_rng = factory.stream(f"search-{split.index}")
-    started = time.perf_counter()
-
-    best_agent: Optional[DDDQNAgent] = None
-    best_score = -np.inf
-    n_trials = max(1, config.rl_hyperparam_trials) + max(0, config.rl_hyperparam_refine)
-
-    for trial in range(n_trials):
-        if trial == 0:
-            # The base configuration is always one of the candidates, so a
-            # tiny search budget still contains a known-reasonable setting.
-            params = {}
-        else:
-            params = space.sample(search_rng)
+    search_rng = RngFactory(scenario.seed).stream(f"search-{split_index}")
+    settings: List[Tuple[DQNConfig, int]] = []
+    for trial in range(_rl_n_trials(config)):
+        params = {} if trial == 0 else space.sample(search_rng)
         dqn_config = config.rl_base_config.with_overrides(
             hidden_sizes=tuple(config.rl_hidden_sizes),
             seed=int(search_rng.integers(1 << 30)),
             **params,
         )
-        agent = DDDQNAgent(normalizer.state_dim, dqn_config)
-        if config.rl_warm_start and previous_state is not None and trial == 0:
-            # The paper starts each split from a mix of previously trained
-            # and untrained models; the first candidate continues training
-            # the best agent of the previous split.
-            agent.load_state_dict(previous_state)
-        env = MitigationEnv(
-            train_tracks,
-            sampler,
-            mitigation_cost=mitigation_cost,
-            restartable=evaluation_cfg.restartable,
-            t_start=split.train_range[0],
-            t_end=split.train_range[1],
-            normalizer=normalizer,
-            seed=int(search_rng.integers(1 << 30)),
-        )
-        train_agent(env, agent, n_episodes=config.rl_episodes)
-        policy = RLPolicy(agent, normalizer)
-        score = _score_policy(
-            policy,
-            scoring_traces,
-            mitigation_cost,
-            evaluation_cfg.restartable,
-            evaluation_cfg.prediction_window_seconds,
-        )
-        if score > best_score:
-            best_score = score
-            best_agent = agent
+        env_seed = int(search_rng.integers(1 << 30))
+        settings.append((dqn_config, env_seed))
+    return settings
 
-    training_cost_node_hours = (time.perf_counter() - started) / 3600.0
-    best_state = best_agent.state_dict() if best_agent is not None else None
-    return best_agent, training_cost_node_hours, best_state
+
+def _rl_train_tracks(
+    tracks: Dict[int, NodeFeatureTrack], split: TimeSeriesSplit
+) -> Dict[int, NodeFeatureTrack]:
+    """The nodes with trainable decision points inside the split's train range."""
+    sliced = {
+        node: track.slice_time(*split.train_range) for node, track in tracks.items()
+    }
+    return {
+        node: track
+        for node, track in sliced.items()
+        if len(track) and track.n_decision_points > 0
+    }
+
+
+def _rl_scoring_traces(
+    prepared: PreparedData, split: TimeSeriesSplit
+) -> List[EvaluationTrace]:
+    """The traces a split's RL candidates are scored on (keyed seeds).
+
+    Validation-range traces when that range contains UEs; otherwise the
+    training range (the Section 4.1 fallback).  Both seeds come from keyed
+    streams of the scenario root, so every trial task of a split — on any
+    worker — scores on identical traces, served from the process-wide
+    trace cache.
+    """
+    factory = RngFactory(prepared.scenario.seed)
+    validation_traces: List[EvaluationTrace] = []
+    if split.validation_range[1] > split.validation_range[0]:
+        seed = int(factory.stream(f"val-{split.index}").integers(1 << 30))
+        validation_traces = _cached_range_traces(
+            prepared, split, split.validation_range, seed
+        )
+    if any(trace.n_ues for trace in validation_traces):
+        return validation_traces
+    # Fall back to scoring on the training range (Section 4.1) when the
+    # validation range contains no UEs.
+    seed = int(factory.stream(f"trainscore-{split.index}").integers(1 << 30))
+    return _cached_range_traces(prepared, split, split.train_range, seed)
+
+
+def _agent_from_state(config: ExperimentConfig, state: dict) -> DDDQNAgent:
+    """Reconstruct an evaluation-ready agent from checkpointed parameters."""
+    return DDDQNAgent.from_state_dict(
+        StateNormalizer().state_dim,
+        state,
+        config.rl_base_config.with_overrides(
+            hidden_sizes=tuple(config.rl_hidden_sizes)
+        ),
+    )
+
+
+def _train_one_rl_trial(
+    prepared: PreparedData,
+    split: TimeSeriesSplit,
+    trial: int,
+    config: ExperimentConfig,
+    previous_state: Optional[dict],
+    scoring_traces: Optional[List[EvaluationTrace]] = None,
+) -> RLTrialResult:
+    """Train and score one hyperparameter candidate of one split.
+
+    Self-seeding (all randomness comes from keyed streams of the scenario
+    root plus the pre-drawn trial settings), so the executor may run trials
+    in any order on any worker without changing a single number.  The
+    recorded ``train_seconds`` span covers exactly this trial's training and
+    scoring — summing the spans gives schedule-independent
+    ``training_cost_node_hours`` accounting however the trials were laid
+    out across workers.
+
+    ``scoring_traces`` lets a caller running several trials in one process
+    (the in-task loop of :func:`_train_rl_for_split`) prefetch
+    :func:`_rl_scoring_traces` once; per-trial executor tasks leave it
+    ``None`` and share the build through the process-wide trace cache
+    instead.
+    """
+    scenario = prepared.scenario
+    evaluation_cfg = scenario.evaluation
+    train_tracks = _rl_train_tracks(prepared.tracks, split)
+    if not train_tracks:
+        return RLTrialResult(
+            split_index=split.index,
+            trial=trial,
+            score=-np.inf,
+            # Trial 0 carries the warm-start state through splits without
+            # training data; the reduce passes it on unchanged.
+            state=previous_state if trial == 0 else None,
+            train_seconds=0.0,
+            trained=False,
+        )
+    if scoring_traces is None:
+        scoring_traces = _rl_scoring_traces(prepared, split)
+    dqn_config, env_seed = _rl_trial_settings(scenario, config, split.index)[trial]
+    normalizer = StateNormalizer()
+
+    started = time.perf_counter()
+    agent = DDDQNAgent(normalizer.state_dim, dqn_config)
+    if config.rl_warm_start and previous_state is not None and trial == 0:
+        # The paper starts each split from a mix of previously trained
+        # and untrained models; the first candidate continues training
+        # the best agent of the previous split.
+        agent.load_state_dict(previous_state)
+    env = MitigationEnv(
+        train_tracks,
+        prepared.sampler,
+        mitigation_cost=evaluation_cfg.mitigation_cost_node_hours,
+        restartable=evaluation_cfg.restartable,
+        t_start=split.train_range[0],
+        t_end=split.train_range[1],
+        normalizer=normalizer,
+        seed=env_seed,
+    )
+    train_agent(env, agent, n_episodes=config.rl_episodes)
+    score = _score_policy(
+        RLPolicy(agent, normalizer),
+        scoring_traces,
+        evaluation_cfg.mitigation_cost_node_hours,
+        evaluation_cfg.restartable,
+        evaluation_cfg.prediction_window_seconds,
+    )
+    train_seconds = time.perf_counter() - started
+    return RLTrialResult(
+        split_index=split.index,
+        trial=trial,
+        score=score,
+        state=agent.state_dict(),
+        train_seconds=train_seconds,
+        trained=True,
+    )
+
+
+def _select_best_rl_trial(
+    config: ExperimentConfig, trial_results: Sequence[RLTrialResult]
+) -> Tuple[Optional[DDDQNAgent], float, Optional[dict]]:
+    """Fold a split's trial results into (best agent, cost node-hours, state).
+
+    The selection rule matches the historical loop exactly: trials are
+    considered in index order and a later trial must *strictly* beat the
+    running best, so ties resolve to the lowest trial index whichever order
+    the tasks finished in.  The charged training cost is the **sum of the
+    per-trial spans** — schedule-independent accounting that neither counts
+    executor queueing time (parallel trials) nor double-counts the agent's
+    internal gradient-update clock (the reconstructed best agent starts
+    with a zeroed counter).
+    """
+    ordered = sorted(trial_results, key=lambda result: result.trial)
+    total_seconds = sum(result.train_seconds for result in ordered)
+    best: Optional[RLTrialResult] = None
+    best_score = -np.inf
+    for result in ordered:
+        if result.trained and result.score > best_score:
+            best_score = result.score
+            best = result
+    if best is None:
+        # No trial trained (no history in the train range): pass the
+        # previous split's agent through, or nothing if there is none yet.
+        carry = ordered[0].state if ordered else None
+        if carry is None:
+            return None, 0.0, None
+        return _agent_from_state(config, carry), 0.0, carry
+    return _agent_from_state(config, best.state), total_seconds / 3600.0, best.state
+
+
+def _train_rl_for_split(
+    prepared: PreparedData,
+    split: TimeSeriesSplit,
+    config: ExperimentConfig,
+    previous_state: Optional[dict],
+) -> Tuple[Optional[DDDQNAgent], float, Optional[dict]]:
+    """Hyperparameter search + training of the RL agent for one split.
+
+    The in-task serial schedule of the same per-trial computation the
+    executor fans out when ``config.rl_trial_tasks`` is set — kept as the
+    one-release fallback shape.  Returns (best agent, summed per-trial
+    training+validation cost in node-hours, best state).
+    """
+    scoring_traces: Optional[List[EvaluationTrace]] = None
+    if _rl_train_tracks(prepared.tracks, split):
+        # Prefetch once for all trials (matters for hand-built PreparedData
+        # without a content key, which opts out of the trace cache).
+        scoring_traces = _rl_scoring_traces(prepared, split)
+    results = [
+        _train_one_rl_trial(
+            prepared, split, trial, config, previous_state, scoring_traces
+        )
+        for trial in range(_rl_n_trials(config))
+    ]
+    return _select_best_rl_trial(config, results)
 
 
 # --------------------------------------------------------------------- #
@@ -1159,6 +1337,34 @@ def evaluate_split(
     )
 
 
+def _evaluate_group(
+    ctx: SplitContext, group: str, config: ExperimentConfig
+) -> GroupOutcome:
+    """Build and evaluate every enabled approach of ``group`` on ``ctx``.
+
+    The shared tail of :func:`run_split_group` and :func:`run_rl_reduce`,
+    so the single-task and per-trial task shapes cannot drift apart.
+    """
+    specs = [spec for spec in enabled_specs(config) if spec.group == group]
+    evaluations = {
+        spec.name: ctx.evaluate(spec.build(ctx, config, ctx.factory))
+        for spec in specs
+    }
+    # Figure 6 artifacts are read from the context cache, never computed
+    # here: a custom approach in the "rf" / "rl" group whose builder did not
+    # ask for the shared model must not pay for training it.
+    sc20_artifacts = ctx.sc20_if_trained()
+    return GroupOutcome(
+        split_index=ctx.split.index,
+        group=group,
+        evaluations=evaluations,
+        n_test_events=sum(len(trace) for trace in ctx.test_traces()),
+        rl_state=ctx.rl_carry_out if group == "rl" else None,
+        sc20_policy=sc20_artifacts.optimal_policy if sc20_artifacts else None,
+        rl_policy=ctx.rl_if_trained(),
+    )
+
+
 def run_split_group(
     deps: Dict[str, "GroupOutcome"],
     prepared: PreparedData,
@@ -1178,24 +1384,62 @@ def run_split_group(
     for outcome in deps.values():
         rl_state_in = outcome.rl_state
     ctx = SplitContext(prepared, split, config, rl_carry_in=rl_state_in)
-    specs = [spec for spec in enabled_specs(config) if spec.group == group]
-    evaluations = {
-        spec.name: ctx.evaluate(spec.build(ctx, config, ctx.factory))
-        for spec in specs
-    }
-    # Figure 6 artifacts are read from the context cache, never computed
-    # here: a custom approach in the "rf" / "rl" group whose builder did not
-    # ask for the shared model must not pay for training it.
-    sc20_artifacts = ctx.sc20_if_trained()
-    return GroupOutcome(
-        split_index=split.index,
-        group=group,
-        evaluations=evaluations,
-        n_test_events=sum(len(trace) for trace in ctx.test_traces()),
-        rl_state=ctx.rl_carry_out if group == "rl" else None,
-        sc20_policy=sc20_artifacts.optimal_policy if sc20_artifacts else None,
-        rl_policy=ctx.rl_if_trained(),
-    )
+    return _evaluate_group(ctx, group, config)
+
+
+def run_rl_trial(
+    deps: Dict[str, Any],
+    prepared: PreparedData,
+    split: TimeSeriesSplit,
+    trial: int,
+    config: ExperimentConfig,
+) -> RLTrialResult:
+    """Train one RL hyperparameter candidate (per-trial executor task).
+
+    ``deps`` is empty for the independent search trials 1..N; trial 0 — the
+    warm-started base candidate — receives the previous split's "rl" reduce
+    outcome, whose ``rl_state`` seeds this split's warm start.  ``prepared``
+    arrives through the executor's ``shared`` channel.
+    """
+    previous_state: Optional[dict] = None
+    for outcome in deps.values():
+        previous_state = outcome.rl_state
+    return _train_one_rl_trial(prepared, split, trial, config, previous_state)
+
+
+def run_rl_reduce(
+    deps: Dict[str, Any],
+    prepared: PreparedData,
+    split: TimeSeriesSplit,
+    config: ExperimentConfig,
+) -> GroupOutcome:
+    """Select a split's best RL trial and evaluate the "rl" approach group.
+
+    The reduce task of the per-trial fan-out: ``deps`` carries this split's
+    :class:`RLTrialResult`\\ s, from which the best candidate is chosen by
+    the same strictly-better-in-trial-order rule as the historical loop,
+    reconstructed via :meth:`~repro.core.dqn.DDDQNAgent.from_state_dict`
+    and handed to every builder of the group.  Keyed under
+    ``rl-{split}``, so the warm-start chain (the next split's trial 0
+    depends on this task) and :func:`aggregate` see exactly the shape the
+    single-task graph produced.
+    """
+    ensure_sc20_variants(config)
+    trial_results = [
+        value for value in deps.values() if isinstance(value, RLTrialResult)
+    ]
+    agent, training_cost, best_state = _select_best_rl_trial(config, trial_results)
+    ctx = SplitContext(prepared, split, config)
+    if agent is not None:
+        ctx._inject_rl(
+            RLPolicy(
+                agent, StateNormalizer(), training_cost_node_hours=training_cost
+            ),
+            best_state,
+        )
+    else:
+        ctx._inject_rl(None, None)
+    return _evaluate_group(ctx, "rl", config)
 
 
 # --------------------------------------------------------------------- #
@@ -1210,6 +1454,12 @@ def _has_rl_train_data(prepared: PreparedData, split: TimeSeriesSplit) -> bool:
     return False
 
 
+#: Priority of the tasks on the RL warm-start chain (trial-0, reduce, and
+#: the chained single-task shape): the chain is the task graph's critical
+#: path, so among simultaneously ready tasks it always gets a worker first.
+_CHAIN_PRIORITY = 10
+
+
 def build_split_tasks(
     prepared: PreparedData,
     splits: Sequence[TimeSeriesSplit],
@@ -1217,44 +1467,99 @@ def build_split_tasks(
     key_prefix: str = "",
     task_fn: Optional[Callable[..., Any]] = None,
     task_args: Tuple = (),
+    trial_task_fn: Optional[Callable[..., Any]] = None,
+    reduce_task_fn: Optional[Callable[..., Any]] = None,
 ) -> List[Task]:
-    """One executor task per (split × enabled approach group).
+    """The executor task graph of one experiment's splits.
 
-    RL tasks of consecutive splits are chained when the warm start (or the
-    pass-the-previous-agent-through fallback of splits without training
-    data) makes split ``k`` depend on split ``k - 1``; every other task is
-    independent.
+    One task per (split × enabled approach group) — except the "rl" group,
+    which with ``config.rl_trial_tasks`` (the default, when the built-in RL
+    approach is enabled) decomposes into one task per hyperparameter trial
+    plus a select-best reduce task per split:
 
-    The returned tasks carry only (split, group, config); the driver passes
-    the heavyweight :class:`PreparedData` once through the executor's
-    ``shared`` channel instead of once per task.
+    * ``rl-trial{t}-{k}`` — trial ``t`` of split ``k``.  Trials 1..N are
+      independent hyperparameter samples with **no** dependencies; they fan
+      out across workers immediately.  Trial 0, the warm-started base
+      candidate, depends on the previous split's reduce task — the only
+      cross-split edge, so the serial critical path holds ``splits`` (not
+      ``splits × trials``) training runs.
+    * ``rl-{k}`` — the reduce: selects the split's best trial, evaluates the
+      group, and carries the warm-start state.  It keeps the exact key of
+      the old single "rl" task, so :func:`aggregate` and the chain edges
+      are oblivious to the decomposition.
+
+    Chain tasks get a high :attr:`~repro.evaluation.executor.Task.priority`
+    (critical-path-first scheduling).  RL tasks of consecutive splits are
+    chained when the warm start (or the pass-the-previous-agent-through
+    fallback of splits without training data) makes split ``k`` depend on
+    split ``k - 1``; every other task is independent.
+
+    The returned tasks carry only (split[, trial][, group], config); the
+    driver passes the heavyweight :class:`PreparedData` once through the
+    executor's ``shared`` channel instead of once per task.
 
     ``key_prefix`` namespaces the task keys (and the RL chain's dependency
     edges) so several experiments can coexist in one task graph — the sweep
     engine prefixes each point's tasks with its label.  ``task_fn`` /
-    ``task_args`` substitute a custom module-level task callable invoked as
-    ``task_fn(deps, shared, *task_args, split, group, config)`` in place of
-    :func:`run_split_group`.
+    ``trial_task_fn`` / ``reduce_task_fn`` (+ ``task_args``) substitute
+    custom module-level task callables invoked as
+    ``task_fn(deps, shared, *task_args, split, group, config)``,
+    ``trial_task_fn(deps, shared, *task_args, split, trial, config)`` and
+    ``reduce_task_fn(deps, shared, *task_args, split, config)`` in place of
+    :func:`run_split_group` / :func:`run_rl_trial` / :func:`run_rl_reduce`.
     """
     ensure_sc20_variants(config)
     fn = run_split_group if task_fn is None else task_fn
+    trial_fn = run_rl_trial if trial_task_fn is None else trial_task_fn
+    reduce_fn = run_rl_reduce if reduce_task_fn is None else reduce_task_fn
     groups = approach_groups(config)
     chain_rl = "rl" in groups and (
         config.rl_warm_start
         or any(not _has_rl_train_data(prepared, split) for split in splits)
     )
+    # Fan out per-trial tasks only when the built-in RL approach runs: a
+    # custom approach in the "rl" group may never ask for the shared agent,
+    # and the lazy single-task shape must not pay for training it.
+    rl_fan_out = config.rl_trial_tasks and any(
+        spec.name == "RL" for spec in groups.get("rl", [])
+    )
     tasks: List[Task] = []
     for split in splits:
         for group in groups:
-            deps: Tuple[str, ...] = ()
+            chain_dep: Tuple[str, ...] = ()
             if group == "rl" and chain_rl and split.index > 0:
-                deps = (f"{key_prefix}rl-{split.index - 1}",)
+                chain_dep = (f"{key_prefix}rl-{split.index - 1}",)
+            if group == "rl" and rl_fan_out:
+                trial_keys: List[str] = []
+                for trial in range(_rl_n_trials(config)):
+                    key = f"{key_prefix}rl-trial{trial}-{split.index}"
+                    trial_keys.append(key)
+                    tasks.append(
+                        Task(
+                            key=key,
+                            fn=trial_fn,
+                            args=tuple(task_args) + (split, trial, config),
+                            deps=chain_dep if trial == 0 else (),
+                            priority=_CHAIN_PRIORITY if trial == 0 else 0,
+                        )
+                    )
+                tasks.append(
+                    Task(
+                        key=f"{key_prefix}rl-{split.index}",
+                        fn=reduce_fn,
+                        args=tuple(task_args) + (split, config),
+                        deps=tuple(trial_keys),
+                        priority=_CHAIN_PRIORITY,
+                    )
+                )
+                continue
             tasks.append(
                 Task(
                     key=f"{key_prefix}{group}-{split.index}",
                     fn=fn,
                     args=tuple(task_args) + (split, group, config),
-                    deps=deps,
+                    deps=chain_dep,
+                    priority=_CHAIN_PRIORITY if group == "rl" and chain_rl else 0,
                 )
             )
     return tasks

@@ -51,7 +51,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ScenarioConfig
 from repro.evaluation.costs import CostBreakdown
-from repro.evaluation.executor import Task, execute_tasks
+from repro.evaluation.executor import ExecutorStats, Task, execute_tasks
 from repro.evaluation.pipeline import (
     ExperimentConfig,
     ExperimentResult,
@@ -62,6 +62,8 @@ from repro.evaluation.pipeline import (
     build_split_tasks,
     default_prepared_cache,
     make_splits,
+    run_rl_reduce,
+    run_rl_trial,
     run_split_group,
 )
 from repro.evaluation.report import format_cost_table, format_sweep_table
@@ -397,6 +399,31 @@ def _run_sweep_group(
     return run_split_group(deps, shared[label], split, group, config)
 
 
+def _run_sweep_rl_trial(
+    deps: Dict[str, Any],
+    shared: Dict[str, PreparedData],
+    label: str,
+    split,
+    trial: int,
+    config: ExperimentConfig,
+):
+    """One (point × split × RL trial) task — the sweep-side trampoline of
+    :func:`~repro.evaluation.pipeline.run_rl_trial`."""
+    return run_rl_trial(deps, shared[label], split, trial, config)
+
+
+def _run_sweep_rl_reduce(
+    deps: Dict[str, Any],
+    shared: Dict[str, PreparedData],
+    label: str,
+    split,
+    config: ExperimentConfig,
+) -> GroupOutcome:
+    """One (point × split) RL select-best reduce task — the sweep-side
+    trampoline of :func:`~repro.evaluation.pipeline.run_rl_reduce`."""
+    return run_rl_reduce(deps, shared[label], split, config)
+
+
 def run_sweep(
     spec: SweepSpec,
     config: Optional[ExperimentConfig] = None,
@@ -471,14 +498,18 @@ def run_sweep(
                 key_prefix=f"{point.label}/",
                 task_fn=_run_sweep_group,
                 task_args=(point.label,),
+                trial_task_fn=_run_sweep_rl_trial,
+                reduce_task_fn=_run_sweep_rl_reduce,
             )
         )
 
+    stats = ExecutorStats()
     outcomes = execute_tasks(
         tasks,
         n_workers=config.n_workers,
         kind=config.executor_kind,
         shared=prepared,
+        stats=stats,
     )
     elapsed = time.perf_counter() - started
 
@@ -515,6 +546,9 @@ def run_sweep(
         extras={
             "points_loaded": [p.label for p in points if p.label in loaded],
             "points_computed": [p.label for p in points if p.label not in loaded],
+            # Run diagnostics (never serialized): task-level timing of the
+            # whole sweep graph, including the measured critical path.
+            "executor_stats": stats,
         },
     )
     if use_store:

@@ -17,9 +17,10 @@ sessions:
 ``results/<key>.json``
     One :class:`~repro.evaluation.pipeline.ExperimentResult`, keyed by the
     full (scenario, experiment-config) pair *minus* the scheduling knobs
-    (``n_workers``, ``executor_kind``) — the golden harness proves the
-    schedule never changes the numbers, so serial and parallel runs of one
-    experiment share a result slot.
+    (``n_workers``, ``executor_kind``, ``rl_trial_tasks``) — the golden
+    harness proves the schedule never changes the numbers, so serial and
+    parallel runs (and both RL task shapes) of one experiment share a
+    result slot.
 ``sweeps/<key>.json``
     One sweep manifest mapping each point label of a
     :class:`~repro.evaluation.sweep.SweepSpec` to its result key, so
@@ -61,9 +62,10 @@ from repro.workload.sampling import JobSequenceSampler
 __all__ = ["ArtifactStore"]
 
 #: Experiment-config fields that select a *schedule*, not a result: two runs
-#: differing only here produce identical numbers (golden-tested), so they
-#: must share one result slot.
-_SCHEDULE_FIELDS = ("n_workers", "executor_kind")
+#: differing only here produce identical numbers (golden-tested; the
+#: per-trial RL task shape is result-identical to the in-task loop by
+#: construction), so they must share one result slot.
+_SCHEDULE_FIELDS = ("n_workers", "executor_kind", "rl_trial_tasks")
 
 
 def _digest(payload: Any) -> str:

@@ -94,6 +94,29 @@ class TestAgentBasics:
         state = np.ones(4)
         assert np.allclose(agent.q_values(state), other.q_values(state))
 
+    def test_from_state_dict_reconstructs_the_policy_exactly(self, rng):
+        # The executor round-trip of the per-trial RL search: a trained
+        # agent's checkpoint crosses a process boundary and comes back as a
+        # greedy-evaluation agent with bit-identical Q-values.
+        agent = DDDQNAgent(4, _config(train_frequency=1))
+        for _ in range(20):
+            agent.observe(_transition(rng))
+        restored = DDDQNAgent.from_state_dict(4, agent.state_dict())
+        for _ in range(5):
+            state = rng.normal(size=4)
+            assert np.array_equal(agent.q_values(state), restored.q_values(state))
+        # Hidden layout is inferred from the checkpoint, not the config.
+        assert tuple(restored.config.hidden_sizes) == (16, 8)
+        # Cheap reconstruction: no full-size empty replay buffer, and a
+        # zeroed training clock (nothing trained on this instance).
+        assert restored.config.buffer_capacity == 1
+        assert restored.training_cost_node_hours == 0.0
+
+    def test_from_state_dict_rejects_mismatched_state_dim(self):
+        agent = DDDQNAgent(4, _config())
+        with pytest.raises(ValueError, match="dimensional"):
+            DDDQNAgent.from_state_dict(7, agent.state_dict())
+
 
 class TestLearning:
     def test_observe_trains_after_warmup(self, rng):

@@ -1,8 +1,15 @@
 """Tests for the dependency-aware task executor."""
 
+import time
+
 import pytest
 
-from repro.evaluation.executor import Task, TaskGraphError, execute_tasks
+from repro.evaluation.executor import (
+    ExecutorStats,
+    Task,
+    TaskGraphError,
+    execute_tasks,
+)
 
 
 # Module-level so the process backend can pickle them.
@@ -143,6 +150,115 @@ class TestSpawnFallback:
         with pytest.warns(RuntimeWarning, match="process pool unavailable"):
             results = execute_tasks(_graph(), n_workers=2, kind="process")
         assert results == {"a": 1, "b": 10, "c": 111, "d": 1111}
+
+
+def _record_key(deps, shared, key):
+    shared["order"].append(key)
+    return key
+
+
+def _sleep_for(deps, seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+class TestPriority:
+    def test_ready_tasks_run_highest_priority_first(self):
+        shared = {"order": []}
+        tasks = [
+            Task(key="low", fn=_record_key, args=("low",), priority=0),
+            Task(key="high", fn=_record_key, args=("high",), priority=10),
+            Task(key="mid", fn=_record_key, args=("mid",), priority=5),
+        ]
+        execute_tasks(tasks, n_workers=1, shared=shared)
+        assert shared["order"] == ["high", "mid", "low"]
+
+    def test_priority_never_overrides_a_dependency(self):
+        shared = {"order": []}
+        tasks = [
+            Task(key="urgent-but-blocked", fn=_record_key,
+                 args=("urgent-but-blocked",), deps=("mundane",), priority=100),
+            Task(key="mundane", fn=_record_key, args=("mundane",), priority=0),
+        ]
+        execute_tasks(tasks, n_workers=1, shared=shared)
+        assert shared["order"] == ["mundane", "urgent-but-blocked"]
+
+    def test_equal_priorities_keep_declaration_order(self):
+        shared = {"order": []}
+        tasks = [
+            Task(key=f"t{i}", fn=_record_key, args=(f"t{i}",)) for i in range(4)
+        ]
+        execute_tasks(tasks, n_workers=1, shared=shared)
+        assert shared["order"] == ["t0", "t1", "t2", "t3"]
+
+    def test_late_ready_chain_task_preempts_queued_fanout(self):
+        # Regression: submissions are capped at the worker count, so a
+        # high-priority task becoming ready mid-run (a warm-start reduce)
+        # is selected at the next free slot instead of queueing behind
+        # fan-out tasks that were all handed to the pool's FIFO up front.
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.evaluation.executor import _run_pooled
+
+        shared = {"order": []}
+        tasks = [
+            Task(key="seed", fn=_record_key, args=("seed",)),
+            Task(key="fan0", fn=_record_key, args=("fan0",)),
+            Task(key="fan1", fn=_record_key, args=("fan1",)),
+            Task(key="chain", fn=_record_key, args=("chain",),
+                 deps=("seed",), priority=10),
+        ]
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            _run_pooled(tasks, pool, shared=shared, max_in_flight=1)
+        assert shared["order"] == ["seed", "chain", "fan0", "fan1"]
+
+
+class TestExecutorStats:
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_every_task_is_timed(self, kind):
+        stats = ExecutorStats()
+        results = execute_tasks(_graph(), n_workers=2, kind=kind, stats=stats)
+        assert results["d"] == 1111  # timing must not disturb results
+        assert set(stats.task_seconds) == {"a", "b", "c", "d"}
+        assert all(seconds >= 0.0 for seconds in stats.task_seconds.values())
+        assert stats.wallclock_seconds > 0.0
+        assert stats.critical_path_seconds <= stats.total_task_seconds + 1e-9
+
+    def test_critical_path_follows_the_heavy_chain(self):
+        # chain: a(0.05) -> c(0.05) -> d(0.01); b(0.01) is off-chain.
+        tasks = [
+            Task(key="a", fn=_sleep_for, args=(0.05,)),
+            Task(key="b", fn=_sleep_for, args=(0.01,)),
+            Task(key="c", fn=_sleep_for, args=(0.05,), deps=("a", "b")),
+            Task(key="d", fn=_sleep_for, args=(0.01,), deps=("c",)),
+        ]
+        stats = ExecutorStats()
+        execute_tasks(tasks, n_workers=1, stats=stats)
+        assert stats.critical_path == ("a", "c", "d")
+        expected = sum(stats.task_seconds[key] for key in ("a", "c", "d"))
+        assert stats.critical_path_seconds == pytest.approx(expected)
+
+    def test_empty_graph_yields_empty_stats(self):
+        stats = ExecutorStats()
+        assert execute_tasks([], n_workers=2, stats=stats) == {}
+        assert stats.task_seconds == {}
+        assert stats.critical_path == ()
+        assert stats.critical_path_seconds == 0.0
+
+    def test_stats_survive_the_serial_fallback(self, monkeypatch):
+        import repro.evaluation.executor as executor_mod
+
+        def _refuse(**kwargs):
+            raise PermissionError("no processes for you")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _refuse)
+        stats = ExecutorStats()
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            results = execute_tasks(
+                _graph(), n_workers=2, kind="process", stats=stats
+            )
+        assert results["d"] == 1111
+        assert set(stats.task_seconds) == {"a", "b", "c", "d"}
 
 
 class TestSharedPayload:

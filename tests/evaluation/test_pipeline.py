@@ -93,7 +93,8 @@ class TestStages:
         self, tiny_prepared, tiny_scenario
     ):
         splits = make_splits(tiny_scenario)
-        tasks = build_split_tasks(tiny_prepared, splits, TINY_CONFIG)
+        config = TINY_CONFIG.with_overrides(rl_trial_tasks=False)
+        tasks = build_split_tasks(tiny_prepared, splits, config)
         # 4 groups (static, rf, rl, oracle) x n splits.
         assert len(tasks) == 4 * len(splits)
         by_key = {task.key: task for task in tasks}
@@ -102,6 +103,22 @@ class TestStages:
         # ...while everything else is independent.
         assert by_key["rf-1"].deps == ()
         assert by_key["static-3"].deps == ()
+
+    def test_build_split_tasks_default_fans_out_rl_trials(
+        self, tiny_prepared, tiny_scenario
+    ):
+        # The default shape: one task per trial plus a select-best reduce
+        # for the "rl" group, single tasks for every other group.  TINY_CONFIG
+        # runs one trial per split, so each split gains exactly one extra task.
+        splits = make_splits(tiny_scenario)
+        tasks = build_split_tasks(tiny_prepared, splits, TINY_CONFIG)
+        assert len(tasks) == 5 * len(splits)
+        by_key = {task.key: task for task in tasks}
+        # The reduce keeps the old chain key and carries the warm-start edge
+        # to the next split's base candidate.
+        assert by_key["rl-0"].deps == ("rl-trial0-0",)
+        assert by_key["rl-trial0-1"].deps == ("rl-0",)
+        assert by_key["rf-1"].deps == ()
 
     def test_group_tag_alone_does_not_trigger_training(
         self, tiny_prepared, tiny_scenario, monkeypatch
@@ -144,7 +161,7 @@ class TestStages:
         # Regression: include_rf=False used to crash in ensure_sc20_variants,
         # which mistook the disabled default variants for name collisions.
         splits = make_splits(tiny_scenario)
-        config = TINY_CONFIG.with_overrides(include_rf=False)
+        config = TINY_CONFIG.with_overrides(include_rf=False, rl_trial_tasks=False)
         tasks = build_split_tasks(tiny_prepared, splits, config)
         assert len(tasks) == 3 * len(splits)  # static, rl, oracle
         assert not any(task.key.startswith("rf-") for task in tasks)
@@ -156,7 +173,9 @@ class TestStages:
 
     def test_rl_chain_released_without_warm_start(self, tiny_prepared, tiny_scenario):
         splits = make_splits(tiny_scenario)
-        config = TINY_CONFIG.with_overrides(rl_warm_start=False)
+        config = TINY_CONFIG.with_overrides(
+            rl_warm_start=False, rl_trial_tasks=False
+        )
         tasks = build_split_tasks(tiny_prepared, splits, config)
         rl_deps = [task.deps for task in tasks if task.key.startswith("rl-")]
         # Either fully independent (all splits have training data) or fully

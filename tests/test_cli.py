@@ -50,6 +50,20 @@ class TestParsing:
         with pytest.raises(SystemExit):
             cli.main(["report", "--store", "x", "--which", "totl"])
 
+    @pytest.mark.parametrize("command", ["run", "sweep"])
+    def test_rl_trial_tasks_flag_reaches_the_config(self, command):
+        parser = cli.build_parser()
+        default = parser.parse_args([command] + FAST_FLAGS)
+        assert default.rl_trial_tasks is None
+        # Unset -> the ExperimentConfig default (per-trial tasks on).
+        assert cli._config_from_args(default).rl_trial_tasks is True
+
+        on = parser.parse_args([command, "--rl-trial-tasks"] + FAST_FLAGS)
+        assert cli._config_from_args(on).rl_trial_tasks is True
+
+        off = parser.parse_args([command, "--no-rl-trial-tasks"] + FAST_FLAGS)
+        assert cli._config_from_args(off).rl_trial_tasks is False
+
 
 class TestReportErrors:
     def test_report_on_empty_store_fails_cleanly(self, tmp_path, capsys):
@@ -80,6 +94,9 @@ class TestSweepLifecycle:
         assert "cost=2" in first and "cost=10" in first
         assert "points computed: 2" in first
         assert "points loaded from store: 0" in first
+        # The executor's measured critical path is part of the report, so
+        # the chain-vs-fan speedup is observable from the command line.
+        assert "critical path" in first
 
         assert cli.main(["report", "--store", store_dir]) == 0
         report = capsys.readouterr().out
