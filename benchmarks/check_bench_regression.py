@@ -7,8 +7,10 @@ Usage::
         [--tolerance 0.25]
 
 Exit status 0 when the current measurements are within tolerance of the
-baseline, 1 with a line per violation otherwise.  The rules are chosen to
-be meaningful across machines:
+baseline, 1 with a line per violation otherwise.  The file's ``benchmark``
+field selects the rule set.
+
+``rl_parallel`` (executor-schedule benchmark):
 
 * ``results_identical`` must be true — a benchmark that changed the numbers
   is a correctness failure, not a performance data point.
@@ -26,6 +28,17 @@ be meaningful across machines:
   ``bench-rl-parallel-*`` artifact — to arm the full ratio gate.
 * Absolute seconds are never compared across machines: the recorded
   ``cpu_count`` travels with the JSON so readers can interpret them.
+
+``decision_core`` (vectorized replay/PER/features benchmark):
+
+* ``results_identical`` must be true, as above.
+* The vector-vs-scalar speedups (``replay_speedup``, ``per_speedup``,
+  ``feature_speedup``) are single-process, schedule-independent ratios, so
+  they are gated on **every** runner — core count does not matter.
+  ``replay_speedup`` and ``feature_speedup`` must stay >= 1.0 and within
+  ``--tolerance`` of the committed baseline; ``per_speedup`` hovers at the
+  parity boundary by design (dispatch-bound at mini-batch size), so only a
+  structural >= 0.85 floor is armed for it.
 """
 
 from __future__ import annotations
@@ -36,6 +49,58 @@ import sys
 from typing import List
 
 
+#: Speedup ratios recorded by the decision-core benchmark, with their
+#: structural floors.  All are vector-vs-scalar comparisons within one
+#: process, valid on any runner.  ``per_speedup`` sits at the parity
+#: boundary by design (mini-batch-32 sampling is numpy-dispatch-bound, see
+#: ROADMAP), so its floor only guards against a real loss to the scalar
+#: path, not measurement noise — and it is excluded from the
+#: baseline-ratio comparison, where a 25% band around ~1.3 would be pure
+#: noise gating.
+DECISION_CORE_RATIOS = {
+    "replay_speedup": 1.0,
+    "per_speedup": 0.85,
+    "feature_speedup": 1.0,
+}
+_RATIO_COMPARED_TO_BASELINE = ("replay_speedup", "feature_speedup")
+
+
+def check_decision_core(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+) -> List[str]:
+    """Regression findings of a ``decision_core`` run against its baseline."""
+    findings: List[str] = []
+    if not current.get("results_identical", False):
+        findings.append(
+            "results_identical is false: the vectorized decision core "
+            "changed the replay/PER/feature numbers"
+        )
+    for metric, floor in DECISION_CORE_RATIOS.items():
+        got = current.get(metric)
+        if got is None:
+            findings.append(f"{metric} is missing from the current run")
+            continue
+        if got < floor:
+            findings.append(
+                f"{metric} {got:.2f} < {floor:.2f}: the vectorized "
+                "path no longer clears its structural floor over the "
+                "scalar reference"
+            )
+        if metric not in _RATIO_COMPARED_TO_BASELINE:
+            continue
+        base = baseline.get(metric)
+        if base is not None:
+            baseline_floor = base * (1.0 - tolerance)
+            if got < baseline_floor:
+                findings.append(
+                    f"{metric} regressed by more than {tolerance:.0%}: "
+                    f"{got:.2f} < {baseline_floor:.2f} (baseline {base:.2f})"
+                )
+    return findings
+
+
 def check(
     current: dict,
     baseline: dict,
@@ -43,6 +108,8 @@ def check(
     min_fan_speedup: float = 1.0,
 ) -> List[str]:
     """All regression findings of ``current`` against ``baseline``."""
+    if current.get("benchmark") == "decision_core":
+        return check_decision_core(current, baseline, tolerance)
     findings: List[str] = []
 
     if not current.get("results_identical", False):
@@ -118,6 +185,15 @@ def main(argv=None) -> int:
         for finding in findings:
             print(f"  - {finding}")
         return 1
+    if current.get("benchmark") == "decision_core":
+        ratios = ", ".join(
+            f"{metric}={current.get(metric)}x" for metric in DECISION_CORE_RATIOS
+        )
+        print(
+            "benchmark regression gate passed (decision-core ratios armed "
+            f"on any runner; {ratios})"
+        )
+        return 0
     cores = current.get("cpu_count") or 1
     baseline_cores = baseline.get("cpu_count") or 1
     if cores < 2:

@@ -75,6 +75,7 @@ class DecisionTreeClassifier:
         self._rng = as_generator(seed, "tree")
         self._nodes: List[_Node] = []
         self.n_features_: Optional[int] = None
+        self._flat: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -108,6 +109,7 @@ class DecisionTreeClassifier:
             raise ValueError("labels must be binary (0/1)")
         self.n_features_ = X.shape[1]
         self._nodes = []
+        self._flat = None
         self._build(X, y, np.arange(X.shape[0]), depth=0)
         return self
 
@@ -206,8 +208,56 @@ class DecisionTreeClassifier:
         return best
 
     # ------------------------------------------------------------------ #
+    def _flat_arrays(self) -> tuple:
+        """Array form of the fitted tree: ``(feature, threshold, left,
+        right, probability, depth)``.
+
+        Built lazily after :meth:`fit` and cached.  Leaves are encoded as
+        self-loops (``left == right == node``, dummy feature 0, threshold
+        ``+inf``) so the level-synchronous traversal needs no per-level
+        pending-row filtering: rows parked on a leaf keep re-selecting it.
+        ``depth`` is the maximum node depth — the number of traversal steps
+        that provably parks every row on a leaf.
+        """
+        if self._flat is None:
+            n_nodes = len(self._nodes)
+            feature = np.zeros(n_nodes, dtype=np.int64)
+            threshold = np.full(n_nodes, np.inf)
+            left = np.arange(n_nodes, dtype=np.int64)
+            right = np.arange(n_nodes, dtype=np.int64)
+            probability = np.empty(n_nodes)
+            depth = np.zeros(n_nodes, dtype=np.int64)
+            for index, node in enumerate(self._nodes):
+                probability[index] = node.probability
+                if node.feature is not None:
+                    feature[index] = node.feature
+                    threshold[index] = node.threshold
+                    left[index] = node.left
+                    right[index] = node.right
+                    # _build appends parents before children (preorder), so
+                    # child depths resolve in one forward pass.
+                    depth[node.left] = depth[index] + 1
+                    depth[node.right] = depth[index] + 1
+            self._flat = (
+                feature,
+                threshold,
+                left,
+                right,
+                probability,
+                int(depth.max()) if n_nodes else 0,
+            )
+        return self._flat
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Probability of the positive class for each sample."""
+        """Probability of the positive class for each sample.
+
+        Level-synchronous traversal: every row holds a node pointer and all
+        rows advance one level per iteration (leaves self-loop), so a batch
+        prediction costs O(depth) vectorized steps instead of a Python loop
+        over tree nodes.  Each row performs exactly the comparisons the
+        node-by-node walk would — predictions are bitwise identical for any
+        batch size.
+        """
         if not self.is_fitted:
             raise RuntimeError("the tree has not been fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
@@ -215,9 +265,22 @@ class DecisionTreeClassifier:
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.shape[1]}"
             )
+        feature, threshold, left, right, probability, depth = self._flat_arrays()
+        n_rows = X.shape[0]
+        flat_x = np.ascontiguousarray(X).ravel()
+        row_base = np.arange(n_rows, dtype=np.int64) * X.shape[1]
+        node = np.zeros(n_rows, dtype=np.int64)
+        for _ in range(depth):
+            values = flat_x[row_base + feature[node]]
+            node = np.where(values <= threshold[node], left[node], right[node])
+        return probability[node]
+
+    def _predict_proba_queue(self, X: np.ndarray) -> np.ndarray:
+        """Historical queue-based traversal (reference for equivalence tests)."""
+        if not self.is_fitted:
+            raise RuntimeError("the tree has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
         probabilities = np.empty(X.shape[0], dtype=float)
-        # Queue-based traversal: all samples start at the root and flow down
-        # in groups, so prediction is vectorised per node rather than per row.
         queue = [(0, np.arange(X.shape[0]))]
         while queue:
             node_index, rows = queue.pop()
@@ -231,6 +294,20 @@ class DecisionTreeClassifier:
             queue.append((node.left, rows[mask]))
             queue.append((node.right, rows[~mask]))
         return probabilities
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Explicit batched probability prediction for a feature matrix.
+
+        The canonical whole-trace entry point of the vectorized decision
+        core (one call per evaluation trace).  Tree traversal routes each
+        row independently — thresholds are compared per row, never combined
+        across rows — so the result is bitwise identical to predicting the
+        rows one at a time, whatever the batch size.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("predict_batch expects a 2-D feature matrix")
+        return self.predict_proba(X)
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Binary prediction at the given probability threshold."""

@@ -10,6 +10,10 @@ calibrated probability.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.baselines.sc20 import SC20RandomForestPolicy
 from repro.core.policies import DecisionContext, MitigationPolicy
 from repro.utils.validation import check_non_negative
@@ -17,6 +21,10 @@ from repro.utils.validation import check_non_negative
 
 class MyopicRFPolicy(MitigationPolicy):
     """Mitigate when ``P(UE) × UE_cost > mitigation_cost``."""
+
+    #: The decision depends on the potential UE cost, which mitigations of
+    #: restartable jobs reset — the runner resolves the feedback loop.
+    cost_dependent = True
 
     def __init__(
         self,
@@ -35,10 +43,28 @@ class MyopicRFPolicy(MitigationPolicy):
     def prepare_trace(self, features) -> None:
         self.sc20_policy.prepare_trace(features)
 
+    def prepare_traces(self, traces) -> None:
+        self.sc20_policy.prepare_traces(traces)
+
     def decide(self, context: DecisionContext) -> bool:
         probability = self.sc20_policy.probability_for(context)
         expected_ue_cost = probability * context.ue_cost
         return expected_ue_cost > self.mitigation_cost
+
+    def decide_batch(
+        self,
+        trace,
+        ue_costs: Optional[np.ndarray] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        """Element-wise expected-cost rule over the cached forest outputs."""
+        if ue_costs is None:
+            return None
+        stop = len(trace) if stop is None else stop
+        probabilities = self.sc20_policy.trace_probabilities(trace)[start:stop]
+        expected = probabilities * np.asarray(ue_costs, dtype=float)
+        return expected > self.mitigation_cost
 
     @property
     def training_cost_node_hours(self) -> float:

@@ -41,6 +41,10 @@ class RandomForestClassifier:
         self._rng = as_generator(seed, "forest")
         self.trees_: List[DecisionTreeClassifier] = []
         self.n_features_: Optional[int] = None
+        self._stacked: Optional[tuple] = None
+        #: Bulk trace predictions shared across the SC20-family policies
+        #: (written by ``SC20RandomForestPolicy.prepare_traces``).
+        self._shared_trace_predictions: Optional[tuple] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -56,6 +60,8 @@ class RandomForestClassifier:
             raise ValueError("cannot fit a forest on an empty dataset")
         self.n_features_ = X.shape[1]
         self.trees_ = []
+        self._stacked = None
+        self._shared_trace_predictions = None
         n = X.shape[0]
         for i in range(self.n_estimators):
             if self.bootstrap:
@@ -73,15 +79,89 @@ class RandomForestClassifier:
             self.trees_.append(tree)
         return self
 
+    def _stacked_arrays(self) -> tuple:
+        """All trees' flat node arrays concatenated, children re-offset.
+
+        Lets one level-synchronous walk advance every (tree, row) pair at
+        once instead of paying per-tree Python overhead; built lazily and
+        cached until the next :meth:`fit`.
+        """
+        if self._stacked is None:
+            features, thresholds, lefts, rights, probabilities = [], [], [], [], []
+            roots = []
+            offset = 0
+            max_depth = 0
+            for tree in self.trees_:
+                feature, threshold, left, right, probability, depth = (
+                    tree._flat_arrays()
+                )
+                roots.append(offset)
+                features.append(feature)
+                thresholds.append(threshold)
+                # Re-offset children; leaf self-loops stay self-loops.
+                lefts.append(left + offset)
+                rights.append(right + offset)
+                probabilities.append(probability)
+                offset += len(feature)
+                max_depth = max(max_depth, depth)
+            self._stacked = (
+                np.concatenate(features),
+                np.concatenate(thresholds),
+                np.concatenate(lefts),
+                np.concatenate(rights),
+                np.concatenate(probabilities),
+                np.asarray(roots, dtype=np.int64),
+                max_depth,
+            )
+        return self._stacked
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Mean positive-class probability across the ensemble."""
+        """Mean positive-class probability across the ensemble.
+
+        All (tree, row) pairs descend their tree together; each pair still
+        performs exactly the comparisons a per-tree, per-row walk would, and
+        the probability averaging folds the trees in fitting order — so the
+        output is bitwise identical to the historical per-tree loop.
+        """
         if not self.is_fitted:
             raise RuntimeError("the forest has not been fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        total = np.zeros(X.shape[0], dtype=float)
-        for tree in self.trees_:
-            total += tree.predict_proba(X)
-        return total / len(self.trees_)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        feature, threshold, left, right, probability, roots, depth = (
+            self._stacked_arrays()
+        )
+        n_rows = X.shape[0]
+        n_trees = len(self.trees_)
+        flat_x = np.ascontiguousarray(X).ravel()
+        row_base = np.tile(
+            np.arange(n_rows, dtype=np.int64) * X.shape[1], n_trees
+        )
+        node = np.repeat(roots, n_rows)
+        for _ in range(depth):
+            values = flat_x[row_base + feature[node]]
+            node = np.where(values <= threshold[node], left[node], right[node])
+        per_tree = probability[node].reshape(n_trees, n_rows)
+        total = np.zeros(n_rows, dtype=float)
+        for k in range(n_trees):  # sequential fold: matches the per-tree loop
+            total += per_tree[k]
+        return total / n_trees
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Explicit batched probability prediction for a feature matrix.
+
+        One ensemble pass per call: every tree routes all rows at once and
+        the per-row probability averaging folds the trees in a fixed order,
+        so predictions are bitwise identical to single-row calls — the
+        property the vectorized evaluation runner relies on when it asks
+        for one forest prediction per trace.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("predict_batch expects a 2-D feature matrix")
+        return self.predict_proba(X)
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Binary prediction at the given probability threshold."""

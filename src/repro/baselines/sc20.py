@@ -10,7 +10,7 @@ from optimal, to show its sensitivity to this user-defined parameter.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +87,10 @@ class SC20RandomForestPolicy(MitigationPolicy):
         self._training_cost = float(training_cost_node_hours)
         self._normalizer = StateNormalizer()
         self._trace_probabilities: Optional[np.ndarray] = None
+        #: Bulk-prepared (features object, probabilities) pairs, consumed
+        #: in order by :meth:`prepare_trace` (see :meth:`prepare_traces`).
+        self._prepared_queue: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._prepared_cursor = 0
 
     @property
     def effective_threshold(self) -> float:
@@ -116,14 +120,72 @@ class SC20RandomForestPolicy(MitigationPolicy):
             [features, np.zeros((features.shape[0], 1))], axis=1
         )
         normalised = self._normalizer.transform(padded)[:, :-1]
-        return self.forest.predict_proba(normalised)
+        return self.forest.predict_batch(normalised)
 
     def reset(self) -> None:
         self._trace_probabilities = None
 
     def prepare_trace(self, features: np.ndarray) -> None:
-        """Cache the forest probabilities of a whole trace at once."""
+        """Cache the forest probabilities of a whole trace at once.
+
+        Serves the cache from the bulk :meth:`prepare_traces` queue when the
+        runner hands traces back in the prepared order (verified by object
+        identity — any other flow just predicts directly; probabilities are
+        bitwise identical either way because tree routing is per-row).
+        """
+        if self._prepared_cursor < len(self._prepared_queue):
+            queued_features, probabilities = self._prepared_queue[
+                self._prepared_cursor
+            ]
+            if queued_features is features:
+                self._prepared_cursor += 1
+                self._trace_probabilities = probabilities
+                return
         self._trace_probabilities = self.predict_probabilities(features)
+
+    def prepare_traces(self, traces) -> None:
+        """One forest predict for a whole replay's worth of traces.
+
+        The per-trace probability slices are additionally cached *on the
+        forest*, keyed by the identity of the feature arrays: every policy
+        sharing the forest — the SC20 threshold variants, Myopic-RF, and
+        the 41-candidate optimal-threshold grid — replays the same traces,
+        so the whole family costs one ensemble prediction instead of one
+        per policy.  Holding references to the keyed arrays keeps the
+        identity check sound; the cache holds at most one trace set (the
+        next distinct set replaces it), its feature arrays are normally
+        shared with the pipeline's process-wide trace cache anyway, and the
+        runner clears each policy's queue at the end of the replay by
+        calling ``prepare_traces(())``.
+        """
+        traces = [trace for trace in traces if len(trace)]
+        if not traces:
+            self._prepared_queue = []
+            self._prepared_cursor = 0
+            return
+        key = tuple(id(trace.features) for trace in traces)
+        cached = getattr(self.forest, "_shared_trace_predictions", None)
+        if cached is not None and cached[0] == key:
+            self._prepared_queue = cached[2]
+            self._prepared_cursor = 0
+            return
+        stacked = np.concatenate([trace.features for trace in traces])
+        probabilities = self.predict_probabilities(stacked)
+        queue: List[Tuple[np.ndarray, np.ndarray]] = []
+        offset = 0
+        for trace in traces:
+            queue.append(
+                (trace.features, probabilities[offset : offset + len(trace)])
+            )
+            offset += len(trace)
+        # (key, keyed array references — they pin the ids —, slices)
+        self.forest._shared_trace_predictions = (
+            key,
+            [trace.features for trace in traces],
+            queue,
+        )
+        self._prepared_queue = queue
+        self._prepared_cursor = 0
 
     def probability_for(self, context: DecisionContext) -> float:
         """Probability of an upcoming UE at this decision point.
@@ -138,6 +200,30 @@ class SC20RandomForestPolicy(MitigationPolicy):
 
     def decide(self, context: DecisionContext) -> bool:
         return self.probability_for(context) >= self.effective_threshold
+
+    def decide_batch(
+        self,
+        trace,
+        ue_costs=None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
+        """Threshold the per-trace probability cache in one comparison.
+
+        Uses exactly the probabilities sequential :meth:`decide` calls read
+        (the :meth:`prepare_trace` cache, or one batched forest predict when
+        the cache is absent), so the decisions match bit for bit.
+        """
+        stop = len(trace) if stop is None else stop
+        return self.trace_probabilities(trace)[start:stop] >= self.effective_threshold
+
+    def trace_probabilities(self, trace) -> np.ndarray:
+        """Forest probabilities for every event of a trace (cached)."""
+        cache = self._trace_probabilities
+        if cache is None or len(cache) != len(trace):
+            self.prepare_trace(trace.features)
+            cache = self._trace_probabilities
+        return cache
 
     @property
     def training_cost_node_hours(self) -> float:

@@ -6,9 +6,17 @@ triggers a mitigation at every error-related event, paying the minimum UE
 cost achievable by event-triggered policies and the maximum mitigation cost;
 the Oracle mitigates only on the last event before each UE, which is the
 optimal event-triggered strategy but requires knowledge of the future.
+
+Every policy here also implements the vectorized ``decide_batch`` protocol
+(none of them reads the potential UE cost, so a whole trace resolves in one
+call; see :func:`repro.evaluation.runner.evaluate_policy`).
 """
 
 from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
 
 from repro.core.policies import DecisionContext, MitigationPolicy
 
@@ -20,6 +28,16 @@ class NeverMitigatePolicy(MitigationPolicy):
 
     def decide(self, context: DecisionContext) -> bool:
         return False
+
+    def decide_batch(
+        self,
+        trace,
+        ue_costs: Optional[np.ndarray] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
+        stop = len(trace) if stop is None else stop
+        return np.zeros(stop - start, dtype=bool)
 
 
 class AlwaysMitigatePolicy(MitigationPolicy):
@@ -34,6 +52,16 @@ class AlwaysMitigatePolicy(MitigationPolicy):
     def decide(self, context: DecisionContext) -> bool:
         return True
 
+    def decide_batch(
+        self,
+        trace,
+        ue_costs: Optional[np.ndarray] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
+        stop = len(trace) if stop is None else stop
+        return np.ones(stop - start, dtype=bool)
+
 
 class OraclePolicy(MitigationPolicy):
     """Mitigate exactly on the last event before each UE.
@@ -47,6 +75,16 @@ class OraclePolicy(MitigationPolicy):
 
     def decide(self, context: DecisionContext) -> bool:
         return bool(context.is_last_event_before_ue)
+
+    def decide_batch(
+        self,
+        trace,
+        ue_costs: Optional[np.ndarray] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
+        stop = len(trace) if stop is None else stop
+        return np.asarray(trace.is_last_before_ue[start:stop], dtype=bool)
 
 
 class PeriodicMitigatePolicy(MitigationPolicy):
@@ -75,3 +113,55 @@ class PeriodicMitigatePolicy(MitigationPolicy):
             self._last_mitigation = context.time
             return True
         return False
+
+    def decide_batch(
+        self,
+        trace,
+        ue_costs: Optional[np.ndarray] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
+        """Jump scan over the decision-point times.
+
+        Reproduces the sequential ``t - last >= period`` comparisons exactly
+        (the search advances in chunks but evaluates the same element-wise
+        subtraction the scalar path uses), and leaves ``_last_mitigation``
+        where a sequential replay would have.  Only whole-trace calls make
+        sense for this stateful policy; the runner issues exactly those
+        because the policy is not cost-dependent, and partial ranges are
+        rejected rather than answered wrongly.
+        """
+        stop = len(trace) if stop is None else stop
+        if start != 0 or stop != len(trace):
+            raise ValueError(
+                "PeriodicMitigatePolicy.decide_batch replays its mitigation "
+                "clock from the trace start; partial [start, stop) ranges "
+                "are not supported"
+            )
+        decisions = np.zeros(len(trace), dtype=bool)
+        decision_points = np.flatnonzero(~np.asarray(trace.is_ue, dtype=bool))
+        times = trace.times[decision_points]
+        last = self._last_mitigation
+        i = 0
+        chunk = 512
+        while i < len(times):
+            if last is None:
+                j = i
+            else:
+                j = -1
+                for block_start in range(i, len(times), chunk):
+                    block = (
+                        times[block_start : block_start + chunk] - last
+                        >= self.period_seconds
+                    )
+                    hits = np.flatnonzero(block)
+                    if hits.size:
+                        j = block_start + int(hits[0])
+                        break
+                if j < 0:
+                    break
+            decisions[decision_points[j]] = True
+            last = float(times[j])
+            i = j + 1
+        self._last_mitigation = last
+        return decisions[start:stop]

@@ -1,6 +1,6 @@
-"""``python -m repro`` — run, sweep, report and list from the command line.
+"""``python -m repro`` — run, sweep, report, list and gc from the command line.
 
-Four subcommands over the :class:`~repro.study.Study` facade and the
+Five subcommands over the :class:`~repro.study.Study` facade and the
 :class:`~repro.store.ArtifactStore`:
 
 ``run``
@@ -27,6 +27,15 @@ Four subcommands over the :class:`~repro.study.Study` facade and the
 ``list``
     Inventory of a store: sweeps, experiment results, prepared products.
 
+``gc``
+    Prune ``prepared/`` products no stored sweep or result references
+    (``--dry-run`` reports the freeable bytes without deleting): long-lived
+    stores otherwise keep every spilled product forever.
+
+``run`` and ``sweep`` additionally accept ``--profile``: each pipeline
+stage runs under cProfile and the top cumulative functions are printed
+after the report (surfaced as ``result.extras["profile"]`` in the API).
+
 Every table is rendered by :mod:`repro.evaluation.report` — the CLI prints
 exactly what the library's ``format_*`` helpers produce.
 """
@@ -45,6 +54,7 @@ from repro.evaluation.sweep import SweepSpec
 from repro.store import ArtifactStore
 from repro.study import Study
 from repro.telemetry.records import MANUFACTURER_NAMES
+from repro.utils.profiling import format_profile
 from repro.utils.timeutils import DAY
 
 __all__ = ["main", "build_parser"]
@@ -167,6 +177,12 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="ArtifactStore directory: load completed work, persist the rest",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each pipeline stage under cProfile and print the top "
+        "cumulative functions after the report",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,6 +232,26 @@ def build_parser() -> argparse.ArgumentParser:
     listing = sub.add_parser("list", help="inventory of a store")
     listing.add_argument("--store", metavar="DIR", required=True)
 
+    gc = sub.add_parser(
+        "gc",
+        help="prune prepared artifacts not referenced by any stored sweep "
+        "or result",
+    )
+    gc.add_argument("--store", metavar="DIR", required=True)
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned (and how many bytes it would "
+        "free) without deleting anything",
+    )
+    gc.add_argument(
+        "--grace-minutes",
+        type=float,
+        default=60.0,
+        help="keep products modified within this window, so a sweep "
+        "currently spilling to the store is never raced (default: 60)",
+    )
+
     return parser
 
 
@@ -242,7 +278,17 @@ def _config_from_args(args) -> ExperimentConfig:
         overrides["executor_kind"] = args.executor
     if args.rl_trial_tasks is not None:
         overrides["rl_trial_tasks"] = args.rl_trial_tasks
+    if args.profile:
+        overrides["profile"] = True
     return config.with_overrides(**overrides) if overrides else config
+
+
+def _print_profile(extras) -> None:
+    """Print the stage profile collected by ``--profile`` (if any)."""
+    report = (extras or {}).get("profile")
+    if report:
+        print()
+        print(format_profile(report))
 
 
 def _executor_summary(stats) -> Optional[str]:
@@ -296,6 +342,7 @@ def _cmd_run(args) -> int:
     if args.metrics:
         print()
         print(study.report(which="metrics"))
+    _print_profile(result.extras)
     return 0
 
 
@@ -326,6 +373,7 @@ def _cmd_sweep(args) -> int:
         print(f"store: {store.root} (sweep {store.sweep_key(spec, study.config)})")
         print(f"points loaded from store: {len(loaded)}")
         print(f"points computed: {len(study.points_computed)}")
+    _print_profile(result.extras)
     return 0
 
 
@@ -387,6 +435,24 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_gc(args) -> int:
+    store = ArtifactStore(args.store)
+    report = store.gc(
+        dry_run=args.dry_run, grace_seconds=args.grace_minutes * 60.0
+    )
+    verb = "would remove" if report.dry_run else "removed"
+    print(f"store: {store.root}")
+    for key in report.removed:
+        print(f"  {verb}: prepared/{key}")
+    megabytes = report.freed_bytes / (1024 * 1024)
+    print(
+        f"{verb} {len(report.removed)} unreferenced prepared product(s), "
+        f"freeing {report.freed_bytes} bytes ({megabytes:.1f} MiB); "
+        f"{len(report.kept)} referenced product(s) kept"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -395,5 +461,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "report": _cmd_report,
         "list": _cmd_list,
+        "gc": _cmd_gc,
     }
     return commands[args.command](args)

@@ -144,7 +144,14 @@ def extract_node_features(
     indices: Optional[np.ndarray] = None,
     merge_window_seconds: float = MINUTE,
 ) -> NodeFeatureTrack:
-    """Compute the Table 1 feature track for one node.
+    """Compute the Table 1 feature track for one node (vectorized).
+
+    Bit-identical to the per-event reference loop
+    (:func:`_extract_node_features_loop`, pinned by the equivalence tests):
+    cumulative counts fold with ``np.add.accumulate`` / ``np.add.at`` (exact
+    ordered folds), distinct CE-location counting becomes a stable-sort
+    first-occurrence scan, and the Equation 2 look-backs become one
+    ``searchsorted`` per Δt.
 
     Parameters
     ----------
@@ -157,6 +164,118 @@ def extract_node_features(
         :meth:`ErrorLog.node_slices`); computed if omitted.
     merge_window_seconds:
         Per-minute merging window (Section 3.2.3).
+    """
+    if indices is None:
+        indices = np.flatnonzero(log.node == node)
+    merged = merge_node_events(log, indices, merge_window_seconds)
+    n_steps = len(merged)
+
+    times = np.array([step.time for step in merged], dtype=np.float64)
+    is_ue = np.array([step.is_ue for step in merged], dtype=bool)
+    features = np.zeros((n_steps, N_FEATURES))
+    if n_steps == 0:
+        return NodeFeatureTrack(
+            node=int(node), times=times, features=features, is_ue=is_ue
+        )
+
+    # The merged steps partition ``indices`` in order; per-event arrays are
+    # gathered once and reduced onto steps through the partition boundaries.
+    event_indices = np.asarray(indices)
+    step_sizes = np.array([step.n_raw_events for step in merged], dtype=np.int64)
+    ends = np.add.accumulate(step_sizes)
+    last_event = ends - 1
+    step_of_event = np.repeat(np.arange(n_steps), step_sizes)
+
+    ev_time = log.time[event_indices]
+    kind = log.kind[event_indices]
+    is_ce = kind == int(EventKind.CE)
+    is_warning = kind == int(EventKind.UE_WARNING)
+    is_boot = kind == int(EventKind.BOOT)
+    ce_counts = np.where(is_ce, log.ce_count[event_indices].astype(np.float64), 0.0)
+
+    # Cumulative totals are exact left folds of the per-event additions.
+    cum_ces = np.add.accumulate(ce_counts)
+    ces_total = cum_ces[last_event]
+    ces_in_step = np.zeros(n_steps)
+    np.add.at(ces_in_step, step_of_event, ce_counts)
+    warnings_total = np.add.accumulate(np.where(is_warning, 1.0, 0.0))[last_event]
+    boots_total = np.add.accumulate(np.where(is_boot, 1.0, 0.0))[last_event]
+
+    # Time since the last node boot observed up to (and including) each
+    # step; nodes without a boot yet measure from the track start.
+    last_boot = np.maximum.accumulate(np.where(is_boot, ev_time, -np.inf))[last_event]
+    track_start = float(log.time[event_indices[0]])
+    time_since_boot = np.where(
+        np.isneginf(last_boot), times - track_start, times - last_boot
+    )
+
+    dimm = log.dimm[event_indices].astype(np.int64)
+    rank = log.rank[event_indices].astype(np.int64)
+    bank = log.bank[event_indices].astype(np.int64)
+    row = log.row[event_indices].astype(np.int64)
+    col = log.col[event_indices].astype(np.int64)
+
+    def distinct_counts(member: np.ndarray, *key_columns: np.ndarray) -> np.ndarray:
+        """Per-step count of distinct key tuples among qualifying events."""
+        if not member.any():
+            return np.zeros(n_steps)
+        positions = np.flatnonzero(member)
+        keys = np.stack([column[member] for column in key_columns], axis=1)
+        order = np.lexsort(keys.T[::-1])  # stable: ties keep event order
+        sorted_keys = keys[order]
+        new_group = np.ones(len(sorted_keys), dtype=bool)
+        if len(sorted_keys) > 1:
+            new_group[1:] = (sorted_keys[1:] != sorted_keys[:-1]).any(axis=1)
+        first_seen = np.sort(positions[order[new_group]])
+        return np.searchsorted(first_seen, last_event, side="right").astype(
+            np.float64
+        )
+
+    dimms_count = distinct_counts(is_ce, dimm)
+    ranks_count = distinct_counts(is_ce & (rank >= 0), dimm, rank)
+    banks_count = distinct_counts(is_ce & (bank >= 0), dimm, rank, bank)
+    rows_count = distinct_counts(is_ce & (row >= 0), dimm, rank, bank, row)
+    cols_count = distinct_counts(is_ce & (col >= 0), dimm, rank, bank, col)
+
+    def variation(values_at_step: np.ndarray, delta: float) -> np.ndarray:
+        """Equation 2 over all steps: value(now) / value(now - Δt)."""
+        reference = np.searchsorted(times, times - delta, side="right") - 1
+        past = np.where(
+            reference >= 0, values_at_step[np.maximum(reference, 0)], 0.0
+        )
+        out = np.zeros(n_steps)
+        np.divide(values_at_step, past, out=out, where=past != 0.0)
+        return out
+
+    features[:, FEATURE_INDEX["ces_since_last_event"]] = ces_in_step
+    features[:, FEATURE_INDEX["ces_total"]] = ces_total
+    features[:, FEATURE_INDEX["ranks_with_ce"]] = ranks_count
+    features[:, FEATURE_INDEX["banks_with_ce"]] = banks_count
+    features[:, FEATURE_INDEX["rows_with_ce"]] = rows_count
+    features[:, FEATURE_INDEX["cols_with_ce"]] = cols_count
+    features[:, FEATURE_INDEX["dimms_with_ce"]] = dimms_count
+    features[:, FEATURE_INDEX["ue_warnings_total"]] = warnings_total
+    features[:, FEATURE_INDEX["time_since_boot"]] = np.maximum(time_since_boot, 0.0)
+    features[:, FEATURE_INDEX["boots_total"]] = boots_total
+    features[:, FEATURE_INDEX["ces_total_var_1min"]] = variation(ces_total, MINUTE)
+    features[:, FEATURE_INDEX["ces_total_var_1hour"]] = variation(ces_total, HOUR)
+    features[:, FEATURE_INDEX["boots_var_1min"]] = variation(boots_total, MINUTE)
+    features[:, FEATURE_INDEX["boots_var_1hour"]] = variation(boots_total, HOUR)
+
+    return NodeFeatureTrack(node=int(node), times=times, features=features, is_ue=is_ue)
+
+
+def _extract_node_features_loop(
+    log: ErrorLog,
+    node: int,
+    indices: Optional[np.ndarray] = None,
+    merge_window_seconds: float = MINUTE,
+) -> NodeFeatureTrack:
+    """Per-event reference implementation of :func:`extract_node_features`.
+
+    Kept as the behavioural specification of the vectorized path: the
+    equivalence suite and the decision-core benchmark compare the two
+    bit for bit on fuzzed logs.
     """
     if indices is None:
         indices = np.flatnonzero(log.node == node)

@@ -47,9 +47,39 @@ class MitigationPolicy(abc.ABC):
     #: Human-readable name used in reports and plots.
     name: str = "policy"
 
+    #: Whether :meth:`decide` reads ``DecisionContext.ue_cost``.  The
+    #: vectorized evaluation runner uses this to tell apart policies whose
+    #: whole-trace decisions can be computed in one batch (False) from those
+    #: that must be resolved through the mitigation-cost feedback loop when
+    #: mitigations reset the potential UE cost (True; see
+    #: :func:`repro.evaluation.runner.evaluate_policy`).
+    cost_dependent: bool = False
+
     @abc.abstractmethod
     def decide(self, context: DecisionContext) -> bool:
         """Return True to trigger a mitigation at this event."""
+
+    def decide_batch(
+        self,
+        trace,
+        ue_costs: Optional[np.ndarray] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        """Vectorised :meth:`decide` over events ``[start, stop)`` of a trace.
+
+        ``trace`` is an :class:`repro.evaluation.runner.EvaluationTrace`;
+        ``ue_costs`` (when the policy is :attr:`cost_dependent`) carries the
+        potential UE cost of each event in the range, aligned with it
+        (``len(ue_costs) == stop - start``).  Implementations must return a
+        boolean array for the range whose entries at non-UE events equal
+        what sequential :meth:`decide` calls would have returned (entries at
+        UE events are ignored — the runner never consults the policy there),
+        or ``None`` to decline, which sends the evaluation runner down the
+        scalar per-event path.  The base implementation declines: policies
+        that only implement :meth:`decide` keep working unchanged.
+        """
+        return None
 
     def reset(self) -> None:
         """Called before each node's test trace is replayed (stateless by default)."""
@@ -61,6 +91,17 @@ class MitigationPolicy(abc.ABC):
         ``(n_events, N_FEATURES)`` telemetry feature matrix before replaying
         the events, so that policies backed by batch predictors (the random
         forests) can vectorise their per-event work.
+        """
+
+    def prepare_traces(self, traces) -> None:
+        """Optional bulk hook: pre-compute data for a whole replay at once.
+
+        The vectorized evaluation runner calls this once with the full list
+        of :class:`~repro.evaluation.runner.EvaluationTrace` objects before
+        replaying them (it still calls :meth:`prepare_trace` per trace, in
+        order), so batch predictors can amortise one prediction over every
+        trace of the split instead of paying per-trace call overhead.  The
+        scalar reference path never calls it.
         """
 
     @property
@@ -75,6 +116,8 @@ class MitigationPolicy(abc.ABC):
 class RLPolicy(MitigationPolicy):
     """Greedy wrapper around a trained :class:`DDDQNAgent`."""
 
+    cost_dependent = True  # the UE cost is part of the network's state
+
     def __init__(
         self,
         agent: DDDQNAgent,
@@ -86,10 +129,90 @@ class RLPolicy(MitigationPolicy):
         self.normalizer = normalizer or StateNormalizer()
         self.name = name
         self._training_cost = float(training_cost_node_hours)
+        self._norm_features: Optional[np.ndarray] = None
+        self._norm_features_source: Optional[np.ndarray] = None
 
     def decide(self, context: DecisionContext) -> bool:
         state = self.normalizer.state_vector(context.features, context.ue_cost)
         return self.agent.act(state, explore=False) == Action.MITIGATE
+
+    def prepare_trace(self, features: np.ndarray) -> None:
+        """Pre-normalise the telemetry part of the state for a whole trace.
+
+        The cost column is the only state component that changes between the
+        decision core's speculative windows, so normalising the feature
+        columns once per trace removes most per-window work.  Only the stock
+        :class:`StateNormalizer` transform is separable this way; custom
+        normalizers fall back to whole-state normalisation per window.
+        """
+        if type(self.normalizer) is not StateNormalizer:
+            self._norm_features = None
+            self._norm_features_source = None
+            return
+        padded = np.concatenate(
+            [features, np.zeros((len(features), 1))], axis=1
+        )
+        self._norm_features = self.normalizer.transform(padded)[:, :-1]
+        self._norm_features_source = features
+
+    def decide_batch(
+        self,
+        trace,
+        ue_costs: Optional[np.ndarray] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        """One greedy Q-network forward over a whole range of events.
+
+        The state normalisation is element-wise (bit-identical to the
+        per-event path), but the matrix products are not: batched GEMMs
+        (and the reduced advantage-difference head below) round differently
+        from ``decide()``'s single-row products, so a decision can diverge
+        whenever the two actions' Q-values are within rounding noise of
+        each other — not only on exact ties.  For trained (non-degenerate)
+        agents such near-ties are vanishingly rare; the scalar-vs-vector
+        equivalence suite and the golden harness pin that the repo's
+        experiments decide identically.  Note the golden fingerprints were
+        already BLAS-dependent before batched evaluation existed (training
+        itself is batched), so this does not add a new class of
+        machine-dependence.
+        """
+        if ue_costs is None:
+            return None
+        stop = len(trace) if stop is None else stop
+        costs = np.asarray(ue_costs, dtype=float)
+        if (
+            self._norm_features is not None
+            and self._norm_features_source is trace.features
+        ):
+            # Reuse the per-trace normalised features; the cost column's
+            # transform (log1p of the clamped cost) is replicated exactly.
+            states = np.empty((stop - start, self._norm_features.shape[1] + 1))
+            states[:, :-1] = self._norm_features[start:stop]
+            states[:, -1] = np.log1p(np.maximum(costs, 0.0))
+        else:
+            states = self.normalizer.transform(
+                np.concatenate([trace.features[start:stop], costs[:, None]], axis=1)
+            )
+        # Greedy decision = argmax over Q-values.  The dueling combine adds
+        # the same per-row constant (V - mean advantage) to both actions, so
+        # the argmax reduces to the sign of the advantage difference — one
+        # matrix-vector product instead of both head products.  (With two
+        # actions, ``decide()``'s argmax picks NOTHING on an exact tie;
+        # ``> 0`` preserves that.)
+        network = self.agent.online
+        if network.n_actions != 2:  # pragma: no cover - N_ACTIONS is 2
+            q_values = network.forward(states)
+            return np.argmax(q_values, axis=1) == int(Action.MITIGATE)
+        hidden = states
+        for weights, biases in zip(network.weights, network.biases):
+            hidden = np.maximum(hidden @ weights + biases, 0.0)
+        mitigate = int(Action.MITIGATE)
+        other = 1 - mitigate
+        advantage_delta = hidden @ (
+            network.advantage_w[:, mitigate] - network.advantage_w[:, other]
+        ) + (network.advantage_b[mitigate] - network.advantage_b[other])
+        return advantage_delta > 0.0
 
     @property
     def training_cost_node_hours(self) -> float:
@@ -122,11 +245,27 @@ class FallbackPolicy(MitigationPolicy):
         self.inner = inner
         self.name = name
 
+    @property
+    def cost_dependent(self) -> bool:
+        return self.inner.cost_dependent
+
     def reset(self) -> None:
         self.inner.reset()
 
     def prepare_trace(self, features: np.ndarray) -> None:
         self.inner.prepare_trace(features)
 
+    def prepare_traces(self, traces) -> None:
+        self.inner.prepare_traces(traces)
+
     def decide(self, context: DecisionContext) -> bool:
         return self.inner.decide(context)
+
+    def decide_batch(
+        self,
+        trace,
+        ue_costs: Optional[np.ndarray] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        return self.inner.decide_batch(trace, ue_costs, start=start, stop=stop)

@@ -5,12 +5,31 @@ cope with the extreme class imbalance between ordinary telemetry events and
 uncorrected errors (Section 3.3.4): transitions with a large temporal-
 difference error — typically the rare terminal UE transitions — are replayed
 far more often than the abundant uneventful ones.
+
+The sum tree and the prioritized buffer expose two equivalent code paths:
+
+* the scalar per-element methods (``SumTree.update`` / ``SumTree.sample``,
+  ``PrioritizedReplayBuffer._sample_scalar`` /
+  ``_update_priorities_scalar``) — the historical reference implementation;
+* vectorized batch methods (``SumTree.update_many`` / ``SumTree.sample_many``,
+  the default ``sample`` / ``update_priorities`` / ``push_many``) that
+  reproduce the scalar results *bit for bit*: every floating-point operation
+  is applied element-wise in the same order the scalar loops used
+  (``np.add.at`` is an ordered, unbuffered fold; batched
+  ``Generator.uniform`` draws consume the stream exactly like the scalar
+  calls; priority exponentiation stays per-element because NumPy's SIMD
+  ``pow`` is not bitwise-identical to Python's), and the one stream-order
+  hazard — the pre-wrap unfilled-slot fallback, which interleaves an extra
+  ``integers`` draw between ``uniform`` draws — rewinds the generator and
+  replays the scalar loop verbatim.
+
+The equivalence is pinned by ``tests/core/test_replay_vectorized.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +50,12 @@ class SumTree:
         check_positive("capacity", capacity)
         self.capacity = int(capacity)
         self._tree = np.zeros(2 * self.capacity - 1, dtype=np.float64)
+        #: Upper bound on the root-to-leaf path length; the batched descent
+        #: runs exactly this many levels (parked rows are no-ops), which
+        #: avoids a per-level any() termination check.
+        self._depth_bound = (
+            int(np.ceil(np.log2(self.capacity))) + 1 if self.capacity > 1 else 0
+        )
 
     @property
     def total(self) -> float:
@@ -52,6 +77,68 @@ class SumTree:
         while idx > 0:
             idx = (idx - 1) // 2
             self._tree[idx] += change
+
+    def update_many(self, data_indices: np.ndarray, priorities: np.ndarray) -> None:
+        """Apply a batch of :meth:`update` calls, bit-identical to the loop.
+
+        Repeated indices behave exactly like sequential scalar updates: each
+        occurrence's propagated change is measured against the value the
+        previous occurrence left behind, and all ancestor additions are
+        applied in update order (``np.add.at`` folds repeated indices
+        sequentially), so internal-node rounding matches the scalar path.
+        """
+        indices = np.asarray(data_indices, dtype=np.int64).ravel()
+        priorities = np.asarray(priorities, dtype=np.float64).ravel()
+        if indices.size != priorities.size:
+            raise ValueError("indices and priorities must be equally long")
+        if indices.size == 0:
+            return
+        if int(indices.min()) < 0 or int(indices.max()) >= self.capacity:
+            raise IndexError("leaf index out of range")
+        if (priorities < 0).any():
+            raise ValueError("priorities must be non-negative")
+
+        leaves = indices + (self.capacity - 1)
+        # The change each update propagates is (new - value at its turn);
+        # duplicates therefore read the previous occurrence's priority.
+        order = np.argsort(leaves, kind="stable")
+        sorted_leaves = leaves[order]
+        sorted_priorities = priorities[order]
+        first = np.ones(leaves.size, dtype=bool)
+        first[1:] = sorted_leaves[1:] != sorted_leaves[:-1]
+        previous = np.empty(leaves.size, dtype=np.float64)
+        previous[first] = self._tree[sorted_leaves[first]]
+        previous[~first] = sorted_priorities[:-1][~first[1:]]
+        changes_sorted = sorted_priorities - previous
+        changes = np.empty(leaves.size, dtype=np.float64)
+        changes[order] = changes_sorted
+
+        # Leaf values are assignments, not additions: the last update of
+        # each leaf wins, exactly like sequential overwrites.
+        last = np.ones(leaves.size, dtype=bool)
+        last[:-1] = sorted_leaves[:-1] != sorted_leaves[1:]
+        self._tree[sorted_leaves[last]] = sorted_priorities[last]
+
+        # Ancestor chains (leaf excluded, root included), padded with -1;
+        # flattened row-major so a node shared by several updates receives
+        # its additions in update order — np.add.at applies repeated
+        # indices as an ordered fold, matching the scalar propagation.
+        # Floor division makes -1 a fixed point ((-1 - 1) // 2 == -1), so
+        # exhausted chains pad themselves without per-level masking.
+        chains: List[np.ndarray] = []
+        cursor = leaves
+        for _ in range(self._depth_bound):
+            cursor = (cursor - 1) // 2
+            chains.append(cursor)
+        if not chains:
+            return
+        paths = np.stack(chains, axis=1)
+        valid = paths >= 0
+        flat_nodes = paths.ravel()[valid.ravel()]
+        flat_changes = np.broadcast_to(
+            changes[:, None], paths.shape
+        ).ravel()[valid.ravel()]
+        np.add.at(self._tree, flat_nodes, flat_changes)
 
     def get(self, data_index: int) -> float:
         """Priority currently stored at leaf ``data_index``."""
@@ -76,6 +163,36 @@ class SumTree:
                 idx = right
         data_index = idx - (self.capacity - 1)
         return data_index, float(self._tree[idx])
+
+    def sample_many(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`sample` over an array of values.
+
+        All values descend the tree level by level; the per-element
+        comparisons and subtractions are the same operations the scalar
+        walk performs, so the returned ``(data_indices, priorities)`` are
+        bit-identical to calling :meth:`sample` once per value.
+        """
+        if self.total <= 0:
+            raise ValueError("cannot sample from an empty tree")
+        values = np.asarray(values, dtype=np.float64).ravel().copy()
+        np.clip(values, 0.0, np.nextafter(self.total, 0.0), out=values)
+        idx = np.zeros(values.shape, dtype=np.int64)
+        n_internal = self.capacity - 1
+        top = 2 * self.capacity - 2
+        for _ in range(self._depth_bound):
+            active = idx < n_internal
+            left = 2 * idx + 1
+            right = left + 1
+            # Leaf rows gather out-of-range children; clip the gather (their
+            # results are discarded by the np.where below).
+            left_c = np.minimum(left, top)
+            right_c = np.minimum(right, top)
+            go_left = (values <= self._tree[left_c]) | (self._tree[right_c] <= 0.0)
+            next_idx = np.where(go_left, left, right)
+            next_values = np.where(go_left, values, values - self._tree[left_c])
+            idx = np.where(active, next_idx, idx)
+            values = np.where(active, next_values, values)
+        return idx - n_internal, self._tree[idx].copy()
 
 
 @dataclass
@@ -140,6 +257,11 @@ class UniformReplayBuffer:
         self._storage[self._next] = transition
         self._next = (self._next + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
+
+    def push_many(self, transitions: Iterable[Transition]) -> None:
+        """Bulk insert; identical to calling :meth:`push` repeatedly."""
+        for transition in transitions:
+            self.push(transition)
 
     def sample(self, batch_size: int) -> ReplayBatch:
         """Sample a batch uniformly at random (importance weights are 1)."""
@@ -208,13 +330,82 @@ class PrioritizedReplayBuffer:
         self._next = (self._next + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
 
+    def push_many(self, transitions: Iterable[Transition]) -> None:
+        """Bulk insert; identical to calling :meth:`push` per transition.
+
+        Every transition receives the same ``max_priority ** alpha`` leaf
+        value a sequence of pushes would have assigned (pushes never raise
+        the maximum), and the tree update folds the ring-buffer slots —
+        including wrap-around overwrites — in insertion order.
+        """
+        transitions = list(transitions)
+        if not transitions:
+            return
+        count = len(transitions)
+        priority = self._max_priority**self.alpha
+        slots = (self._next + np.arange(count, dtype=np.int64)) % self.capacity
+        for slot, transition in zip(slots, transitions):
+            self._storage[int(slot)] = transition
+        self._tree.update_many(slots, np.full(count, priority, dtype=np.float64))
+        self._next = int((self._next + count) % self.capacity)
+        self._size = min(self._size + count, self.capacity)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalized_weights(
+        priorities: np.ndarray, total: float, size: int, beta: float
+    ) -> np.ndarray:
+        """Importance-sampling weights, normalised by their maximum.
+
+        Guards the normalisation against a zero (or non-finite) maximum:
+        all-zero sampled priorities with β > 0 make every raw weight
+        infinite — ``inf / inf`` would poison the whole batch with NaNs —
+        so the correction degenerates to uniform weights instead.
+        """
+        probabilities = priorities / max(total, 1e-12)
+        with np.errstate(divide="ignore"):
+            weights = (size * probabilities) ** (-beta)
+        max_weight = float(np.max(weights))
+        if max_weight > 0.0 and np.isfinite(max_weight):
+            return weights / max_weight
+        return np.ones(len(weights))
+
     def sample(self, batch_size: int) -> ReplayBatch:
-        """Sample proportionally to priority, with importance weights."""
+        """Sample proportionally to priority, with importance weights.
+
+        The common path draws every stratum's uniform in one vectorized call
+        and walks the sum tree for the whole batch at once — consuming the
+        RNG stream, and producing indices, priorities and weights, exactly
+        as the scalar loop did.  Only when a draw lands on a not-yet-filled
+        slot (possible before the buffer wraps for the first time) does the
+        generator rewind to its checkpoint and replay the scalar loop, whose
+        fallback interleaves an extra ``integers`` draw mid-stream.
+        """
         check_positive("batch_size", batch_size)
         if self._size == 0:
             raise ValueError("cannot sample from an empty replay buffer")
         total = self._tree.total
         segment = total / batch_size
+        checkpoint = self._rng.bit_generator.state
+        steps = np.arange(batch_size, dtype=np.float64)
+        values = self._rng.uniform(steps * segment, (steps + 1.0) * segment)
+        indices, priorities = self._tree.sample_many(values)
+        if bool((indices >= self._size).any()):
+            # A slot is unfilled iff its index is >= the current size; redo
+            # the draws scalar-style from the checkpoint so the uniform and
+            # fallback-integer draws interleave as they historically did.
+            self._rng.bit_generator.state = checkpoint
+            indices, priorities = self._sample_indices_scalar(batch_size, segment)
+        weights = self._normalized_weights(priorities, total, self._size, self.beta)
+        transitions = [self._storage[i] for i in indices]
+        return _stack_batch(transitions, weights, indices)
+
+    def _sample_indices_scalar(
+        self, batch_size: int, segment: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Reference scalar stratified draw (also the pre-wrap fallback path)."""
         indices = np.empty(batch_size, dtype=np.int64)
         priorities = np.empty(batch_size, dtype=np.float64)
         for i in range(batch_size):
@@ -227,14 +418,57 @@ class PrioritizedReplayBuffer:
                 priority = max(self._tree.get(idx), self.epsilon**self.alpha)
             indices[i] = idx
             priorities[i] = priority
-        probabilities = priorities / max(total, 1e-12)
-        weights = (self._size * probabilities) ** (-self.beta)
-        weights = weights / weights.max()
+        return indices, priorities
+
+    def _sample_scalar(self, batch_size: int) -> ReplayBatch:
+        """Reference implementation of :meth:`sample` (per-draw tree walks).
+
+        Kept for the equivalence tests and the decision-core benchmark;
+        produces bit-identical batches and consumes the RNG stream exactly
+        like :meth:`sample`.
+        """
+        check_positive("batch_size", batch_size)
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        total = self._tree.total
+        segment = total / batch_size
+        indices, priorities = self._sample_indices_scalar(batch_size, segment)
+        weights = self._normalized_weights(priorities, total, self._size, self.beta)
         transitions = [self._storage[i] for i in indices]
         return _stack_batch(transitions, weights, indices)
 
+    # ------------------------------------------------------------------ #
+    # Priority maintenance
+    # ------------------------------------------------------------------ #
     def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
-        """Refresh priorities with the latest |TD errors|."""
+        """Refresh priorities with the latest |TD errors| (batched).
+
+        The α-exponentiation stays per-element (NumPy's SIMD ``pow`` is not
+        bitwise-identical to Python's ``**`` on large arrays) and the tree
+        refresh goes through :meth:`SumTree.update_many`, so the stored
+        priorities match the scalar reference exactly.
+        """
+        td_errors = np.abs(np.asarray(td_errors, dtype=float)).ravel()
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if indices.size == 0:
+            return
+        if indices.size < 64:
+            # For mini-batch-sized refreshes the scalar propagation beats
+            # the batched path machinery; both are exactly equivalent, so
+            # this is a pure dispatch decision.
+            self._update_priorities_scalar(indices, td_errors)
+            return
+        priorities = td_errors + self.epsilon
+        self._max_priority = max(self._max_priority, float(priorities.max()))
+        powered = np.array(
+            [float(priority) ** self.alpha for priority in priorities]
+        )
+        self._tree.update_many(indices, powered)
+
+    def _update_priorities_scalar(
+        self, indices: np.ndarray, td_errors: np.ndarray
+    ) -> None:
+        """Reference per-element priority refresh (equivalence tests/bench)."""
         td_errors = np.abs(np.asarray(td_errors, dtype=float))
         for idx, err in zip(np.asarray(indices, dtype=int), td_errors):
             priority = float(err) + self.epsilon

@@ -48,6 +48,7 @@ from repro.evaluation.pipeline import (
 )
 from repro.evaluation.registry import approach_order
 from repro.telemetry.error_log import ErrorLog
+from repro.utils.profiling import StageProfiler
 from repro.workload.job import JobLog
 
 __all__ = [
@@ -86,27 +87,37 @@ def run_experiment(
     """
     config = config or ExperimentConfig()
     started = time.perf_counter()
+    profiler = StageProfiler(enabled=config.profile)
 
-    if cache is not None:
-        prepared = cache.get(scenario, config, error_log=error_log, job_log=job_log)
-    else:
-        prepared = prepare_data(scenario, config, error_log=error_log, job_log=job_log)
-    splits = make_splits(scenario)
-    tasks = build_split_tasks(prepared, splits, config)
-    stats = ExecutorStats()
-    outcomes = execute_tasks(
-        tasks,
-        n_workers=config.n_workers,
-        kind=config.executor_kind,
-        shared=prepared,
-        stats=stats,
-    )
-    result = aggregate(
-        prepared,
-        splits,
-        outcomes,
-        config,
-        wallclock_seconds=time.perf_counter() - started,
-    )
+    with profiler.stage("prepare_data"):
+        if cache is not None:
+            prepared = cache.get(
+                scenario, config, error_log=error_log, job_log=job_log
+            )
+        else:
+            prepared = prepare_data(
+                scenario, config, error_log=error_log, job_log=job_log
+            )
+        splits = make_splits(scenario)
+    with profiler.stage("execute_tasks"):
+        tasks = build_split_tasks(prepared, splits, config)
+        stats = ExecutorStats()
+        outcomes = execute_tasks(
+            tasks,
+            n_workers=config.n_workers,
+            kind=config.executor_kind,
+            shared=prepared,
+            stats=stats,
+        )
+    with profiler.stage("aggregate"):
+        result = aggregate(
+            prepared,
+            splits,
+            outcomes,
+            config,
+            wallclock_seconds=time.perf_counter() - started,
+        )
     result.executor_stats = stats
+    if config.profile:
+        result.extras["profile"] = profiler.report()
     return result

@@ -184,6 +184,12 @@ class ExperimentConfig:
     #: make two runs of the same experiment bitwise identical (the
     #: determinism tests and the parallel-vs-serial comparison rely on this).
     charge_training_time: bool = True
+    #: Run each pipeline stage under cProfile and surface the top cumulative
+    #: functions in ``ExperimentResult.extras["profile"]`` (CLI:
+    #: ``--profile``).  A diagnostic knob like the scheduling fields: it
+    #: never changes results, only adds instrumentation in the driver
+    #: process (the process-pool workers run outside the profiler).
+    profile: bool = False
 
     @staticmethod
     def fast() -> "ExperimentConfig":
@@ -318,6 +324,10 @@ class ExperimentResult:
     #: the Figure 6 artifacts it is not serialized and comes back ``None``
     #: from :meth:`from_dict` / a store load.
     executor_stats: Optional["ExecutorStats"] = None
+    #: Run diagnostics keyed by name (e.g. ``"profile"`` when
+    #: ``ExperimentConfig.profile`` is set).  Like ``executor_stats``, never
+    #: serialized: a store round-trip comes back with an empty mapping.
+    extras: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @property

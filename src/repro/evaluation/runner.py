@@ -6,12 +6,28 @@ once per node (deterministically from the scenario seed), so that all
 approaches are charged against identical UEs and identical job states.  The
 runner accumulates the cost–benefit breakdown of Section 4.3 and the
 classical ML confusion counts of Section 4.4.
+
+Replay is vectorized (the *decision core*): policies implementing
+``MitigationPolicy.decide_batch`` decide a whole trace per call, and the
+cost accounting becomes a segmented scan over the resulting decision mask —
+the mitigation-dependent UE-cost resets are reconstructed from
+forward-filled last-mitigation/last-UE indices instead of being carried
+event by event.  Policies whose decisions *feed back* into the potential UE
+cost (``cost_dependent`` — the RL agent and Myopic-RF — with restartable
+jobs) are resolved through a renewal walk: decisions are batch-computed
+under the running last-mitigation assumption and re-batched only over the
+remainder of the job a fresh mitigation actually affects.  Every
+floating-point operation is applied element-wise in the order of the
+historical scalar loop (totals fold with ``np.add.accumulate``), so results
+are bit-identical; the scalar per-event path remains as the tested fallback
+for user-registered policies without ``decide_batch`` (and for
+``ue_cost_fn`` overrides, whose per-event callbacks cannot be batched).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +36,7 @@ from repro.core.policies import DecisionContext, MitigationPolicy
 from repro.evaluation.costs import CostBreakdown
 from repro.evaluation.metrics import ConfusionCounts
 from repro.utils.rng import RngFactory
-from repro.utils.timeutils import DAY
+from repro.utils.timeutils import DAY, HOUR
 from repro.utils.validation import check_non_negative, check_positive
 from repro.workload.sampling import JobSequenceSampler, NodeJobTimeline
 
@@ -156,6 +172,367 @@ def build_traces(
     return traces
 
 
+@dataclass
+class _ReplayAccumulator:
+    """Counters and cost streams collected while replaying traces.
+
+    The float totals are folded only at the end: per-event UE costs are
+    collected per trace (in event order) and left-folded with
+    ``np.add.accumulate``, which matches the scalar loop's running
+    ``total += cost`` additions bit for bit; the mitigation total is the
+    same fold of ``mitigation_cost`` repeated once per mitigation.
+    """
+
+    n_ues: int = 0
+    n_mitigations: int = 0
+    n_no_actions: int = 0
+    true_positives: int = 0
+    n_ues_without_preceding_event: int = 0
+    n_decision_points: int = 0
+    ue_cost_chunks: List[np.ndarray] = field(default_factory=list)
+
+    def ue_cost_total(self) -> float:
+        if not self.ue_cost_chunks:
+            return 0.0
+        costs = np.concatenate(self.ue_cost_chunks)
+        if costs.size == 0:
+            return 0.0
+        return float(np.add.accumulate(costs)[-1])
+
+    def mitigation_cost_total(self, mitigation_cost: float) -> float:
+        if self.n_mitigations == 0:
+            return 0.0
+        repeated = np.full(self.n_mitigations, mitigation_cost)
+        return float(np.add.accumulate(repeated)[-1])
+
+
+def _timeline_job_arrays(
+    trace: EvaluationTrace,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-event ``(job_start, job_n_nodes)`` — vectorized ``timeline.job_at``."""
+    timeline = trace.timeline
+    position = np.searchsorted(timeline.starts, trace.times, side="right") - 1
+    position = np.clip(position, 0, len(timeline.starts) - 1)
+    return timeline.starts[position], timeline.n_nodes[position]
+
+
+def _batched_decisions(
+    trace: EvaluationTrace,
+    policy: MitigationPolicy,
+    restartable: bool,
+    job_start: np.ndarray,
+    job_nodes: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Whole-trace decision mask via ``decide_batch``, or ``None`` to fall back.
+
+    Decisions of cost-independent policies — and of cost-dependent ones
+    when mitigations cannot reset the UE cost (``restartable=False``) —
+    resolve in a single batch: the potential cost of every event is the
+    no-mitigation baseline either way.  With restartable jobs a
+    cost-dependent policy's fresh mitigation lowers the cost of the later
+    events *of the same job* (until the next job starts or a UE reboots the
+    node), so the mask is resolved as a renewal walk: batch-decide under
+    the current last-mitigation assumption, accept decisions up to the
+    first mitigation/UE, and re-batch only the affected remainder of the
+    running job.  Every per-event cost is computed with the same
+    element-wise operations as ``NodeJobTimeline.potential_ue_cost``.
+    """
+    n = len(trace)
+    base_costs = job_nodes * np.maximum(0.0, trace.times - job_start) / HOUR
+
+    if not policy.cost_dependent:
+        mask = policy.decide_batch(trace)
+    else:
+        mask = policy.decide_batch(trace, ue_costs=base_costs)
+    if mask is None:
+        return None
+    mask = np.array(mask, dtype=bool, copy=True)
+    if mask.shape != (n,):
+        raise ValueError(
+            f"decide_batch of {policy.name!r} returned shape {mask.shape}, "
+            f"expected ({n},)"
+        )
+    is_ue = np.asarray(trace.is_ue, dtype=bool)
+    mask[is_ue] = False
+    if not policy.cost_dependent or not restartable or n == 0:
+        return mask
+
+    # Renewal walk for the cost feedback loop.  ``mask`` holds the candidate
+    # decisions under the "no live mitigation" cost baseline; the resolved
+    # decisions are rebuilt into ``resolved``.  Two regimes:
+    #
+    # * baseline — no live mitigation influences the next event (the last
+    #   one was forgotten at a UE, or the running job started after it, and
+    #   job starts are nondecreasing): the precomputed baseline decisions
+    #   apply verbatim, no policy calls;
+    # * speculative windows — a live mitigation changes upcoming costs:
+    #   guess the window's decisions (initially: repeat the last decision),
+    #   derive each event's implied last-mitigation reference from the
+    #   guess, batch-decide under those costs, and consume the longest
+    #   prefix on which the decisions confirm the guess *plus one* (the
+    #   first divergent decision only depends on the confirmed prefix, so
+    #   it is valid too).  One fixpoint retry with the computed decisions
+    #   as the new guess lets mixed mitigate/skip patterns confirm whole
+    #   windows, so dense mitigation runs cost one batch per chunk instead
+    #   of one batch per mitigation.
+    times = trace.times
+    resolved = np.zeros(n, dtype=bool)
+    baseline_breaks = np.flatnonzero(is_ue | mask)
+    pointer = 0
+    i0 = 0
+    last_mitigation: Optional[float] = None
+    chunk = 32
+    while i0 < n:
+        if last_mitigation is None or job_start[i0] >= last_mitigation:
+            # Baseline regime: jump to the next UE/candidate mitigation.
+            while pointer < len(baseline_breaks) and baseline_breaks[pointer] < i0:
+                pointer += 1
+            if pointer == len(baseline_breaks):
+                break
+            j = int(baseline_breaks[pointer])
+            if is_ue[j]:
+                last_mitigation = None
+            else:
+                resolved[j] = True
+                last_mitigation = float(times[j])
+                chunk = 32
+            i0 = j + 1
+            continue
+
+        stop = min(i0 + chunk, n)
+        width = stop - i0
+        window = slice(i0, stop)
+        ue_window = is_ue[window]
+        times_window = times[window]
+        job_start_window = job_start[window]
+        # Initial guess: repeat the last decision (runs of mitigations and
+        # runs of refusals are the common patterns; the fixpoint retry below
+        # handles mixed windows).
+        guess = np.full(width, bool(resolved[i0 - 1]) if i0 else False)
+        guess[ue_window] = False
+        has_ue = bool(ue_window.any())
+        best_consumed = 0
+        best_decisions = guess
+        for _ in range(2):
+            # Reference implied by the guess: the latest guessed mitigation
+            # not separated by a UE, falling back to the incoming one.  The
+            # first round's guess is constant, where the chain collapses to
+            # a closed form (no accumulate scans needed).
+            if not has_ue and not guess.any():
+                reference = np.maximum(job_start_window, last_mitigation)
+            elif not has_ue and guess.all():
+                reference_times = np.empty(width)
+                reference_times[0] = last_mitigation
+                reference_times[1:] = times_window[:-1]
+                reference = np.maximum(job_start_window, reference_times)
+            else:
+                relative = np.arange(width)
+                previous_mit = np.concatenate(
+                    [[-1], np.maximum.accumulate(np.where(guess, relative, -1))[:-1]]
+                )
+                previous_ue = np.concatenate(
+                    [[-1], np.maximum.accumulate(np.where(ue_window, relative, -1))[:-1]]
+                )
+                internal = previous_mit > previous_ue
+                reference_times = np.full(width, -np.inf)
+                reference_times[
+                    (previous_mit < 0) & (previous_ue < 0)
+                ] = last_mitigation
+                reference_times = np.where(
+                    internal,
+                    times_window[np.maximum(previous_mit, 0)],
+                    reference_times,
+                )
+                reference = np.maximum(job_start_window, reference_times)
+            window_costs = (
+                job_nodes[window] * np.maximum(0.0, times_window - reference) / HOUR
+            )
+            window_result = policy.decide_batch(
+                trace, ue_costs=window_costs, start=i0, stop=stop
+            )
+            if window_result is None:
+                # The policy declined the partial range (its right under
+                # the decide_batch contract): abandon the batch resolution
+                # and let the caller replay this trace scalar.
+                return None
+            decisions = np.asarray(window_result, dtype=bool) & ~ue_window
+            divergent = np.flatnonzero(decisions != guess)
+            confirmed = int(divergent[0]) if divergent.size else width
+            consumed = min(confirmed + 1, width)
+            if consumed > best_consumed:
+                best_consumed = consumed
+                best_decisions = decisions
+            if consumed * 2 >= width:
+                # Good-enough consumption: a fixpoint retry would cost more
+                # than the events it could still confirm.
+                break
+            guess = decisions
+        consumed = best_consumed
+        decisions = best_decisions
+        resolved[i0 : i0 + consumed] = decisions[:consumed]
+        segment_mits = np.flatnonzero(decisions[:consumed])
+        segment_ues = np.flatnonzero(ue_window[:consumed])
+        last_mit_rel = int(segment_mits[-1]) if segment_mits.size else -1
+        last_ue_rel = int(segment_ues[-1]) if segment_ues.size else -1
+        if last_ue_rel > last_mit_rel:
+            last_mitigation = None
+        elif last_mit_rel >= 0:
+            last_mitigation = float(times_window[last_mit_rel])
+        i0 += consumed
+        chunk = chunk * 2 if consumed == width else 32
+    return resolved
+
+
+def _account_vectorized(
+    trace: EvaluationTrace,
+    mask: np.ndarray,
+    accumulator: _ReplayAccumulator,
+    restartable: bool,
+    prediction_window_seconds: float,
+    mitigation_overhead_seconds: float,
+    job_start: np.ndarray,
+    job_nodes: np.ndarray,
+) -> None:
+    """Segmented-scan cost/metric accounting of one trace's decision mask.
+
+    Reconstructs, for every event, the last mitigation that survives up to
+    it (a mitigation is forgotten at the next UE — the node reboots) from
+    forward-filled indices, recomputes the per-event potential UE cost
+    under that reference, and folds the Section 4.3/4.4 statistics with
+    searchsorted range counts — all bit-identical to the event loop.
+    """
+    n = len(trace)
+    times = trace.times
+    is_ue = np.asarray(trace.is_ue, dtype=bool)
+    indices = np.arange(n)
+
+    ue_positions = np.flatnonzero(is_ue)
+    mitigation_positions = np.flatnonzero(mask)
+    n_events_ue = len(ue_positions)
+    n_mitigations = len(mitigation_positions)
+
+    accumulator.n_ues += n_events_ue
+    accumulator.n_mitigations += n_mitigations
+    accumulator.n_decision_points += n - n_events_ue
+    accumulator.n_no_actions += (n - n_events_ue) - n_mitigations
+
+    if n_events_ue == 0:
+        return
+
+    # Potential UE cost at the UE events under the final decision mask.
+    if restartable and n_mitigations:
+        previous_mitigation = np.concatenate(
+            [[-1], np.maximum.accumulate(np.where(mask, indices, -1))[:-1]]
+        )
+        previous_ue = np.concatenate(
+            [[-1], np.maximum.accumulate(np.where(is_ue, indices, -1))[:-1]]
+        )
+        live = (previous_mitigation >= 0) & (previous_mitigation > previous_ue)
+        reference = np.where(
+            live,
+            np.maximum(job_start, times[np.maximum(previous_mitigation, 0)]),
+            job_start,
+        )
+    else:
+        reference = job_start
+    costs = job_nodes * np.maximum(0.0, times - reference) / HOUR
+    accumulator.ue_cost_chunks.append(costs[ue_positions])
+
+    # Classical ML metrics (Section 4.4), one searchsorted pass per bound.
+    ue_times = times[ue_positions]
+    window_start = ue_times - prediction_window_seconds
+    latest_complete = ue_times - mitigation_overhead_seconds
+    mitigation_times = times[mitigation_positions]
+    # Mitigations visible to a UE are those at earlier event indices.
+    visible = np.searchsorted(mitigation_positions, ue_positions, side="left")
+    low = np.searchsorted(mitigation_times, window_start, side="left")
+    high = np.searchsorted(mitigation_times, latest_complete, side="right")
+    completed = np.minimum(high, visible) > low
+    accumulator.true_positives += int(np.count_nonzero(completed))
+
+    # "Any non-UE event in [window_start, t) before index i" via prefix
+    # counts of non-UE events.
+    non_ue_before = np.concatenate(
+        [[0], np.add.accumulate((~is_ue).astype(np.int64))]
+    )
+    first_in_window = np.searchsorted(times, window_start, side="left")
+    first_at_time = np.searchsorted(times, ue_times, side="left")
+    upper = np.minimum(first_at_time, ue_positions)
+    lower = np.minimum(first_in_window, upper)
+    preceding = non_ue_before[upper] - non_ue_before[lower]
+    accumulator.n_ues_without_preceding_event += int(
+        np.count_nonzero(preceding == 0)
+    )
+
+
+def _replay_scalar(
+    trace: EvaluationTrace,
+    policy: MitigationPolicy,
+    accumulator: _ReplayAccumulator,
+    restartable: bool,
+    prediction_window_seconds: float,
+    mitigation_overhead_seconds: float,
+    ue_cost_fn: Optional[UECostFn],
+) -> None:
+    """Reference per-event replay of one trace (the decide() fallback path)."""
+    last_mitigation: Optional[float] = None
+    mitigation_times: List[float] = []
+    ue_costs: List[float] = []
+
+    for i in range(len(trace)):
+        t = float(trace.times[i])
+        default_cost = trace.timeline.potential_ue_cost(
+            t, last_mitigation, restartable
+        )
+        if ue_cost_fn is not None:
+            cost_now = float(ue_cost_fn(trace, i, t, default_cost))
+        else:
+            cost_now = default_cost
+
+        if trace.is_ue[i]:
+            accumulator.n_ues += 1
+            ue_costs.append(cost_now)
+            # Classical ML metrics bookkeeping (Section 4.4).
+            window_start = t - prediction_window_seconds
+            completed = [
+                m
+                for m in mitigation_times
+                if window_start <= m <= t - mitigation_overhead_seconds
+            ]
+            has_preceding_event = bool(
+                np.any(
+                    (~trace.is_ue[:i])
+                    & (trace.times[:i] >= window_start)
+                    & (trace.times[:i] < t)
+                )
+            )
+            if completed:
+                accumulator.true_positives += 1
+            if not has_preceding_event:
+                accumulator.n_ues_without_preceding_event += 1
+            # The node is rebooted after the UE; the next job starts fresh.
+            last_mitigation = None
+            continue
+
+        accumulator.n_decision_points += 1
+        context = DecisionContext(
+            time=t,
+            node=trace.node,
+            features=trace.features[i],
+            ue_cost=cost_now,
+            is_last_event_before_ue=bool(trace.is_last_before_ue[i]),
+            event_index=i,
+        )
+        if policy.decide(context):
+            accumulator.n_mitigations += 1
+            mitigation_times.append(t)
+            last_mitigation = t
+        else:
+            accumulator.n_no_actions += 1
+
+    accumulator.ue_cost_chunks.append(np.asarray(ue_costs, dtype=np.float64))
+
+
 def evaluate_policy(
     traces: Sequence[EvaluationTrace],
     policy: MitigationPolicy,
@@ -165,6 +542,7 @@ def evaluate_policy(
     mitigation_overhead_seconds: Optional[float] = None,
     include_training_cost: bool = True,
     ue_cost_fn: Optional[UECostFn] = None,
+    vectorized: bool = True,
 ) -> PolicyEvaluation:
     """Replay ``policy`` over ``traces`` and account costs and metrics.
 
@@ -190,7 +568,14 @@ def evaluate_policy(
     ue_cost_fn:
         Optional override of the potential UE cost seen at each event (used
         by the Table 2 UE-cost-range analysis); receives the trace, event
-        index, event time and the default timeline-derived cost.
+        index, event time and the default timeline-derived cost.  Forces the
+        scalar path: an arbitrary per-event callback cannot be batched.
+    vectorized:
+        Use the batched decision core for policies implementing
+        ``decide_batch`` (the default).  ``False`` forces the per-event
+        reference path for every policy — results are identical either way
+        (the equivalence suite pins this); the flag exists for A/B
+        measurement and debugging.
     """
     check_non_negative("mitigation_cost", mitigation_cost)
     check_positive("prediction_window_seconds", prediction_window_seconds)
@@ -198,82 +583,71 @@ def evaluate_policy(
         mitigation_overhead_seconds = mitigation_cost * 3600.0
     check_non_negative("mitigation_overhead_seconds", mitigation_overhead_seconds)
 
-    ue_cost_total = 0.0
-    mitigation_cost_total = 0.0
-    n_ues = 0
-    n_mitigations = 0
-    n_no_actions = 0
-    true_positives = 0
-    n_ues_without_preceding_event = 0
-    n_decision_points = 0
+    accumulator = _ReplayAccumulator()
+    use_batches = vectorized and ue_cost_fn is None
+    prepared_bulk = use_batches
+    if use_batches:
+        # Bulk pre-computation across the whole replay (one batch predictor
+        # call instead of one per trace); the scalar reference path below
+        # never does this, so policies may treat it as a pure optimisation.
+        policy.prepare_traces(traces)
 
     for trace in traces:
         policy.reset()
         policy.prepare_trace(trace.features)
-        last_mitigation: Optional[float] = None
-        mitigation_times: List[float] = []
-
-        for i in range(len(trace)):
-            t = float(trace.times[i])
-            default_cost = trace.timeline.potential_ue_cost(
-                t, last_mitigation, restartable
+        mask: Optional[np.ndarray] = None
+        if use_batches:
+            job_start, job_nodes = _timeline_job_arrays(trace)
+            mask = _batched_decisions(trace, policy, restartable, job_start, job_nodes)
+            if mask is None:
+                # Batch support is a property of the policy, not the trace:
+                # skip the probe (and its timeline arrays) from here on.
+                # Re-run the per-trace hooks in case the declined batch
+                # attempt advanced any policy state.
+                use_batches = False
+                policy.reset()
+                policy.prepare_trace(trace.features)
+        if mask is None:
+            _replay_scalar(
+                trace,
+                policy,
+                accumulator,
+                restartable,
+                prediction_window_seconds,
+                mitigation_overhead_seconds,
+                ue_cost_fn,
             )
-            if ue_cost_fn is not None:
-                cost_now = float(ue_cost_fn(trace, i, t, default_cost))
-            else:
-                cost_now = default_cost
-
-            if trace.is_ue[i]:
-                n_ues += 1
-                ue_cost_total += cost_now
-                # Classical ML metrics bookkeeping (Section 4.4).
-                window_start = t - prediction_window_seconds
-                completed = [
-                    m
-                    for m in mitigation_times
-                    if window_start <= m <= t - mitigation_overhead_seconds
-                ]
-                has_preceding_event = bool(
-                    np.any(
-                        (~trace.is_ue[:i])
-                        & (trace.times[:i] >= window_start)
-                        & (trace.times[:i] < t)
-                    )
-                )
-                if completed:
-                    true_positives += 1
-                if not has_preceding_event:
-                    n_ues_without_preceding_event += 1
-                # The node is rebooted after the UE; the next job starts fresh.
-                last_mitigation = None
-                continue
-
-            n_decision_points += 1
-            context = DecisionContext(
-                time=t,
-                node=trace.node,
-                features=trace.features[i],
-                ue_cost=cost_now,
-                is_last_event_before_ue=bool(trace.is_last_before_ue[i]),
-                event_index=i,
+        else:
+            _account_vectorized(
+                trace,
+                mask,
+                accumulator,
+                restartable,
+                prediction_window_seconds,
+                mitigation_overhead_seconds,
+                job_start,
+                job_nodes,
             )
-            if policy.decide(context):
-                n_mitigations += 1
-                mitigation_cost_total += mitigation_cost
-                mitigation_times.append(t)
-                last_mitigation = t
-            else:
-                n_no_actions += 1
 
+    if prepared_bulk:
+        # Release the per-policy bulk caches so a policy kept alive in the
+        # results does not pin this replay's trace data.
+        policy.prepare_traces(())
+
+    n_ues = accumulator.n_ues
+    n_mitigations = accumulator.n_mitigations
+    true_positives = accumulator.true_positives
     false_negatives = n_ues - true_positives
     false_positives = n_mitigations - true_positives
-    non_mitigations = n_no_actions + n_ues_without_preceding_event
+    non_mitigations = (
+        accumulator.n_no_actions + accumulator.n_ues_without_preceding_event
+    )
     true_negatives = max(0, non_mitigations - false_negatives)
 
     training_cost = policy.training_cost_node_hours if include_training_cost else 0.0
     costs = CostBreakdown(
-        ue_cost=ue_cost_total,
-        mitigation_cost=mitigation_cost_total,
+        ue_cost=accumulator.ue_cost_total(),
+        mitigation_cost=accumulator.mitigation_cost_total(mitigation_cost),
         training_cost=training_cost,
         n_ues=n_ues,
         n_mitigations=n_mitigations,
@@ -289,7 +663,7 @@ def evaluate_policy(
         costs=costs,
         confusion=confusion,
         n_traces=len(traces),
-        n_decision_points=n_decision_points,
+        n_decision_points=accumulator.n_decision_points,
     )
 
 

@@ -68,6 +68,7 @@ from repro.evaluation.pipeline import (
 )
 from repro.evaluation.report import format_cost_table, format_sweep_table
 from repro.telemetry.error_log import ErrorLog
+from repro.utils.profiling import StageProfiler
 from repro.telemetry.records import MANUFACTURER_NAMES
 from repro.workload.job import JobLog
 
@@ -469,6 +470,7 @@ def run_sweep(
     cache = cache if cache is not None else default_prepared_cache()
     points = spec.points()
     started = time.perf_counter()
+    profiler = StageProfiler(enabled=config.profile)
     hits_before, calls_before = cache.hits, cache.prepare_calls
 
     external_inputs = error_log is not None or job_log is not None
@@ -483,34 +485,36 @@ def run_sweep(
     prepared: Dict[str, PreparedData] = {}
     splits_by_label: Dict[str, list] = {}
     tasks: List[Task] = []
-    for point in points:
-        if point.label in loaded:
-            continue
-        prepared[point.label] = cache.get(
-            point.scenario, config, error_log=error_log, job_log=job_log
-        )
-        splits_by_label[point.label] = make_splits(point.scenario)
-        tasks.extend(
-            build_split_tasks(
-                prepared[point.label],
-                splits_by_label[point.label],
-                config,
-                key_prefix=f"{point.label}/",
-                task_fn=_run_sweep_group,
-                task_args=(point.label,),
-                trial_task_fn=_run_sweep_rl_trial,
-                reduce_task_fn=_run_sweep_rl_reduce,
+    with profiler.stage("prepare_data"):
+        for point in points:
+            if point.label in loaded:
+                continue
+            prepared[point.label] = cache.get(
+                point.scenario, config, error_log=error_log, job_log=job_log
             )
-        )
+            splits_by_label[point.label] = make_splits(point.scenario)
+            tasks.extend(
+                build_split_tasks(
+                    prepared[point.label],
+                    splits_by_label[point.label],
+                    config,
+                    key_prefix=f"{point.label}/",
+                    task_fn=_run_sweep_group,
+                    task_args=(point.label,),
+                    trial_task_fn=_run_sweep_rl_trial,
+                    reduce_task_fn=_run_sweep_rl_reduce,
+                )
+            )
 
     stats = ExecutorStats()
-    outcomes = execute_tasks(
-        tasks,
-        n_workers=config.n_workers,
-        kind=config.executor_kind,
-        shared=prepared,
-        stats=stats,
-    )
+    with profiler.stage("execute_tasks"):
+        outcomes = execute_tasks(
+            tasks,
+            n_workers=config.n_workers,
+            kind=config.executor_kind,
+            shared=prepared,
+            stats=stats,
+        )
     elapsed = time.perf_counter() - started
 
     results: Dict[str, ExperimentResult] = {}
@@ -551,6 +555,8 @@ def run_sweep(
             "executor_stats": stats,
         },
     )
+    if config.profile:
+        result.extras["profile"] = profiler.report()
     if use_store:
         store.save_sweep(spec, config, result)
     return result

@@ -38,8 +38,9 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,13 +60,29 @@ from repro.utils.rng import RngFactory
 from repro.workload.job import JobLog
 from repro.workload.sampling import JobSequenceSampler
 
-__all__ = ["ArtifactStore"]
+__all__ = ["ArtifactStore", "StoreGcReport"]
 
-#: Experiment-config fields that select a *schedule*, not a result: two runs
-#: differing only here produce identical numbers (golden-tested; the
-#: per-trial RL task shape is result-identical to the in-task loop by
-#: construction), so they must share one result slot.
-_SCHEDULE_FIELDS = ("n_workers", "executor_kind", "rl_trial_tasks")
+
+@dataclass(frozen=True)
+class StoreGcReport:
+    """Outcome of one :meth:`ArtifactStore.gc` pass."""
+
+    #: Keys of the pruned (or, with ``dry_run``, prunable) prepared products.
+    removed: Tuple[str, ...]
+    #: Keys kept: referenced by a sweep manifest or stored result, or
+    #: written recently enough to fall inside the in-flight grace window.
+    kept: Tuple[str, ...]
+    #: Bytes freed (or freeable) by removing the orphaned products.
+    freed_bytes: int
+    #: Whether this was a report-only pass.
+    dry_run: bool
+
+#: Experiment-config fields that select a *schedule* or a diagnostic, not a
+#: result: two runs differing only here produce identical numbers
+#: (golden-tested; the per-trial RL task shape is result-identical to the
+#: in-task loop by construction, and ``profile`` only adds
+#: instrumentation), so they must share one result slot.
+_SCHEDULE_FIELDS = ("n_workers", "executor_kind", "rl_trial_tasks", "profile")
 
 
 def _digest(payload: Any) -> str:
@@ -422,4 +439,81 @@ class ArtifactStore:
             path.name
             for path in (self.root / "prepared").iterdir()
             if (path / "meta.json").exists()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def referenced_prepared_keys(self) -> set:
+        """Prepared-product keys reachable from the stored sweeps/results.
+
+        A sweep manifest references the prepared product of each of its
+        points; a stored experiment result references the product of its
+        (scenario, config) pair.  Everything else in ``prepared/`` is
+        orphaned — typically spilled by sweeps whose manifests were never
+        written (killed runs) or superseded by later specs — and may be
+        pruned by :meth:`gc`.
+        """
+        from repro.evaluation.sweep import SweepSpec
+
+        referenced = set()
+        for path in sorted((self.root / "sweeps").glob("*.json")):
+            manifest = untag(json.loads(path.read_text()), "sweep_manifest")
+            spec = SweepSpec.from_dict(manifest["spec"])
+            config = ExperimentConfig.from_dict(manifest["config"])
+            for point in spec.points():
+                referenced.add(self.prepared_key(point.scenario, config))
+        for path in sorted((self.root / "results").glob("*.json")):
+            payload = untag(json.loads(path.read_text()), "stored_result")
+            scenario = ScenarioConfig.from_dict(payload["scenario"])
+            config = ExperimentConfig.from_dict(payload["config"])
+            referenced.add(self.prepared_key(scenario, config))
+        return referenced
+
+    def gc(
+        self, dry_run: bool = False, grace_seconds: float = 3600.0
+    ) -> "StoreGcReport":
+        """Prune prepared products not referenced by any sweep or result.
+
+        Incomplete entries (a crashed writer left no ``meta.json``) are
+        pruned as well — their content key can never be trusted.  Entries
+        modified within ``grace_seconds`` are always kept: a sweep that is
+        *currently* spilling products (or has written products but not yet
+        its manifest) must not have the ground pulled from under it by a
+        concurrent gc pass.  With ``dry_run`` nothing is deleted; the
+        report still lists what would go and how many bytes it would free.
+        """
+        import shutil
+        import time
+
+        referenced = self.referenced_prepared_keys()
+        now = time.time()
+        removed: List[str] = []
+        kept: List[str] = []
+        freed = 0
+        for path in sorted((self.root / "prepared").iterdir()):
+            if not path.is_dir():
+                continue
+            complete = (path / "meta.json").exists()
+            if complete and path.name in referenced:
+                kept.append(path.name)
+                continue
+            newest = max(
+                (item.stat().st_mtime for item in path.rglob("*") if item.is_file()),
+                default=path.stat().st_mtime,
+            )
+            if now - newest < grace_seconds:
+                kept.append(path.name)
+                continue
+            freed += sum(
+                item.stat().st_size for item in path.rglob("*") if item.is_file()
+            )
+            removed.append(path.name)
+            if not dry_run:
+                shutil.rmtree(path)
+        return StoreGcReport(
+            removed=tuple(removed),
+            kept=tuple(kept),
+            freed_bytes=freed,
+            dry_run=dry_run,
         )

@@ -65,6 +65,10 @@ def merge_node_events(
         return []
     times = log.time[indices]
     ue_mask = log.is_ue_mask[indices]
+    # Prefix counts of UEs: "any UE in [start, i)" becomes an O(1) lookup
+    # instead of re-scanning the window for every candidate boundary.
+    ue_before = np.zeros(indices.size + 1, dtype=np.int64)
+    ue_before[1:] = np.add.accumulate(ue_mask.astype(np.int64))
 
     merged: List[MergedEvent] = []
     start = 0
@@ -75,7 +79,7 @@ def merge_node_events(
             same_window = times[i] - window_start < merge_window_seconds
             # A UE always terminates the current merged step so that the
             # terminal transition is distinct from ordinary telemetry.
-            if same_window and not ue_mask[start:i].any():
+            if same_window and ue_before[i] == ue_before[start]:
                 continue
         group = indices[start:i]
         merged.append(
@@ -83,7 +87,7 @@ def merge_node_events(
                 time=float(times[i - 1]),
                 node=int(log.node[indices[start]]),
                 indices=group,
-                is_ue=bool(ue_mask[start:i].any()),
+                is_ue=bool(ue_before[i] > ue_before[start]),
             )
         )
         if not boundary:

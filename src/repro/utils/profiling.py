@@ -1,0 +1,94 @@
+"""Stage-level cProfile instrumentation for the experiment pipeline.
+
+``ExperimentConfig.profile`` (CLI: ``--profile``) runs each pipeline stage
+under :mod:`cProfile` and surfaces the top cumulative-time functions in
+``ExperimentResult.extras["profile"]`` — a plain ``{stage: [row, ...]}``
+mapping of dictionaries, cheap to print and to serialize ad hoc — so
+performance work starts from data instead of guesses.
+
+Profiling covers the driver process: with the ``serial`` executor (or
+``n_workers=1``) that is the whole experiment; with the process backend the
+worker-side task bodies run outside the profiler and only orchestration
+shows up.  The report says which stages were measured either way.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+__all__ = ["StageProfiler", "format_profile"]
+
+#: A profile row: function identity plus call counts and timings.
+ProfileRow = Dict[str, object]
+
+
+def _top_rows(profiler: cProfile.Profile, limit: int) -> List[ProfileRow]:
+    """The ``limit`` heaviest functions of one profile, by cumulative time."""
+    stats = pstats.Stats(profiler)
+    entries = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )
+    rows: List[ProfileRow] = []
+    for (filename, line, function), (_, n_calls, total, cumulative, _) in entries[
+        :limit
+    ]:
+        short = filename.rsplit("/", 1)[-1]
+        rows.append(
+            {
+                "function": f"{short}:{line}({function})",
+                "ncalls": int(n_calls),
+                "tottime": round(float(total), 4),
+                "cumtime": round(float(cumulative), 4),
+            }
+        )
+    return rows
+
+
+class StageProfiler:
+    """Profiles named stages and collects their top-function tables.
+
+    Disabled instances cost nothing — :meth:`stage` degrades to a bare
+    ``yield`` — so callers can instrument unconditionally and let the
+    config flag decide.
+    """
+
+    def __init__(self, enabled: bool = True, top: int = 15) -> None:
+        self.enabled = bool(enabled)
+        self.top = int(top)
+        self.stages: Dict[str, List[ProfileRow]] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Run one pipeline stage under its own profiler."""
+        if not self.enabled:
+            yield
+            return
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield
+        finally:
+            profiler.disable()
+            self.stages[name] = _top_rows(profiler, self.top)
+
+    def report(self) -> Dict[str, List[ProfileRow]]:
+        """The collected ``{stage: [rows]}`` mapping (copy)."""
+        return dict(self.stages)
+
+
+def format_profile(report: Dict[str, List[ProfileRow]]) -> str:
+    """Human-readable table of a :meth:`StageProfiler.report` mapping."""
+    lines: List[str] = []
+    for stage, rows in report.items():
+        lines.append(f"profile [{stage}] — top functions by cumulative time")
+        lines.append(f"  {'cumtime':>9}  {'tottime':>9}  {'ncalls':>8}  function")
+        for row in rows:
+            lines.append(
+                f"  {row['cumtime']:>9.4f}  {row['tottime']:>9.4f}  "
+                f"{row['ncalls']:>8}  {row['function']}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,192 @@
+"""Equivalence suite: vectorized replay memory vs the scalar reference.
+
+The vectorized :class:`SumTree` batch methods and the batched
+:class:`PrioritizedReplayBuffer` sampling/priority-refresh must reproduce
+the historical per-element implementations *bit for bit* — same tree
+contents, same RNG stream consumption, same sampled indices and weights —
+because RL training (and therefore the golden experiment fingerprints)
+depends on every one of those bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mdp import Transition
+from repro.core.replay import PrioritizedReplayBuffer, SumTree
+
+
+def _make_transitions(rng, count, state_dim=4):
+    return [
+        Transition(
+            state=rng.normal(size=state_dim),
+            action=int(rng.integers(2)),
+            reward=float(rng.normal()),
+            next_state=rng.normal(size=state_dim),
+            done=bool(rng.random() < 0.05),
+        )
+        for _ in range(count)
+    ]
+
+
+class TestSumTreeVectorized:
+    @pytest.mark.parametrize("capacity", [1, 2, 5, 16, 100])
+    def test_update_many_matches_sequential_updates(self, capacity, rng):
+        scalar_tree, batch_tree = SumTree(capacity), SumTree(capacity)
+        for _ in range(15):
+            indices = rng.integers(0, capacity, size=int(rng.integers(1, 40)))
+            priorities = rng.random(indices.size) * rng.choice(
+                [1e-6, 1.0, 1e5], indices.size
+            )
+            for index, priority in zip(indices, priorities):
+                scalar_tree.update(int(index), float(priority))
+            batch_tree.update_many(indices, priorities)
+            assert np.array_equal(scalar_tree._tree, batch_tree._tree)
+
+    def test_update_many_duplicate_indices_fold_in_order(self):
+        scalar_tree, batch_tree = SumTree(8), SumTree(8)
+        indices = np.array([3, 3, 3, 5, 3, 5])
+        priorities = np.array([1.0, 0.25, 7.5, 2.0, 0.125, 0.5])
+        for index, priority in zip(indices, priorities):
+            scalar_tree.update(int(index), float(priority))
+        batch_tree.update_many(indices, priorities)
+        assert np.array_equal(scalar_tree._tree, batch_tree._tree)
+        assert batch_tree.get(3) == 0.125 and batch_tree.get(5) == 0.5
+
+    def test_update_many_validation(self):
+        tree = SumTree(4)
+        with pytest.raises(IndexError):
+            tree.update_many(np.array([4]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            tree.update_many(np.array([0]), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            tree.update_many(np.array([0, 1]), np.array([1.0]))
+
+    def test_sample_many_matches_scalar_walks(self, rng):
+        tree = SumTree(37)
+        tree.update_many(rng.integers(0, 37, size=60), rng.random(60))
+        values = rng.uniform(0, tree.total, size=200)
+        scalar = [tree.sample(float(value)) for value in values]
+        indices, priorities = tree.sample_many(values)
+        assert np.array_equal(indices, np.array([s[0] for s in scalar]))
+        assert np.array_equal(priorities, np.array([s[1] for s in scalar]))
+
+    def test_sample_many_empty_tree_raises(self):
+        with pytest.raises(ValueError):
+            SumTree(4).sample_many(np.array([0.0]))
+
+
+class TestPrioritizedReplayVectorized:
+    def test_sample_and_update_interplay_is_bit_identical(self, rng):
+        """200 interleaved sample/update/push rounds: identical streams."""
+        transitions = _make_transitions(rng, 600)
+        scalar = PrioritizedReplayBuffer(128, seed=5)
+        batched = PrioritizedReplayBuffer(128, seed=5)
+        for transition in transitions[:300]:
+            scalar.push(transition)
+        batched.push_many(transitions[:300])
+        assert np.array_equal(scalar._tree._tree, batched._tree._tree)
+        assert scalar._next == batched._next and scalar._size == batched._size
+
+        extra = iter(transitions[300:])
+        for round_index in range(200):
+            reference = scalar._sample_scalar(32)
+            batch = batched.sample(32)
+            assert np.array_equal(reference.indices, batch.indices)
+            assert np.array_equal(reference.weights, batch.weights)
+            errors = rng.normal(size=32) * 10
+            scalar._update_priorities_scalar(reference.indices, errors)
+            batched.update_priorities(batch.indices, errors)
+            assert np.array_equal(scalar._tree._tree, batched._tree._tree)
+            assert scalar._max_priority == batched._max_priority
+            if round_index % 10 == 0:
+                fresh = [next(extra), next(extra)]
+                for transition in fresh:
+                    scalar.push(transition)
+                batched.push_many(fresh)
+
+    def test_large_batch_update_takes_the_vectorized_path(self, rng):
+        """Batches >= 64 refresh through SumTree.update_many; identical."""
+        transitions = _make_transitions(rng, 300)
+        scalar = PrioritizedReplayBuffer(256, seed=2)
+        batched = PrioritizedReplayBuffer(256, seed=2)
+        for transition in transitions:
+            scalar.push(transition)
+        batched.push_many(transitions)
+        for _ in range(20):
+            indices = rng.integers(0, 256, size=128)
+            errors = rng.normal(size=128) * rng.choice([1e-4, 1.0, 1e3], 128)
+            scalar._update_priorities_scalar(indices, errors)
+            batched.update_priorities(indices, errors)
+            assert np.array_equal(scalar._tree._tree, batched._tree._tree)
+            assert scalar._max_priority == batched._max_priority
+
+    def test_push_many_wraps_like_repeated_push(self, rng):
+        transitions = _make_transitions(rng, 25)
+        scalar = PrioritizedReplayBuffer(8, seed=1)
+        batched = PrioritizedReplayBuffer(8, seed=1)
+        for transition in transitions:
+            scalar.push(transition)
+        batched.push_many(transitions)  # wraps the ring three times
+        assert np.array_equal(scalar._tree._tree, batched._tree._tree)
+        assert scalar._next == batched._next and len(scalar) == len(batched)
+        assert all(
+            scalar._storage[i] is batched._storage[i] for i in range(8)
+        )
+
+    def test_prewrap_unfilled_slot_fallback_matches_scalar(self, rng):
+        """A draw landing on a not-yet-filled slot rewinds and replays.
+
+        The fallback is only reachable before the buffer wraps (and needs a
+        zero-priority region adjacent to live leaves), so the tree is rigged
+        directly: leaf 2 gets priority while ``storage[2]`` is still None.
+        The batched path must detect it, rewind the generator, and produce
+        exactly the scalar loop's indices/weights — including the extra
+        mid-stream ``integers`` draw the fallback consumes.
+        """
+        transitions = _make_transitions(rng, 2)
+        scalar = PrioritizedReplayBuffer(4, seed=11)
+        batched = PrioritizedReplayBuffer(4, seed=11)
+        for buffer in (scalar, batched):
+            for transition in transitions:
+                buffer.push(transition)
+            buffer._tree.update(2, 5.0)
+        reference = scalar._sample_scalar(16)
+        batch = batched.sample(16)
+        assert np.array_equal(reference.indices, batch.indices)
+        assert np.array_equal(reference.weights, batch.weights)
+        # Every returned transition is a real (filled) slot.
+        assert (batch.indices < 2).all()
+        # And the RNG streams stayed in lockstep for the next call too.
+        assert np.array_equal(
+            scalar._sample_scalar(8).indices, batched.sample(8).indices
+        )
+
+    def test_zero_priority_weights_degrade_to_uniform(self):
+        """All-zero sampled priorities with β > 0 must not produce NaNs."""
+        weights = PrioritizedReplayBuffer._normalized_weights(
+            np.zeros(8), total=1.0, size=8, beta=0.5
+        )
+        assert np.array_equal(weights, np.ones(8))
+
+    def test_degenerate_overflow_weights_degrade_to_uniform(self):
+        """A priority underflowing to probability 0 makes its raw weight
+        infinite; the guard must keep the batch finite."""
+        priorities = np.array([1.0, 0.0, 2.0])
+        weights = PrioritizedReplayBuffer._normalized_weights(
+            priorities, total=3.0, size=3, beta=0.4
+        )
+        assert np.all(np.isfinite(weights))
+        assert np.array_equal(weights, np.ones(3))
+
+    def test_normal_weights_match_historical_formula(self):
+        priorities = np.array([0.5, 1.0, 0.25])
+        total = 1.75
+        probabilities = priorities / max(total, 1e-12)
+        expected = (3 * probabilities) ** (-0.6)
+        expected = expected / expected.max()
+        got = PrioritizedReplayBuffer._normalized_weights(
+            priorities, total=total, size=3, beta=0.6
+        )
+        assert np.array_equal(got, expected)

@@ -1,0 +1,222 @@
+"""Equivalence suite: the vectorized decision core vs the scalar replay.
+
+``evaluate_policy(vectorized=True)`` — batched ``decide_batch`` decisions
+plus the segmented-scan cost accounting (and, for cost-dependent policies
+under restartable jobs, the speculative renewal walk) — must produce
+*identical* ``PolicyEvaluation`` objects to the per-event reference path
+for every built-in policy, over generated traces, all restartable/cost
+combinations.  Policies without ``decide_batch`` (user-registered customs)
+must silently take the scalar path and still work, including through the
+approach registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dataset import build_prediction_dataset
+from repro.baselines.myopic import MyopicRFPolicy
+from repro.baselines.sc20 import SC20RandomForestPolicy, train_sc20_forest
+from repro.baselines.static import (
+    AlwaysMitigatePolicy,
+    NeverMitigatePolicy,
+    OraclePolicy,
+    PeriodicMitigatePolicy,
+)
+from repro.config import ScenarioConfig
+from repro.core.dqn import DDDQNAgent, DQNConfig
+from repro.core.policies import CallablePolicy, MitigationPolicy, RLPolicy
+from repro.evaluation.experiment import run_experiment
+from repro.evaluation.pipeline import ExperimentConfig
+from repro.evaluation.registry import ApproachSpec, register_approach, unregister_approach
+from repro.evaluation.runner import build_traces, evaluate_policy
+from repro.utils.timeutils import DAY
+
+
+@pytest.fixture(scope="module")
+def traces(feature_tracks, job_sampler):
+    """A realistic multi-node trace set from the session-scoped small log."""
+    times = [track.times for track in feature_tracks.values() if len(track)]
+    t_max = max(float(t[-1]) for t in times)
+    return build_traces(
+        feature_tracks, job_sampler, 0.4 * t_max, t_max + 1.0, seed=97
+    )
+
+
+@pytest.fixture(scope="module")
+def sc20_policy(feature_tracks):
+    dataset = build_prediction_dataset(
+        feature_tracks, prediction_window_seconds=DAY, t_start=0.0, t_end=50 * DAY
+    )
+    forest, _ = train_sc20_forest(dataset, n_estimators=8, max_depth=6, seed=5)
+    return SC20RandomForestPolicy(forest, threshold=0.4)
+
+
+def _rl_policy(normalizer, seed, mitigate_bias=0.0):
+    agent = DDDQNAgent(
+        normalizer.state_dim, DQNConfig(hidden_sizes=(24, 12), seed=seed)
+    )
+    # Shift the advantage head so different fixtures cover sparse, moderate
+    # and dense mitigation regimes (the renewal walk behaves differently in
+    # each).
+    agent.online.advantage_b[:] = [-mitigate_bias, 0.0]
+    agent.target.copy_from(agent.online)
+    return RLPolicy(agent, normalizer)
+
+
+def _assert_paths_identical(traces, policy, mitigation_cost, restartable, **kwargs):
+    scalar = evaluate_policy(
+        traces, policy, mitigation_cost, restartable=restartable,
+        vectorized=False, **kwargs,
+    )
+    vectorized = evaluate_policy(
+        traces, policy, mitigation_cost, restartable=restartable,
+        vectorized=True, **kwargs,
+    )
+    assert scalar.costs == vectorized.costs, policy.name
+    assert scalar.confusion == vectorized.confusion, policy.name
+    assert scalar.n_decision_points == vectorized.n_decision_points
+    assert scalar.n_traces == vectorized.n_traces
+    return scalar
+
+
+class TestScalarVectorEquivalence:
+    @pytest.mark.parametrize("restartable", [True, False])
+    @pytest.mark.parametrize("cost", [2 / 60.0, 10 / 60.0, 0.0])
+    def test_static_family(self, traces, restartable, cost):
+        for policy in (
+            NeverMitigatePolicy(),
+            AlwaysMitigatePolicy(),
+            OraclePolicy(),
+            PeriodicMitigatePolicy(12.0),
+            PeriodicMitigatePolicy(0.01),  # mitigates at nearly every event
+        ):
+            _assert_paths_identical(traces, policy, cost, restartable)
+
+    @pytest.mark.parametrize("restartable", [True, False])
+    @pytest.mark.parametrize("threshold", [0.1, 0.4, 0.9])
+    def test_sc20_thresholds(self, traces, sc20_policy, restartable, threshold):
+        _assert_paths_identical(
+            traces, sc20_policy.with_threshold(threshold), 2 / 60.0, restartable
+        )
+
+    @pytest.mark.parametrize("restartable", [True, False])
+    @pytest.mark.parametrize("cost", [2 / 60.0, 10 / 60.0, 0.0])
+    def test_myopic_cost_feedback(self, traces, sc20_policy, restartable, cost):
+        result = _assert_paths_identical(
+            traces, MyopicRFPolicy(sc20_policy, cost), cost, restartable
+        )
+        assert result.n_decision_points > 0
+
+    @pytest.mark.parametrize("restartable", [True, False])
+    @pytest.mark.parametrize("bias", [-3.0, 0.0, 3.0])
+    def test_rl_cost_feedback(self, traces, normalizer, restartable, bias):
+        policy = _rl_policy(normalizer, seed=int(17 + bias), mitigate_bias=bias)
+        _assert_paths_identical(traces, policy, 2 / 60.0, restartable)
+
+    def test_ue_cost_fn_forces_the_scalar_path(self, traces):
+        """A per-event cost override cannot be batched; both flags agree."""
+        def double_cost(trace, index, time, default):
+            return 2.0 * default
+
+        _assert_paths_identical(
+            traces, AlwaysMitigatePolicy(), 2 / 60.0, True, ue_cost_fn=double_cost
+        )
+
+    def test_mitigation_overhead_edge(self, traces):
+        """Zero overhead makes same-timestamp completions an edge case."""
+        _assert_paths_identical(
+            traces,
+            OraclePolicy(),
+            0.0,
+            True,
+            mitigation_overhead_seconds=0.0,
+        )
+
+
+class _ThresholdOnCostPolicy(MitigationPolicy):
+    """A decide()-only policy (no decide_batch): the fallback must carry it.
+
+    Mitigates when the potential UE cost exceeds a threshold — deliberately
+    cost-dependent, so under restartable jobs its decisions feed back into
+    the costs, the hardest case for any shortcut to get wrong.
+    """
+
+    name = "Cost-threshold"
+
+    def __init__(self, threshold_node_hours: float) -> None:
+        self.threshold = float(threshold_node_hours)
+
+    def decide(self, context) -> bool:
+        return context.ue_cost > self.threshold
+
+
+class TestScalarFallback:
+    @pytest.mark.parametrize("restartable", [True, False])
+    def test_decide_only_policy_evaluates_identically(self, traces, restartable):
+        """vectorized=True silently falls back and changes nothing."""
+        for policy in (
+            _ThresholdOnCostPolicy(5.0),
+            CallablePolicy(lambda ctx: ctx.event_index % 3 == 0, name="every-3rd"),
+        ):
+            _assert_paths_identical(traces, policy, 2 / 60.0, restartable)
+
+    def test_decide_batch_declines_on_base_class(self, traces):
+        assert _ThresholdOnCostPolicy(1.0).decide_batch(traces[0]) is None
+
+    @pytest.mark.parametrize("restartable", [True, False])
+    def test_full_trace_only_cost_dependent_policy_falls_back(
+        self, traces, restartable
+    ):
+        """A cost-dependent policy that declines partial windows must abort
+        the renewal walk mid-trace and re-replay scalar — not have its
+        ``None`` coerced into all-False decisions."""
+
+        class _FullTraceOnly(MitigationPolicy):
+            name = "full-trace-only"
+            cost_dependent = True
+
+            def decide(self, context) -> bool:
+                return context.ue_cost > 2.0
+
+            def decide_batch(self, trace, ue_costs=None, start=0, stop=None):
+                stop = len(trace) if stop is None else stop
+                if ue_costs is None or start != 0 or stop != len(trace):
+                    return None
+                import numpy as np
+
+                return np.asarray(ue_costs) > 2.0
+
+        _assert_paths_identical(traces, _FullTraceOnly(), 2 / 60.0, restartable)
+
+    def test_registry_registered_custom_policy_runs_through_experiment(self):
+        """A registered approach without decide_batch completes an
+        experiment via the scalar fallback and matches a directly computed
+        scalar evaluation."""
+        spec = register_approach(
+            ApproachSpec(
+                name="Cost-threshold",
+                build=lambda ctx, config, rng: _ThresholdOnCostPolicy(5.0),
+                group="custom-threshold",
+                order=90,
+            )
+        )
+        try:
+            scenario = ScenarioConfig.small(seed=7).with_duration(30 * DAY)
+            config = ExperimentConfig(
+                include_rf=False,
+                include_rl=False,
+                include_myopic=False,
+                include_oracle=False,
+                include_static=True,
+                charge_training_time=False,
+            )
+            result = run_experiment(scenario, config)
+            assert "Cost-threshold" in result.approaches
+            custom = result.approaches["Cost-threshold"].total_costs
+            never = result.approaches["Never-mitigate"].total_costs
+            assert custom.n_ues == never.n_ues
+            assert custom.n_mitigations > 0
+        finally:
+            unregister_approach(spec.name)

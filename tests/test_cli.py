@@ -112,3 +112,81 @@ class TestSweepLifecycle:
         assert "sweeps (1)" in listing
         assert "results (2)" in listing
         assert "prepared (1)" in listing
+
+        # gc: the sweep's product is referenced, an orphan is prunable.
+        from repro.config import ScenarioConfig
+        from repro.evaluation.pipeline import ExperimentConfig, prepare_data
+        from repro.store import ArtifactStore
+        from repro.utils.timeutils import DAY
+
+        store = ArtifactStore(store_dir)
+        orphan = ScenarioConfig.small(seed=4242).with_duration(20 * DAY)
+        orphan_key = store.save_prepared(
+            prepare_data(orphan, ExperimentConfig.fast()), ExperimentConfig.fast()
+        )
+        assert cli.main(["gc", "--store", store_dir, "--dry-run", "--grace-minutes", "0"]) == 0
+        dry = capsys.readouterr().out
+        assert f"would remove: prepared/{orphan_key}" in dry
+        assert "freeing" in dry and "1 referenced product(s) kept" in dry
+        assert orphan_key in store.list_prepared()
+
+        assert cli.main(["gc", "--store", store_dir, "--grace-minutes", "0"]) == 0
+        pruned = capsys.readouterr().out
+        assert f"removed: prepared/{orphan_key}" in pruned
+        assert orphan_key not in store.list_prepared()
+
+        # The sweep still reports from the store after the gc pass.
+        assert cli.main(["report", "--store", store_dir]) == 0
+
+
+class TestProfileFlag:
+    def test_run_with_profile_prints_stage_tables(self, tmp_path, capsys):
+        args = (
+            ["run", "--mitigation-cost", "5", "--profile"]
+            + FAST_FLAGS
+        )
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        assert "profile [prepare_data]" in out
+        assert "profile [execute_tasks]" in out
+        assert "cumtime" in out
+
+    def test_profile_surfaces_in_result_extras(self):
+        from repro.config import ScenarioConfig
+        from repro.evaluation.experiment import run_experiment
+        from repro.evaluation.pipeline import ExperimentConfig
+        from repro.utils.timeutils import DAY
+
+        scenario = ScenarioConfig.small(seed=11).with_duration(30 * DAY)
+        config = ExperimentConfig(
+            include_rf=False,
+            include_rl=False,
+            include_myopic=False,
+            charge_training_time=False,
+            executor_kind="serial",
+            profile=True,
+        )
+        result = run_experiment(scenario, config)
+        report = result.extras["profile"]
+        assert set(report) == {"prepare_data", "execute_tasks", "aggregate"}
+        for rows in report.values():
+            assert rows and {"function", "ncalls", "tottime", "cumtime"} <= set(
+                rows[0]
+            )
+
+    def test_profile_off_leaves_extras_empty(self):
+        from repro.config import ScenarioConfig
+        from repro.evaluation.experiment import run_experiment
+        from repro.evaluation.pipeline import ExperimentConfig
+        from repro.utils.timeutils import DAY
+
+        scenario = ScenarioConfig.small(seed=11).with_duration(30 * DAY)
+        config = ExperimentConfig(
+            include_rf=False,
+            include_rl=False,
+            include_myopic=False,
+            charge_training_time=False,
+            executor_kind="serial",
+        )
+        result = run_experiment(scenario, config)
+        assert "profile" not in result.extras

@@ -216,3 +216,60 @@ class TestAtomicity:
         json.loads(path.read_text())  # parses completely
         leftovers = list((store.root / "results").glob("*.tmp"))
         assert leftovers == []
+
+
+class TestGarbageCollection:
+    @pytest.fixture()
+    def populated(self, store):
+        """A store with one result-referenced and one orphaned product."""
+        prepared = prepare_data(SCENARIO, TINY)
+        store.save_prepared(prepared, TINY)
+        store.save_result(SCENARIO, TINY, run_experiment(SCENARIO, TINY))
+        orphan_scenario = ScenarioConfig.small(seed=4242).with_duration(20 * DAY)
+        orphan_key = store.save_prepared(
+            prepare_data(orphan_scenario, TINY), TINY
+        )
+        return store, store.prepared_key(SCENARIO, TINY), orphan_key
+
+    def test_referenced_keys_cover_results_and_sweeps(self, populated):
+        store, referenced_key, orphan_key = populated
+        referenced = store.referenced_prepared_keys()
+        assert referenced_key in referenced
+        assert orphan_key not in referenced
+
+    def test_dry_run_reports_without_deleting(self, populated):
+        store, referenced_key, orphan_key = populated
+        report = store.gc(dry_run=True, grace_seconds=0.0)
+        assert report.dry_run
+        assert report.removed == (orphan_key,)
+        assert referenced_key in report.kept
+        assert report.freed_bytes > 0
+        assert orphan_key in store.list_prepared()  # nothing deleted
+
+    def test_gc_prunes_orphans_and_keeps_referenced(self, populated):
+        store, referenced_key, orphan_key = populated
+        dry = store.gc(dry_run=True, grace_seconds=0.0)
+        report = store.gc(grace_seconds=0.0)
+        assert report.removed == (orphan_key,)
+        assert report.freed_bytes == dry.freed_bytes
+        assert store.list_prepared() == [referenced_key]
+        # The referenced product still loads after the pass.
+        assert store.load_prepared(SCENARIO, TINY) is not None
+        # A second pass is a no-op.
+        assert store.gc(grace_seconds=0.0).removed == ()
+
+    def test_gc_prunes_incomplete_entries(self, store):
+        incomplete = store.root / "prepared" / "deadbeefdeadbeef"
+        incomplete.mkdir(parents=True)
+        (incomplete / "arrays.npz").write_bytes(b"partial")
+        report = store.gc(grace_seconds=0.0)
+        assert "deadbeefdeadbeef" in report.removed
+        assert not incomplete.exists()
+
+    def test_grace_window_protects_in_flight_products(self, populated):
+        """A freshly written (possibly still-spilling) product survives."""
+        store, referenced_key, orphan_key = populated
+        report = store.gc(grace_seconds=3600.0)
+        assert report.removed == ()
+        assert orphan_key in report.kept
+        assert orphan_key in store.list_prepared()
