@@ -39,6 +39,12 @@ field selects the rule set.
   ``--tolerance`` of the committed baseline; ``per_speedup`` hovers at the
   parity boundary by design (dispatch-bound at mini-batch size), so only a
   structural >= 0.85 floor is armed for it.
+* The restart=on cost-feedback policies (RL, Myopic-RF) are additionally
+  gated *individually* on their ``replay_speedup_by_policy`` entries: each
+  must stay >= 1.0 and within ``--tolerance`` of its baseline ratio.  These
+  are the policies resolved through the lockstep renewal walk — the
+  slowest replay path — so a walk regression cannot hide behind the panel
+  average.
 """
 
 from __future__ import annotations
@@ -63,6 +69,17 @@ DECISION_CORE_RATIOS = {
     "feature_speedup": 1.0,
 }
 _RATIO_COMPARED_TO_BASELINE = ("replay_speedup", "feature_speedup")
+
+#: Per-policy replay-speedup gates: the restart=on cost-feedback policies
+#: are the ones resolved through the lockstep renewal walk, the panel-wide
+#: speedup's weakest link (every other policy's replay is a single batched
+#: call).  Each must stay >= its structural floor and within the
+#: ``--tolerance`` band of its committed baseline ratio, so a regression in
+#: the walk cannot hide behind the panel average.
+COST_FEEDBACK_POLICY_FLOORS = {
+    "RL/restart=on": 1.0,
+    "Myopic-RF/restart=on": 1.0,
+}
 
 
 def check_decision_core(
@@ -97,6 +114,31 @@ def check_decision_core(
                 findings.append(
                     f"{metric} regressed by more than {tolerance:.0%}: "
                     f"{got:.2f} < {baseline_floor:.2f} (baseline {base:.2f})"
+                )
+    current_by_policy = current.get("replay_speedup_by_policy") or {}
+    baseline_by_policy = baseline.get("replay_speedup_by_policy") or {}
+    for key, floor in COST_FEEDBACK_POLICY_FLOORS.items():
+        got = current_by_policy.get(key)
+        if got is None:
+            findings.append(
+                f"replay_speedup_by_policy[{key!r}] is missing from the "
+                "current run"
+            )
+            continue
+        if got < floor:
+            findings.append(
+                f"replay speedup of {key} {got:.2f} < {floor:.2f}: the "
+                "lockstep renewal walk no longer clears its structural "
+                "floor over the scalar reference"
+            )
+        base = baseline_by_policy.get(key)
+        if base is not None:
+            baseline_floor = base * (1.0 - tolerance)
+            if got < baseline_floor:
+                findings.append(
+                    f"replay speedup of {key} regressed by more than "
+                    f"{tolerance:.0%}: {got:.2f} < {baseline_floor:.2f} "
+                    f"(baseline {base:.2f})"
                 )
     return findings
 
@@ -189,9 +231,13 @@ def main(argv=None) -> int:
         ratios = ", ".join(
             f"{metric}={current.get(metric)}x" for metric in DECISION_CORE_RATIOS
         )
+        by_policy = current.get("replay_speedup_by_policy") or {}
+        walk = ", ".join(
+            f"{key}={by_policy.get(key)}x" for key in COST_FEEDBACK_POLICY_FLOORS
+        )
         print(
             "benchmark regression gate passed (decision-core ratios armed "
-            f"on any runner; {ratios})"
+            f"on any runner; {ratios}; lockstep walk: {walk})"
         )
         return 0
     cores = current.get("cpu_count") or 1

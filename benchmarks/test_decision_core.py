@@ -66,7 +66,12 @@ from repro.core.policies import RLPolicy
 from repro.core.replay import PrioritizedReplayBuffer
 from repro.core.trainer import train_agent
 from repro.evaluation.pipeline import ExperimentConfig, prepare_data
-from repro.evaluation.runner import build_traces, evaluate_policy
+from repro.evaluation.runner import (
+    build_traces,
+    evaluate_policy,
+    renewal_walk_stats,
+    reset_renewal_walk_stats,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -170,6 +175,8 @@ def _bench_replay(record):
     total_scalar = 0.0
     total_vector = 0.0
     per_policy = {}
+    per_policy_seconds = {}
+    walk_stats = {}
     for restartable in (True, False):
         for policy in panel:
             scalar_seconds, scalar_result = _best_of(
@@ -181,6 +188,7 @@ def _bench_replay(record):
                     vectorized=False,
                 )
             )
+            reset_renewal_walk_stats()
             vector_seconds, vector_result = _best_of(
                 lambda: evaluate_policy(
                     traces,
@@ -190,11 +198,22 @@ def _bench_replay(record):
                     vectorized=True,
                 )
             )
+            stats = renewal_walk_stats()
             identical = identical and _identical(scalar_result, vector_result)
             total_scalar += scalar_seconds
             total_vector += vector_seconds
             key = f"{policy.name}/restart={'on' if restartable else 'off'}"
             per_policy[key] = round(scalar_seconds / vector_seconds, 2)
+            per_policy_seconds[key] = {
+                "scalar": round(scalar_seconds, 4),
+                "vector": round(vector_seconds, 4),
+            }
+            if stats["rounds"]:
+                # Renewal-walk round/window/retry counts of one replay (the
+                # counters accumulate across the best-of reps).
+                walk_stats[key] = {
+                    name: count // REPS for name, count in stats.items()
+                }
 
     evaluations = 2 * len(panel)
     record.update(
@@ -212,6 +231,8 @@ def _bench_replay(record):
             ),
             "replay_speedup": round(total_scalar / total_vector, 3),
             "replay_speedup_by_policy": per_policy,
+            "replay_seconds_by_policy": per_policy_seconds,
+            "replay_walk_stats_by_policy": walk_stats,
         }
     )
     return identical

@@ -91,6 +91,12 @@ class SC20RandomForestPolicy(MitigationPolicy):
         #: in order by :meth:`prepare_trace` (see :meth:`prepare_traces`).
         self._prepared_queue: List[Tuple[np.ndarray, np.ndarray]] = []
         self._prepared_cursor = 0
+        #: Lockstep lookups into the bulk prediction: probability slice per
+        #: feature-matrix identity, plus the stacked probability vector and
+        #: each trace's row offset into it (see :meth:`prepare_traces`).
+        self._prepared_by_id: Optional[Dict[int, np.ndarray]] = None
+        self._stacked_probabilities: Optional[np.ndarray] = None
+        self._stacked_offsets: Optional[Dict[int, int]] = None
 
     @property
     def effective_threshold(self) -> float:
@@ -162,30 +168,58 @@ class SC20RandomForestPolicy(MitigationPolicy):
         if not traces:
             self._prepared_queue = []
             self._prepared_cursor = 0
+            self._prepared_by_id = None
+            self._stacked_probabilities = None
+            self._stacked_offsets = None
             return
         key = tuple(id(trace.features) for trace in traces)
         cached = getattr(self.forest, "_shared_trace_predictions", None)
         if cached is not None and cached[0] == key:
             self._prepared_queue = cached[2]
             self._prepared_cursor = 0
+            self._stacked_probabilities = cached[3]
+            self._stacked_offsets = cached[4]
+            self._prepared_by_id = cached[5]
             return
         stacked = np.concatenate([trace.features for trace in traces])
         probabilities = self.predict_probabilities(stacked)
         queue: List[Tuple[np.ndarray, np.ndarray]] = []
+        by_id: Dict[int, np.ndarray] = {}
+        offsets: Dict[int, int] = {}
         offset = 0
         for trace in traces:
-            queue.append(
-                (trace.features, probabilities[offset : offset + len(trace)])
-            )
+            piece = probabilities[offset : offset + len(trace)]
+            queue.append((trace.features, piece))
+            by_id[id(trace.features)] = piece
+            offsets[id(trace.features)] = offset
             offset += len(trace)
-        # (key, keyed array references — they pin the ids —, slices)
+        # (key, keyed array references — they pin the ids —, slices,
+        #  stacked probabilities, per-trace offsets, slices by identity)
         self.forest._shared_trace_predictions = (
             key,
             [trace.features for trace in traces],
             queue,
+            probabilities,
+            offsets,
+            by_id,
         )
         self._prepared_queue = queue
         self._prepared_cursor = 0
+        self._stacked_probabilities = probabilities
+        self._stacked_offsets = offsets
+        self._prepared_by_id = by_id
+
+    def stacked_probabilities(
+        self,
+    ) -> Tuple[Optional[np.ndarray], Optional[Dict[int, int]]]:
+        """The bulk prediction as ``(stacked vector, offsets by identity)``.
+
+        ``offsets`` maps ``id(trace.features)`` to the trace's first row in
+        the stacked vector; both are ``None`` before :meth:`prepare_traces`.
+        Myopic-RF's ``decide_windows`` gathers arbitrary multi-trace window
+        batches out of this with one fancy-index.
+        """
+        return self._stacked_probabilities, self._stacked_offsets
 
     def probability_for(self, context: DecisionContext) -> float:
         """Probability of an upcoming UE at this decision point.
@@ -218,7 +252,20 @@ class SC20RandomForestPolicy(MitigationPolicy):
         return self.trace_probabilities(trace)[start:stop] >= self.effective_threshold
 
     def trace_probabilities(self, trace) -> np.ndarray:
-        """Forest probabilities for every event of a trace (cached)."""
+        """Forest probabilities for every event of a trace (cached).
+
+        The bulk :meth:`prepare_traces` cache is consulted first, by the
+        identity of the trace's feature matrix — the lockstep runner asks
+        for different traces' windows back to back, so a cache validated by
+        the *current* trace alone would thrash (or, worse, alias two traces
+        of equal length).  The per-trace :meth:`prepare_trace` cache covers
+        the remaining single-trace flows.
+        """
+        by_id = self._prepared_by_id
+        if by_id is not None:
+            cached = by_id.get(id(trace.features))
+            if cached is not None:
+                return cached
         cache = self._trace_probabilities
         if cache is None or len(cache) != len(trace):
             self.prepare_trace(trace.features)

@@ -33,8 +33,13 @@ Five subcommands over the :class:`~repro.study.Study` facade and the
     stores otherwise keep every spilled product forever.
 
 ``run`` and ``sweep`` additionally accept ``--profile``: each pipeline
-stage runs under cProfile and the top cumulative functions are printed
-after the report (surfaced as ``result.extras["profile"]`` in the API).
+stage runs under cProfile, the raw stats are merged across stages
+(``pstats.Stats.add``) and ONE top-cumulative-time table is printed after
+the report (per-stage tables plus the merged ``"total"`` entry are
+surfaced as ``result.extras["profile"]`` in the API).  The profile covers
+whatever the driver process executes — including the compiled decision
+kernels when ``--compiled`` is active, whose numba dispatchers are
+attributed like any other callable.
 
 Every table is rendered by :mod:`repro.evaluation.report` — the CLI prints
 exactly what the library's ``format_*`` helpers produce.
@@ -180,8 +185,16 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="run each pipeline stage under cProfile and print the top "
-        "cumulative functions after the report",
+        help="run each pipeline stage under cProfile and print one merged "
+        "top-cumulative-time table after the report (covers the compiled "
+        "kernels when --compiled is active)",
+    )
+    parser.add_argument(
+        "--compiled",
+        action="store_true",
+        help="dispatch the decision core's hottest loops to numba-compiled "
+        "kernels (results identical; falls back to numpy with a warning "
+        "when numba is not installed)",
     )
 
 
@@ -280,6 +293,8 @@ def _config_from_args(args) -> ExperimentConfig:
         overrides["rl_trial_tasks"] = args.rl_trial_tasks
     if args.profile:
         overrides["profile"] = True
+    if args.compiled:
+        overrides["compiled"] = True
     return config.with_overrides(**overrides) if overrides else config
 
 

@@ -1,0 +1,201 @@
+"""Opt-in compiled kernels for the decision core's hottest scalar loops.
+
+The vectorized decision core is numpy-dispatch-bound in three places that
+resist further batching: the :class:`~repro.core.replay.SumTree` descent
+(a data-dependent walk per sampled value), the level-synchronous CART
+forest walk (a gather chain per tree level), and the segmented cost fold
+of the replay accounting (a sequential last-mitigation/last-UE recurrence).
+This module compiles those loops with numba when — and only when — the
+feature flag asks for it:
+
+* ``ExperimentConfig.compiled`` (CLI: ``--compiled``) enables the kernels
+  for one experiment;
+* the ``REPRO_COMPILED`` environment variable (``1``/``true``/``on``)
+  enables them process-wide, including in executor worker processes.
+
+With the flag off this module never imports numba — the import lives
+inside :func:`_build` — so the default configuration is bit-for-bit the
+pure-numpy code path with zero new dependencies.  With the flag on but
+numba missing, a single :class:`RuntimeWarning` is emitted and the numpy
+path is used; results are identical either way, because every kernel
+performs exactly the element-wise operations (same order, same IEEE-754
+semantics, no fastmath) of the numpy implementation it replaces.  The
+scalar-vs-vector equivalence suites run under both settings in CI.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "set_compiled",
+    "apply_config",
+    "compiled_requested",
+    "compiled_available",
+    "active",
+]
+
+#: Explicit override of the feature flag (None → consult ``REPRO_COMPILED``).
+_REQUESTED: Optional[bool] = None
+#: Resolved kernel namespace: None = not resolved yet, False = numba missing.
+_IMPL = None
+#: Compiled functions survive flag toggles (compilation is expensive).
+_COMPILED_CACHE = None
+_WARNED = False
+
+_ENV_TRUE = ("1", "true", "on", "yes")
+
+
+def set_compiled(enabled: Optional[bool]) -> None:
+    """Set the process-wide compiled-kernel flag.
+
+    ``True``/``False`` override the environment; ``None`` restores the
+    ``REPRO_COMPILED`` environment default.  Toggling never recompiles:
+    already-built kernels are cached for the life of the process.
+    """
+    global _REQUESTED, _IMPL
+    _REQUESTED = None if enabled is None else bool(enabled)
+    _IMPL = None
+
+
+def apply_config(compiled: bool) -> None:
+    """Enable the kernels when an experiment config asks for them.
+
+    Called at the start of the driver run and of every executor task body
+    (worker processes start from the environment default, so the config
+    flag must travel with the task).  Only ever *enables*: a config with
+    the flag off leaves the process default (``REPRO_COMPILED``) in place.
+    The flag is pure performance — results are identical either way — so a
+    worker that served a compiled sweep point keeping its kernels warm for
+    later points is safe.
+    """
+    if compiled:
+        set_compiled(True)
+
+
+def compiled_requested() -> bool:
+    """Whether the feature flag (config override or environment) is on."""
+    if _REQUESTED is not None:
+        return _REQUESTED
+    return os.environ.get("REPRO_COMPILED", "").strip().lower() in _ENV_TRUE
+
+
+def compiled_available() -> bool:
+    """Whether the flag is on *and* numba produced working kernels."""
+    return active() is not None
+
+
+def active():
+    """The kernel namespace when enabled and available, else ``None``.
+
+    Hot-path callers use this as their dispatch:
+    ``k = kernels.active();  k.sumtree_descend(...) if k else <numpy path>``.
+    """
+    global _IMPL, _WARNED
+    if not compiled_requested():
+        return None
+    if _IMPL is None:
+        _IMPL = _build()
+        if _IMPL is False and not _WARNED:
+            _WARNED = True
+            warnings.warn(
+                "REPRO_COMPILED / ExperimentConfig.compiled is set but numba "
+                "is not installed; falling back to the pure-numpy kernels "
+                "(results are identical, only slower).  Install the "
+                "'compiled' extra (pip install repro-dram-mitigation"
+                "[compiled]) to enable the compiled decision kernels.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return _IMPL or None
+
+
+def _build():
+    """Compile the kernel namespace, or ``False`` when numba is missing."""
+    global _COMPILED_CACHE
+    if _COMPILED_CACHE is not None:
+        return _COMPILED_CACHE
+    try:
+        import numba
+    except ImportError:
+        return False
+
+    # No fastmath, no parallel: the loops below must perform the same
+    # IEEE-754 operations, in the same order, as their numpy counterparts.
+    njit = numba.njit(cache=False, fastmath=False)
+
+    @njit
+    def sumtree_descend(tree, values, n_internal):
+        """Per-value root-to-leaf descent; mirrors ``SumTree.sample``.
+
+        ``values`` must already be clipped to ``[0, nextafter(total, 0)]``.
+        Returns the leaf node indices (tree coordinates, not data indices).
+        """
+        out = np.empty(values.size, dtype=np.int64)
+        for k in range(values.size):
+            value = values[k]
+            idx = 0
+            while idx < n_internal:
+                left = 2 * idx + 1
+                right = left + 1
+                if value <= tree[left] or tree[right] <= 0.0:
+                    idx = left
+                else:
+                    value -= tree[left]
+                    idx = right
+            out[k] = idx
+        return out
+
+    @njit
+    def forest_walk(flat_x, row_base, start_nodes, feature, threshold,
+                    left, right, depth):
+        """Route every (tree, row) pair to its leaf; mirrors the
+        level-synchronous walk of ``RandomForestClassifier.predict_proba``
+        (leaf self-loops make the fixed ``depth`` iterations no-ops)."""
+        node = np.empty(start_nodes.size, dtype=np.int64)
+        for i in range(start_nodes.size):
+            current = start_nodes[i]
+            base = row_base[i]
+            for _ in range(depth):
+                if flat_x[base + feature[current]] <= threshold[current]:
+                    current = left[current]
+                else:
+                    current = right[current]
+            node[i] = current
+        return node
+
+    @njit
+    def account_costs(times, is_ue, mask, job_start, job_nodes, hour):
+        """Segmented cost fold of the replay accounting: the per-event
+        potential-UE cost under the last surviving mitigation (forgotten at
+        each UE), element-wise identical to the forward-filled numpy scan
+        in ``repro.evaluation.runner._account_panel``."""
+        n = times.size
+        costs = np.empty(n, dtype=np.float64)
+        last_mit = -1
+        last_ue = -1
+        for i in range(n):
+            if last_mit >= 0 and last_mit > last_ue:
+                reference = max(job_start[i], times[last_mit])
+            else:
+                reference = job_start[i]
+            costs[i] = job_nodes[i] * max(0.0, times[i] - reference) / hour
+            if mask[i]:
+                last_mit = i
+            if is_ue[i]:
+                last_ue = i
+        return costs
+
+    class _Kernels:
+        pass
+
+    namespace = _Kernels()
+    namespace.sumtree_descend = sumtree_descend
+    namespace.forest_walk = forest_walk
+    namespace.account_costs = account_costs
+    _COMPILED_CACHE = namespace
+    return namespace

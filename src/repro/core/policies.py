@@ -13,13 +13,42 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.dqn import DDDQNAgent
 from repro.core.features import StateNormalizer
 from repro.core.mdp import Action
+
+#: One window of a multi-trace batched decision request: the trace object
+#: and the half-open event range ``[start, stop)`` within it.
+WindowSpec = Tuple[object, int, int]
+
+
+def concat_ranges(
+    starts: np.ndarray, stops: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated ``arange(start, stop)`` index runs, vectorized.
+
+    Returns ``(rows, widths)`` where ``rows`` is the concatenation of every
+    window's index range (used to gather window slices out of one stacked
+    per-panel array in a single fancy-index operation) and ``widths`` the
+    per-window lengths.  Shared by the lockstep evaluation runner and the
+    policies' ``decide_windows`` implementations.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    widths = stops - starts
+    total = int(widths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), widths
+    bounds = np.empty(widths.size + 1, dtype=np.int64)
+    bounds[0] = 0
+    np.cumsum(widths, out=bounds[1:])
+    pos = np.arange(total, dtype=np.int64)
+    rows = pos - np.repeat(bounds[:-1] - starts, widths)
+    return rows, widths
 
 
 @dataclass(frozen=True)
@@ -81,6 +110,56 @@ class MitigationPolicy(abc.ABC):
         """
         return None
 
+    def decide_windows(
+        self,
+        windows: Sequence[WindowSpec],
+        ue_costs: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """Batched :meth:`decide_batch` over windows of *several* traces.
+
+        The lockstep evaluation runner resolves the speculative renewal
+        windows of every trace in the panel per round and submits them as
+        one call: ``windows`` is a sequence of ``(trace, start, stop)``
+        specs and ``ue_costs`` (for :attr:`cost_dependent` policies) one
+        float array concatenating each window's potential UE costs in
+        window order.  Implementations return one boolean array of the
+        summed window widths (entries at UE events are ignored), or
+        ``None`` to decline — which sends the *whole policy* down the
+        scalar per-event path, exactly like a declined ``decide_batch``.
+
+        The base implementation loops :meth:`decide_batch` per window, so
+        any policy with a working ``decide_batch`` participates in lockstep
+        replay unchanged; implementations overriding this (the RL agent,
+        Myopic-RF) answer all windows with one batched model evaluation.
+        Note the windows of one call may interleave different traces:
+        ``decide_batch`` implementations must key any per-trace cache on
+        the ``trace`` argument itself (all built-ins do).
+        """
+        pieces: List[np.ndarray] = []
+        offset = 0
+        for trace, start, stop in windows:
+            width = stop - start
+            if self.cost_dependent:
+                if ue_costs is None:
+                    return None
+                piece = self.decide_batch(
+                    trace,
+                    ue_costs=ue_costs[offset : offset + width],
+                    start=start,
+                    stop=stop,
+                )
+            else:
+                piece = self.decide_batch(trace, start=start, stop=stop)
+            if piece is None:
+                return None
+            pieces.append(np.asarray(piece, dtype=bool))
+            offset += width
+        if not pieces:
+            return np.zeros(0, dtype=bool)
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces)
+
     def reset(self) -> None:
         """Called before each node's test trace is replayed (stateless by default)."""
 
@@ -131,6 +210,9 @@ class RLPolicy(MitigationPolicy):
         self._training_cost = float(training_cost_node_hours)
         self._norm_features: Optional[np.ndarray] = None
         self._norm_features_source: Optional[np.ndarray] = None
+        self._norm_stacked: Optional[np.ndarray] = None
+        self._norm_offsets: Optional[Dict[int, int]] = None
+        self._norm_pinned: Optional[List[np.ndarray]] = None
 
     def decide(self, context: DecisionContext) -> bool:
         state = self.normalizer.state_vector(context.features, context.ue_cost)
@@ -149,11 +231,92 @@ class RLPolicy(MitigationPolicy):
             self._norm_features = None
             self._norm_features_source = None
             return
+        offsets = self._norm_offsets
+        if offsets is not None and self._norm_stacked is not None:
+            base = offsets.get(id(features))
+            if base is not None:
+                # The panel-wide stack already holds this trace's rows
+                # (element-wise transform, so slicing it is bit-identical
+                # to re-normalising the trace on its own).
+                self._norm_features = self._norm_stacked[
+                    base : base + len(features)
+                ]
+                self._norm_features_source = features
+                return
         padded = np.concatenate(
             [features, np.zeros((len(features), 1))], axis=1
         )
         self._norm_features = self.normalizer.transform(padded)[:, :-1]
         self._norm_features_source = features
+
+    def prepare_traces(self, traces) -> None:
+        """Pre-normalise the telemetry features of a whole replay panel.
+
+        Stacks every trace's feature matrix, normalises once, and remembers
+        each trace's row offset into the stack (keyed by the identity of its
+        feature matrix, with the matrices pinned so the keys stay valid), so
+        :meth:`decide_windows` can gather any mix of per-trace windows with
+        one fancy-index instead of per-trace slicing.  The transform is
+        element-wise, so the stacked rows are bit-identical to the
+        per-trace :meth:`prepare_trace` cache.  Called with an empty
+        sequence, this releases the cache.
+        """
+        self._norm_stacked = None
+        self._norm_offsets = None
+        self._norm_pinned = None
+        if type(self.normalizer) is not StateNormalizer:
+            return
+        mats = [trace.features for trace in traces]
+        if not mats:
+            return
+        stacked_raw = mats[0] if len(mats) == 1 else np.concatenate(mats, axis=0)
+        padded = np.concatenate(
+            [stacked_raw, np.zeros((len(stacked_raw), 1))], axis=1
+        )
+        self._norm_stacked = self.normalizer.transform(padded)[:, :-1]
+        offsets: Dict[int, int] = {}
+        offset = 0
+        for mat in mats:
+            offsets[id(mat)] = offset
+            offset += len(mat)
+        self._norm_offsets = offsets
+        self._norm_pinned = mats
+
+    def decide_windows(
+        self,
+        windows: Sequence[WindowSpec],
+        ue_costs: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """All windows of a lockstep round in one Q-network forward.
+
+        Gathers the pre-normalised feature rows of every window out of the
+        :meth:`prepare_traces` stack, appends the (exactly replicated) cost
+        column transform, and runs a single batched advantage-difference
+        evaluation over the concatenation.  Falls back to the per-window
+        default when the bulk cache is missing (custom normalizer, or a
+        trace outside the prepared panel).  The same batched-GEMM rounding
+        caveat as :meth:`decide_batch` applies — pinned by the equivalence
+        suites and the golden harness.
+        """
+        if ue_costs is None:
+            return None
+        offsets = self._norm_offsets
+        if offsets is None or self._norm_stacked is None:
+            return super().decide_windows(windows, ue_costs)
+        starts = np.empty(len(windows), dtype=np.int64)
+        stops = np.empty(len(windows), dtype=np.int64)
+        for k, (trace, start, stop) in enumerate(windows):
+            base = offsets.get(id(trace.features))
+            if base is None:
+                return super().decide_windows(windows, ue_costs)
+            starts[k] = base + start
+            stops[k] = base + stop
+        rows, _ = concat_ranges(starts, stops)
+        costs = np.asarray(ue_costs, dtype=float)
+        states = np.empty((rows.size, self._norm_stacked.shape[1] + 1))
+        states[:, :-1] = self._norm_stacked[rows]
+        states[:, -1] = np.log1p(np.maximum(costs, 0.0))
+        return self._greedy_decisions(states)
 
     def decide_batch(
         self,
@@ -194,12 +357,17 @@ class RLPolicy(MitigationPolicy):
             states = self.normalizer.transform(
                 np.concatenate([trace.features[start:stop], costs[:, None]], axis=1)
             )
-        # Greedy decision = argmax over Q-values.  The dueling combine adds
-        # the same per-row constant (V - mean advantage) to both actions, so
-        # the argmax reduces to the sign of the advantage difference — one
-        # matrix-vector product instead of both head products.  (With two
-        # actions, ``decide()``'s argmax picks NOTHING on an exact tie;
-        # ``> 0`` preserves that.)
+        return self._greedy_decisions(states)
+
+    def _greedy_decisions(self, states: np.ndarray) -> np.ndarray:
+        """Greedy decision = argmax over Q-values, for a batch of states.
+
+        The dueling combine adds the same per-row constant (V - mean
+        advantage) to both actions, so the argmax reduces to the sign of
+        the advantage difference — one matrix-vector product instead of
+        both head products.  (With two actions, ``decide()``'s argmax picks
+        NOTHING on an exact tie; ``> 0`` preserves that.)
+        """
         network = self.agent.online
         if network.n_actions != 2:  # pragma: no cover - N_ACTIONS is 2
             q_values = network.forward(states)
@@ -269,3 +437,10 @@ class FallbackPolicy(MitigationPolicy):
         stop: Optional[int] = None,
     ) -> Optional[np.ndarray]:
         return self.inner.decide_batch(trace, ue_costs, start=start, stop=stop)
+
+    def decide_windows(
+        self,
+        windows: Sequence[WindowSpec],
+        ue_costs: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        return self.inner.decide_windows(windows, ue_costs)

@@ -58,6 +58,7 @@ import numpy as np
 from repro.baselines.dataset import build_prediction_dataset
 from repro.baselines.sc20 import SC20RandomForestPolicy, train_sc20_forest
 from repro.config import ScenarioConfig
+from repro.core import kernels
 from repro.core.dqn import DDDQNAgent, DQNConfig
 from repro.core.environment import MitigationEnv
 from repro.core.features import NodeFeatureTrack, StateNormalizer, build_feature_tracks
@@ -190,6 +191,13 @@ class ExperimentConfig:
     #: never changes results, only adds instrumentation in the driver
     #: process (the process-pool workers run outside the profiler).
     profile: bool = False
+    #: Dispatch the decision core's hottest residual loops (SumTree descent,
+    #: CART forest walk, replay cost fold) to numba-compiled kernels (CLI:
+    #: ``--compiled``; env: ``REPRO_COMPILED``).  Results are bit-identical
+    #: with the flag on or off — the kernels perform the same IEEE-754
+    #: operations in the same order — and when numba is not installed the
+    #: flag degrades to the pure-numpy path with a single RuntimeWarning.
+    compiled: bool = False
 
     @staticmethod
     def fast() -> "ExperimentConfig":
@@ -1390,6 +1398,7 @@ def run_split_group(
     not once per task).
     """
     ensure_sc20_variants(config)
+    kernels.apply_config(config.compiled)
     rl_state_in: Optional[dict] = None
     for outcome in deps.values():
         rl_state_in = outcome.rl_state
@@ -1411,6 +1420,7 @@ def run_rl_trial(
     outcome, whose ``rl_state`` seeds this split's warm start.  ``prepared``
     arrives through the executor's ``shared`` channel.
     """
+    kernels.apply_config(config.compiled)
     previous_state: Optional[dict] = None
     for outcome in deps.values():
         previous_state = outcome.rl_state
@@ -1435,6 +1445,7 @@ def run_rl_reduce(
     single-task graph produced.
     """
     ensure_sc20_variants(config)
+    kernels.apply_config(config.compiled)
     trial_results = [
         value for value in deps.values() if isinstance(value, RLTrialResult)
     ]

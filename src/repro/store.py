@@ -80,9 +80,16 @@ class StoreGcReport:
 #: Experiment-config fields that select a *schedule* or a diagnostic, not a
 #: result: two runs differing only here produce identical numbers
 #: (golden-tested; the per-trial RL task shape is result-identical to the
-#: in-task loop by construction, and ``profile`` only adds
-#: instrumentation), so they must share one result slot.
-_SCHEDULE_FIELDS = ("n_workers", "executor_kind", "rl_trial_tasks", "profile")
+#: in-task loop by construction, ``profile`` only adds instrumentation,
+#: and ``compiled`` swaps in kernels that perform the identical IEEE-754
+#: operations), so they must share one result slot.
+_SCHEDULE_FIELDS = (
+    "n_workers",
+    "executor_kind",
+    "rl_trial_tasks",
+    "profile",
+    "compiled",
+)
 
 
 def _digest(payload: Any) -> str:

@@ -1,0 +1,193 @@
+"""Flag gating of the opt-in compiled kernel layer.
+
+Two environments exercise this file.  Without numba (the default — the
+extra is opt-in) the flag-off path must never even try the import, and
+the flag-on path must fall back to the numpy kernels after a single
+warning: the zero-new-dependency contract of
+``ExperimentConfig.compiled`` / ``REPRO_COMPILED``.  With numba
+installed (the CI ``compiled`` leg) the fallback tests skip and the
+compiled kernels themselves are checked against their numpy references.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+
+NUMBA_MISSING = importlib.util.find_spec("numba") is None
+
+
+@pytest.fixture(autouse=True)
+def _pristine_flag(monkeypatch):
+    """Each test starts from flag-off with the one-shot warning re-armed."""
+    monkeypatch.delenv("REPRO_COMPILED", raising=False)
+    monkeypatch.setattr(kernels, "_REQUESTED", None)
+    monkeypatch.setattr(kernels, "_IMPL", None)
+    monkeypatch.setattr(kernels, "_WARNED", False)
+    yield
+
+
+def test_flag_off_means_no_kernels():
+    assert not kernels.compiled_requested()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any warning would fail the test
+        assert kernels.active() is None
+    assert not kernels.compiled_available()
+
+
+@pytest.mark.skipif(not NUMBA_MISSING, reason="numba is installed")
+def test_flag_off_never_imports_numba():
+    # The lazy import lives behind the flag: with it off, numba must not
+    # appear in sys.modules (it is not installed here, so an attempted
+    # import would be visible as a cached ImportError entry either way).
+    assert kernels.active() is None
+    assert "numba" not in sys.modules
+
+
+@pytest.mark.skipif(not NUMBA_MISSING, reason="numba is installed")
+def test_flag_on_without_numba_warns_once_then_falls_back():
+    kernels.set_compiled(True)
+    assert kernels.compiled_requested()
+    with pytest.warns(RuntimeWarning, match="numba"):
+        assert kernels.active() is None
+    assert not kernels.compiled_available()
+    # Subsequent lookups stay on the numpy path silently.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernels.active() is None
+
+
+def test_env_variable_enables_the_flag(monkeypatch):
+    for value in ("1", "true", "ON", "Yes"):
+        monkeypatch.setenv("REPRO_COMPILED", value)
+        assert kernels.compiled_requested(), value
+    for value in ("", "0", "off", "no", "false"):
+        monkeypatch.setenv("REPRO_COMPILED", value)
+        assert not kernels.compiled_requested(), value
+
+
+def test_apply_config_only_ever_enables(monkeypatch):
+    # Config flag off leaves the process default (here: env on) in place.
+    monkeypatch.setenv("REPRO_COMPILED", "1")
+    kernels.apply_config(False)
+    assert kernels.compiled_requested()
+    # Config flag on enables even without the env variable.
+    monkeypatch.delenv("REPRO_COMPILED")
+    kernels.set_compiled(None)
+    kernels.apply_config(True)
+    assert kernels.compiled_requested()
+
+
+def test_set_compiled_none_restores_env_default(monkeypatch):
+    kernels.set_compiled(True)
+    assert kernels.compiled_requested()
+    kernels.set_compiled(None)
+    assert not kernels.compiled_requested()
+    monkeypatch.setenv("REPRO_COMPILED", "1")
+    kernels.set_compiled(False)
+    assert not kernels.compiled_requested()  # explicit off beats the env
+    kernels.set_compiled(None)
+    assert kernels.compiled_requested()
+
+
+@pytest.mark.skipif(NUMBA_MISSING, reason="needs the 'compiled' extra")
+class TestCompiledKernelsMatchNumpy:
+    """With numba installed the kernels must equal their numpy references."""
+
+    def _namespace(self):
+        kernels.set_compiled(True)
+        namespace = kernels.active()
+        assert namespace is not None and kernels.compiled_available()
+        return namespace
+
+    def test_sumtree_descend_matches_scalar_sample(self):
+        from repro.core.replay import SumTree
+
+        namespace = self._namespace()
+        rng = np.random.default_rng(3)
+        tree = SumTree(37)
+        tree.update_many(rng.integers(0, 37, size=60), rng.random(60))
+        values = np.clip(
+            rng.uniform(0, tree.total, size=100),
+            0.0,
+            np.nextafter(tree.total, 0.0),
+        )
+        scalar = np.array([tree.sample(float(v))[0] for v in values])
+        n_internal = tree.capacity - 1
+        leaves = namespace.sumtree_descend(tree._tree, values, n_internal)
+        assert np.array_equal(leaves - n_internal, scalar)
+
+    def test_account_costs_matches_python_recurrence(self):
+        namespace = self._namespace()
+        rng = np.random.default_rng(5)
+        n = 200
+        times = np.sort(rng.uniform(0, 1e6, size=n))
+        is_ue = rng.random(n) < 0.1
+        mask = rng.random(n) < 0.3
+        job_start = times - rng.uniform(0, 1e4, size=n)
+        job_nodes = rng.integers(1, 64, size=n).astype(float)
+        hour = 3600.0
+        expected = np.empty(n)
+        last_mit = last_ue = -1
+        for i in range(n):
+            if last_mit >= 0 and last_mit > last_ue:
+                reference = max(job_start[i], times[last_mit])
+            else:
+                reference = job_start[i]
+            expected[i] = job_nodes[i] * max(0.0, times[i] - reference) / hour
+            if mask[i]:
+                last_mit = i
+            if is_ue[i]:
+                last_ue = i
+        got = namespace.account_costs(
+            times, is_ue, mask, job_start, job_nodes, hour
+        )
+        assert np.array_equal(got, expected)
+
+
+def test_flag_on_replay_matches_flag_off(job_sampler, monkeypatch):
+    """With the flag on (numba absent → numpy fallback) the evaluation
+    pipeline must produce bit-identical results to the flag-off run."""
+    import numpy as np
+
+    from repro.evaluation.runner import EvaluationTrace, evaluate_policy
+    from repro.core.policies import MitigationPolicy
+    from repro.utils.rng import RngFactory
+
+    class _Threshold(MitigationPolicy):
+        name = "threshold"
+        cost_dependent = True
+
+        def decide(self, context):
+            return context.ue_cost > 1.0
+
+        def decide_batch(self, trace, ue_costs=None, start=0, stop=None):
+            if ue_costs is None:
+                return None
+            return np.asarray(ue_costs, dtype=float) > 1.0
+
+    rng = np.random.default_rng(7)
+    times = np.sort(rng.uniform(0.0, 400_000.0, size=60))
+    trace = EvaluationTrace(
+        node=0,
+        times=times,
+        features=np.zeros((60, 3)),
+        is_ue=rng.random(60) < 0.1,
+        is_last_before_ue=np.zeros(60, dtype=bool),
+        timeline=job_sampler.sample_timeline(
+            0.0, 500_000.0, rng=RngFactory(3).stream("kernel-test")
+        ),
+    )
+    off = evaluate_policy([trace], _Threshold(), 2 / 60.0, restartable=True)
+    kernels.set_compiled(True)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        on = evaluate_policy([trace], _Threshold(), 2 / 60.0, restartable=True)
+    assert off.costs == on.costs
+    assert off.confusion == on.confusion

@@ -190,3 +190,99 @@ class TestPrioritizedReplayVectorized:
             priorities, total=total, size=3, beta=0.6
         )
         assert np.array_equal(got, expected)
+
+
+class TestPerDrawPool:
+    """The multi-step pre-drawn uniform pool must be RNG-stream-exact.
+
+    ``sample`` pre-draws ``PER_PREDRAW_STEPS`` steps' worth of raw doubles
+    per generator call; slicing that pool step by step must yield exactly
+    the doubles a pool-free buffer draws one ``uniform`` call at a time —
+    across pool refills, partial drains, and mid-stream scalar entry
+    points (which rewind the pool).
+    """
+
+    def _filled_pair(self, rng, capacity=128, fill=200, seed=9):
+        transitions = _make_transitions(rng, fill)
+        scalar = PrioritizedReplayBuffer(capacity, seed=seed)
+        pooled = PrioritizedReplayBuffer(capacity, seed=seed)
+        for transition in transitions:
+            scalar.push(transition)
+        pooled.push_many(transitions)
+        return scalar, pooled
+
+    def _assert_round(self, scalar, pooled, batch_size, rng):
+        reference = scalar._sample_scalar(batch_size)
+        batch = pooled.sample(batch_size)
+        assert np.array_equal(reference.indices, batch.indices), batch_size
+        assert np.array_equal(reference.weights, batch.weights), batch_size
+        errors = rng.normal(size=batch_size) * 5
+        scalar._update_priorities_scalar(reference.indices, errors)
+        pooled.update_priorities(batch.indices, errors)
+        assert np.array_equal(scalar._tree._tree, pooled._tree._tree)
+
+    def test_constant_batch_size_spans_many_pools(self, rng):
+        """At batch 32 a pool covers PER_PREDRAW_STEPS calls; 50 rounds
+        force several full drain-and-refill cycles."""
+        from repro.core.replay import PER_PREDRAW_STEPS
+
+        scalar, pooled = self._filled_pair(rng)
+        rounds = PER_PREDRAW_STEPS * 6 + 2  # refills plus a partial pool
+        for _ in range(rounds):
+            self._assert_round(scalar, pooled, 32, rng)
+
+    def test_varying_batch_sizes_straddle_pool_boundaries(self, rng):
+        """Cycling 1/7/32/64 makes calls drain the pool mid-slice: the
+        tail-plus-shortfall path must splice the stream seamlessly."""
+        scalar, pooled = self._filled_pair(rng, capacity=256, fill=300)
+        for _ in range(8):
+            for batch_size in (1, 7, 32, 64):
+                self._assert_round(scalar, pooled, batch_size, rng)
+
+    def test_scalar_entry_point_mid_pool_rewinds_exactly(self, rng):
+        """``_sample_scalar`` on a buffer holding a half-consumed pool must
+        rewind the generator to the first unconsumed double, keeping the
+        whole interleaved sequence stream-identical to a pool-free run."""
+        scalar, pooled = self._filled_pair(rng, seed=21)
+        for batch_size, entry in (
+            (16, "pooled"),   # opens a pool, consumes 1/8th
+            (16, "scalar"),   # must rewind the remaining 7/8ths
+            (8, "pooled"),
+            (8, "pooled"),
+            (24, "scalar"),
+            (32, "pooled"),
+        ):
+            reference = scalar._sample_scalar(batch_size)
+            if entry == "pooled":
+                batch = pooled.sample(batch_size)
+            else:
+                batch = pooled._sample_scalar(batch_size)
+            assert np.array_equal(reference.indices, batch.indices)
+            assert np.array_equal(reference.weights, batch.weights)
+        # Rewinding the still-open pool restores the exact pool-free
+        # generator state — the invariant the rewind exists to provide.
+        pooled._abandon_pool()
+        assert (
+            scalar._rng.bit_generator.state["state"]
+            == pooled._rng.bit_generator.state["state"]
+        )
+
+    def test_prewrap_fallback_discards_pool(self, rng):
+        """The unfilled-slot fallback replays the draws scalar-style from
+        the pool checkpoint — even when the pool was opened by an earlier,
+        smaller call."""
+        transitions = _make_transitions(rng, 3)
+        scalar = PrioritizedReplayBuffer(8, seed=13)
+        pooled = PrioritizedReplayBuffer(8, seed=13)
+        for buffer in (scalar, pooled):
+            for transition in transitions:
+                buffer.push(transition)
+        self._assert_round(scalar, pooled, 4, rng)  # opens a pool
+        for buffer in (scalar, pooled):
+            buffer._tree.update(5, 50.0)  # unfilled slot dominates the mass
+        reference = scalar._sample_scalar(16)
+        batch = pooled.sample(16)
+        assert np.array_equal(reference.indices, batch.indices)
+        assert np.array_equal(reference.weights, batch.weights)
+        assert (batch.indices < 3).all()
+        self._assert_round(scalar, pooled, 16, rng)  # streams still aligned

@@ -1,0 +1,221 @@
+"""Edge cases of the lockstep renewal walk (the cross-trace replay).
+
+The walk resolves every cost-feedback trace of the panel in rounds of one
+``decide_windows`` call each; these tests pin the panel shapes that stress
+its frontier bookkeeping — empty traces, single-event traces, wildly mixed
+lengths, guesses that diverge every round — plus the decline contract: a
+policy without window support falls back to the scalar path for *that
+policy's* replay while batch-capable policies keep the lockstep path.
+Every case asserts the vectorized replay is identical to the scalar
+reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import MitigationPolicy
+from repro.evaluation.runner import (
+    EvaluationTrace,
+    build_traces,
+    evaluate_policy,
+    renewal_walk_stats,
+    reset_renewal_walk_stats,
+)
+from repro.utils.rng import RngFactory
+
+MITIGATION_COST = 2 / 60.0
+
+
+class _CostThresholdBatchPolicy(MitigationPolicy):
+    """Cost-feedback policy with full batch/window support.
+
+    Mitigates while the potential UE cost exceeds a threshold — under
+    restartable jobs each mitigation resets the cost, so its decisions feed
+    back through the renewal walk.
+    """
+
+    name = "cost-threshold-batched"
+    cost_dependent = True
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = float(threshold)
+
+    def decide(self, context) -> bool:
+        return context.ue_cost > self.threshold
+
+    def decide_batch(self, trace, ue_costs=None, start=0, stop=None):
+        if ue_costs is None:
+            return None
+        return np.asarray(ue_costs, dtype=float) > self.threshold
+
+
+class _InverseCostPolicy(MitigationPolicy):
+    """Worst-case guesser bait: mitigates while the cost is *low*.
+
+    Baseline (high-cost) candidates say "don't mitigate", but right after
+    any mitigation the reset cost drops below the threshold and the policy
+    mitigates again — so the walk's candidate-seeded guesses diverge
+    essentially every round, exercising the longest seed-confirm chains.
+    """
+
+    name = "inverse-cost"
+    cost_dependent = True
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = float(threshold)
+
+    def decide(self, context) -> bool:
+        return context.ue_cost <= self.threshold
+
+    def decide_batch(self, trace, ue_costs=None, start=0, stop=None):
+        if ue_costs is None:
+            return None
+        return np.asarray(ue_costs, dtype=float) <= self.threshold
+
+
+class _NoBatchCostPolicy(MitigationPolicy):
+    """Cost-feedback policy without decide_batch: scalar fallback only."""
+
+    name = "no-batch"
+    cost_dependent = True
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = float(threshold)
+
+    def decide(self, context) -> bool:
+        return context.ue_cost > self.threshold
+
+
+def _synthetic_trace(node, times, ue_flags, job_sampler, t_end):
+    times = np.asarray(times, dtype=float)
+    is_ue = np.asarray(ue_flags, dtype=bool)
+    timeline = job_sampler.sample_timeline(
+        0.0, t_end, rng=RngFactory(23).stream(f"edge-node-{node}")
+    )
+    return EvaluationTrace(
+        node=node,
+        times=times,
+        features=np.zeros((times.size, 3)),
+        is_ue=is_ue,
+        is_last_before_ue=np.zeros(times.size, dtype=bool),
+        timeline=timeline,
+    )
+
+
+def _mixed_panel(job_sampler):
+    """Empty, single-event and wildly mixed-length traces in one panel."""
+    t_end = 2_000_000.0
+    rng = np.random.default_rng(1234)
+    traces = [
+        _synthetic_trace(0, [], [], job_sampler, t_end),  # empty
+        _synthetic_trace(1, [50_000.0], [False], job_sampler, t_end),
+        _synthetic_trace(2, [60_000.0], [True], job_sampler, t_end),  # lone UE
+    ]
+    for node, length in ((3, 2), (4, 500), (5, 7), (6, 133), (7, 31)):
+        times = np.sort(rng.uniform(1_000.0, t_end - 1_000.0, size=length))
+        ues = rng.random(length) < 0.08
+        traces.append(_synthetic_trace(node, times, ues, job_sampler, t_end))
+    return traces
+
+
+def _assert_identical(traces, policy, restartable=True):
+    scalar = evaluate_policy(
+        traces, policy, MITIGATION_COST, restartable=restartable, vectorized=False
+    )
+    vector = evaluate_policy(
+        traces, policy, MITIGATION_COST, restartable=restartable, vectorized=True
+    )
+    assert scalar.costs == vector.costs, policy.name
+    assert scalar.confusion == vector.confusion, policy.name
+    assert scalar.n_decision_points == vector.n_decision_points
+    return vector
+
+
+class TestLockstepEdgeCases:
+    @pytest.mark.parametrize("restartable", [True, False])
+    def test_mixed_length_panel(self, job_sampler, restartable):
+        """Empty + single-event + mixed-length traces replay identically."""
+        traces = _mixed_panel(job_sampler)
+        for threshold in (0.05, 1.0, 25.0):
+            _assert_identical(
+                traces, _CostThresholdBatchPolicy(threshold), restartable
+            )
+
+    def test_panel_of_only_empty_and_single_event_traces(self, job_sampler):
+        t_end = 500_000.0
+        traces = [
+            _synthetic_trace(0, [], [], job_sampler, t_end),
+            _synthetic_trace(1, [], [], job_sampler, t_end),
+            _synthetic_trace(2, [1_000.0], [False], job_sampler, t_end),
+            _synthetic_trace(3, [2_000.0], [True], job_sampler, t_end),
+        ]
+        _assert_identical(traces, _CostThresholdBatchPolicy(0.5))
+
+    def test_all_diverge_every_round_worst_case(self, job_sampler):
+        """A policy whose decisions contradict every candidate guess.
+
+        The inverse-cost rule flips its answer at each mitigation-induced
+        cost reset, so confirm prefixes stay short and the walk is forced
+        through its longest seed-diverge-reseed chains — the worst case for
+        the speculative scheduling, which must still match the scalar
+        reference decision for decision.
+        """
+        traces = _mixed_panel(job_sampler)
+        reset_renewal_walk_stats()
+        for threshold in (0.2, 2.0):
+            _assert_identical(traces, _InverseCostPolicy(threshold))
+        stats = renewal_walk_stats()
+        assert stats["rounds"] > 0 and stats["windows"] >= stats["rounds"]
+
+    def test_real_traces_against_threshold_policies(
+        self, feature_tracks, job_sampler
+    ):
+        """The synthetic-panel policies also replay the realistic traces."""
+        times = [t.times for t in feature_tracks.values() if len(t)]
+        t_max = max(float(t[-1]) for t in times)
+        traces = build_traces(
+            feature_tracks, job_sampler, 0.4 * t_max, t_max + 1.0, seed=97
+        )
+        _assert_identical(traces, _InverseCostPolicy(1.0))
+
+
+class TestDeclinePerPolicy:
+    def test_declining_policy_falls_back_without_poisoning_others(
+        self, job_sampler
+    ):
+        """Batch support is per policy: a decline sends only that policy's
+        replay down the scalar path; the next batch-capable policy still
+        takes the lockstep walk."""
+        traces = _mixed_panel(job_sampler)
+
+        reset_renewal_walk_stats()
+        _assert_identical(traces, _NoBatchCostPolicy(1.0))
+        assert renewal_walk_stats()["rounds"] == 0  # scalar fallback: no walk
+
+        reset_renewal_walk_stats()
+        _assert_identical(traces, _CostThresholdBatchPolicy(1.0))
+        assert renewal_walk_stats()["rounds"] > 0  # lockstep walk ran
+
+    def test_mid_walk_decline_aborts_to_scalar(self, job_sampler):
+        """A policy that answers whole-trace batches but declines partial
+        windows makes the walk abort mid-panel; the wholesale fallback must
+        reproduce the scalar results exactly."""
+
+        class _WholeTraceOnly(_CostThresholdBatchPolicy):
+            name = "whole-trace-only"
+
+            def decide_batch(self, trace, ue_costs=None, start=0, stop=None):
+                stop = len(trace) if stop is None else stop
+                if start != 0 or stop != len(trace):
+                    return None
+                return super().decide_batch(trace, ue_costs, start, stop)
+
+        traces = _mixed_panel(job_sampler)
+        reset_renewal_walk_stats()
+        _assert_identical(traces, _WholeTraceOnly(1.0))
+        stats = renewal_walk_stats()
+        # The walk started (whole-trace candidates were answered) but could
+        # not finish a single window round.
+        assert stats["windows"] == stats["rounds"] == 0 or stats["rounds"] >= 1

@@ -140,15 +140,18 @@ class TestSweepLifecycle:
 
 
 class TestProfileFlag:
-    def test_run_with_profile_prints_stage_tables(self, tmp_path, capsys):
+    def test_run_with_profile_prints_one_merged_table(self, tmp_path, capsys):
         args = (
             ["run", "--mitigation-cost", "5", "--profile"]
             + FAST_FLAGS
         )
         assert cli.main(args) == 0
         out = capsys.readouterr().out
-        assert "profile [prepare_data]" in out
-        assert "profile [execute_tasks]" in out
+        # One merged top-N table (pstats.Stats.add across stages), naming
+        # the stages it covers — not a table per stage.
+        assert out.count("top functions by cumulative time") == 1
+        assert "merged across stages" in out
+        assert "prepare_data" in out and "execute_tasks" in out
         assert "cumtime" in out
 
     def test_profile_surfaces_in_result_extras(self):
@@ -168,11 +171,26 @@ class TestProfileFlag:
         )
         result = run_experiment(scenario, config)
         report = result.extras["profile"]
-        assert set(report) == {"prepare_data", "execute_tasks", "aggregate"}
+        assert set(report) == {
+            "prepare_data", "execute_tasks", "aggregate", "total",
+        }
         for rows in report.values():
             assert rows and {"function", "ncalls", "tottime", "cumtime"} <= set(
                 rows[0]
             )
+        # The merged entry folds the raw stats: a function's combined call
+        # count is at least its count in any single stage's table.
+        per_stage_max = {}
+        for stage in ("prepare_data", "execute_tasks", "aggregate"):
+            for row in report[stage]:
+                per_stage_max[row["function"]] = max(
+                    per_stage_max.get(row["function"], 0), row["ncalls"]
+                )
+        merged_calls = {row["function"]: row["ncalls"] for row in report["total"]}
+        shared = set(merged_calls) & set(per_stage_max)
+        assert shared
+        for function in shared:
+            assert merged_calls[function] >= per_stage_max[function]
 
     def test_profile_off_leaves_extras_empty(self):
         from repro.config import ScenarioConfig
