@@ -45,6 +45,22 @@ field selects the rule set.
   are the policies resolved through the lockstep renewal walk — the
   slowest replay path — so a walk regression cannot hide behind the panel
   average.
+
+``serve`` (online micro-batched decision-service benchmark):
+
+* ``results_identical`` must be true — served decisions are bit-identical
+  to the offline replay (forest and RL), and the scalar-fallback serving
+  run reproduced the batched masks.
+* ``mean_batch_size`` and ``storm_mean_batch_size`` must stay > 1.0: the
+  micro-batcher must actually coalesce concurrent nodes, both on the
+  unthrottled firehose and under the replayed-at-speed UE storm.  These
+  are structural floors, armed on every runner.
+* ``batched_vs_scalar_speedup`` (one ``decide_nodes`` call per tick vs the
+  base-class per-row ``decide`` loop) is a single-process,
+  schedule-independent ratio: it must stay >= 1.0 and within
+  ``--tolerance`` of the committed baseline on any runner.
+* Absolute decisions/s and tick-latency milliseconds are recorded for the
+  perf trajectory but never compared across machines.
 """
 
 from __future__ import annotations
@@ -143,6 +159,59 @@ def check_decision_core(
     return findings
 
 
+#: Mean decision-batch floors of the serve benchmark: the micro-batcher
+#: must coalesce more than one node per tick on the unthrottled firehose
+#: and under the replayed-at-speed UE storm alike.  Structural bounds,
+#: valid on any runner (batching is driven by the replayed stream, not by
+#: machine speed).
+SERVE_BATCH_FLOORS = {
+    "mean_batch_size": 1.0,
+    "storm_mean_batch_size": 1.0,
+}
+
+
+def check_serve(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+) -> List[str]:
+    """Regression findings of a ``serve`` run against its baseline."""
+    findings: List[str] = []
+    if not current.get("results_identical", False):
+        findings.append(
+            "results_identical is false: the served decisions diverged from "
+            "the offline replay (or the scalar-fallback serving run)"
+        )
+    for metric, floor in SERVE_BATCH_FLOORS.items():
+        got = current.get(metric)
+        if got is None:
+            findings.append(f"{metric} is missing from the current run")
+        elif got <= floor:
+            findings.append(
+                f"{metric} {got:.2f} <= {floor:.2f}: the micro-batcher no "
+                "longer coalesces concurrent nodes"
+            )
+    speedup = current.get("batched_vs_scalar_speedup")
+    if speedup is None:
+        findings.append("batched_vs_scalar_speedup is missing from the current run")
+        return findings
+    if speedup < 1.0:
+        findings.append(
+            f"batched_vs_scalar_speedup {speedup:.2f} < 1.00: one decide_nodes "
+            "call per tick no longer beats the per-row decide loop"
+        )
+    base = baseline.get("batched_vs_scalar_speedup")
+    if base is not None:
+        floor = base * (1.0 - tolerance)
+        if speedup < floor:
+            findings.append(
+                f"batched_vs_scalar_speedup regressed by more than "
+                f"{tolerance:.0%}: {speedup:.2f} < {floor:.2f} "
+                f"(baseline {base:.2f})"
+            )
+    return findings
+
+
 def check(
     current: dict,
     baseline: dict,
@@ -152,6 +221,8 @@ def check(
     """All regression findings of ``current`` against ``baseline``."""
     if current.get("benchmark") == "decision_core":
         return check_decision_core(current, baseline, tolerance)
+    if current.get("benchmark") == "serve":
+        return check_serve(current, baseline, tolerance)
     findings: List[str] = []
 
     if not current.get("results_identical", False):
@@ -227,6 +298,15 @@ def main(argv=None) -> int:
         for finding in findings:
             print(f"  - {finding}")
         return 1
+    if current.get("benchmark") == "serve":
+        print(
+            "benchmark regression gate passed (serve floors armed on any "
+            f"runner; batched_vs_scalar={current.get('batched_vs_scalar_speedup')}x, "
+            f"mean batch {current.get('mean_batch_size')} firehose / "
+            f"{current.get('storm_mean_batch_size')} storm, "
+            f"{current.get('decisions_per_sec')} decisions/s recorded)"
+        )
+        return 0
     if current.get("benchmark") == "decision_core":
         ratios = ", ".join(
             f"{metric}={current.get(metric)}x" for metric in DECISION_CORE_RATIOS

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Simulated online deployment of the mitigation daemon.
+"""Simulated online deployment of the mitigation daemon (``repro.serve``).
 
 The paper's evaluation replays historical logs, but the intended deployment is
 an online daemon (Figure 1): the monitoring infrastructure feeds it mcelog /
@@ -9,17 +9,26 @@ decides — within the minute — whether to trigger a mitigation.
 This example wires exactly that loop, entirely from the public API:
 
 1. a trained agent is loaded (trained on a first "historical" period);
-2. new telemetry is streamed event by event, in mcelog text form, exactly as
-   a production daemon would consume it;
-3. the daemon maintains the per-node feature state incrementally, asks the
-   policy for a decision at every merged event, and records the mitigations
-   it would have requested from the workload manager;
-4. at the end it reports what it spent and what the UEs cost.
+2. new telemetry is spooled to disk in mcelog text form and *tailed* by the
+   service, exactly as a production daemon would consume the mcelog spool;
+3. :class:`repro.serve.DecisionService` maintains the per-node feature state
+   incrementally, micro-batches the nodes with pending decisions (one DQN
+   forward serves a whole tick), and records every decision it would have
+   handed to the workload manager;
+4. at the end it reports what it spent, what the UEs cost, and how the
+   micro-batcher performed (batch sizes, tick latency, decisions/s).
+
+The same loop is available from the command line::
+
+    python -m repro serve --policy rl --source preset:small --replay-at-speed 100000
 
 Run time: well under a minute.
 """
 
 from __future__ import annotations
+
+import asyncio
+import tempfile
 
 from repro.config import ScenarioConfig
 from repro.core import (
@@ -29,13 +38,11 @@ from repro.core import (
     RLPolicy,
     StateNormalizer,
     build_feature_tracks,
-    extract_node_features,
     train_agent,
 )
-from repro.core.policies import DecisionContext
-from repro.telemetry import TelemetryGenerator, parse_mcelog, prepare_log
+from repro.serve import DecisionService, SampledJobProvider, ServeConfig, TailSource
+from repro.telemetry import TelemetryGenerator, prepare_log
 from repro.telemetry.mcelog import format_full_log
-from repro.utils.timeutils import HOUR
 from repro.workload import JobSequenceSampler, WorkloadGenerator
 
 
@@ -79,55 +86,45 @@ def main() -> None:
     policy = RLPolicy(agent, normalizer)
 
     # ------------------------------------------------------------------ #
-    # Online phase: stream the remaining telemetry as mcelog text.
+    # Online phase: tail the remaining telemetry as an mcelog spool.
     # ------------------------------------------------------------------ #
-    live_log_text = format_full_log(reduced.filter_time(t_split, scenario.duration_seconds))
-    live_log = parse_mcelog(live_log_text)
+    live_log = reduced.filter_time(t_split, scenario.duration_seconds)
     print(
         f"Streaming {len(live_log)} live events "
         f"({live_log.count_ues()} of them uncorrected errors) through the daemon ..."
     )
 
-    mitigations = 0
-    ue_cost_paid = 0.0
-    for node, indices in live_log.node_slices().items():
-        # The daemon keeps one feature extractor per node; here the helper
-        # recomputes the per-node track once, then the decision loop walks it
-        # exactly as the daemon would, minute by minute.
-        track = extract_node_features(live_log, node, indices)
-        timeline = sampler.sample_timeline(
-            t_split, scenario.duration_seconds, rng=None
-        )
-        last_mitigation = None
-        for i in range(len(track)):
-            t = float(track.times[i])
-            cost_now = timeline.potential_ue_cost(
-                t, last_mitigation, scenario.evaluation.restartable
-            )
-            if track.is_ue[i]:
-                ue_cost_paid += cost_now
-                last_mitigation = None
-                continue
-            decision = policy.decide(
-                DecisionContext(
-                    time=t, node=node, features=track.features[i], ue_cost=cost_now,
-                    event_index=i,
-                )
-            )
-            if decision:
-                mitigations += 1
-                last_mitigation = t
+    service = DecisionService(
+        policy,
+        # The workload manager's view of what each node is running: here the
+        # job sequences are sampled from the historical job log.
+        SampledJobProvider(sampler, t_split, scenario.duration_seconds, seed=2),
+        ServeConfig(
+            mitigation_cost_node_hours=mitigation_cost,
+            restartable=scenario.evaluation.restartable,
+            merge_window_seconds=scenario.evaluation.merge_window_seconds,
+        ),
+    )
+    with tempfile.NamedTemporaryFile("w", suffix=".log") as spool:
+        spool.write(format_full_log(live_log) + "\n")
+        spool.flush()
+        report = asyncio.run(service.run(TailSource(spool.name)))
 
+    total = report.mitigation_cost_node_hours + report.ue_cost_node_hours
     print()
-    print(f"Mitigations requested            : {mitigations}")
-    print(f"Mitigation overhead (node-hours) : {mitigations * mitigation_cost:,.1f}")
-    print(f"UE cost paid (node-hours)        : {ue_cost_paid:,.1f}")
-    print(f"Total lost node-hours            : {mitigations * mitigation_cost + ue_cost_paid:,.1f}")
+    print(f"Mitigations requested            : {report.n_mitigations}")
+    print(f"Mitigation overhead (node-hours) : {report.mitigation_cost_node_hours:,.1f}")
+    print(f"UE cost paid (node-hours)        : {report.ue_cost_node_hours:,.1f}")
+    print(f"Total lost node-hours            : {total:,.1f}")
+    print()
+    print(report.summary())
     print(
-        "\nIn production the decision loop above runs inside the monitoring "
-        "daemon: the features come from mcelog/firmware events, the potential "
-        "UE cost from the workload manager, and a positive decision triggers "
-        "the site's checkpoint / migration machinery."
+        "\nIn production the service above runs inside the monitoring daemon: "
+        "the features come from the tailed mcelog/firmware spool, the "
+        "potential UE cost from the workload manager, and each positive "
+        "decision in the report's log triggers the site's checkpoint / "
+        "migration machinery.  The served decisions are bit-identical to an "
+        "offline evaluate_policy replay of the same stream."
     )
 
 

@@ -103,6 +103,23 @@ class MyopicRFPolicy(MitigationPolicy):
         expected = stacked[rows] * np.asarray(ue_costs, dtype=float)
         return expected > self.mitigation_cost
 
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Expected-cost rule over one forest gather for a serving tick.
+
+        The same multiply/compare, on the same per-row probabilities, as the
+        scalar :meth:`decide`, so serving decisions match offline replay bit
+        for bit.
+        """
+        probabilities = self.sc20_policy.predict_probabilities(features)
+        expected = probabilities * np.asarray(ue_costs, dtype=float)
+        return expected > self.mitigation_cost
+
     @property
     def training_cost_node_hours(self) -> float:
         """Shares the forest (and its training cost) with the SC20 policy."""

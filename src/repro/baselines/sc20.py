@@ -272,6 +272,21 @@ class SC20RandomForestPolicy(MitigationPolicy):
             cache = self._trace_probabilities
         return cache
 
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One forest gather for a whole micro-batch of concurrent nodes.
+
+        Tree routing is per-row, so the probabilities (and therefore the
+        thresholded decisions) are bitwise identical to per-node ``decide``
+        calls and to the offline trace replay over the same feature rows.
+        """
+        return self.predict_probabilities(features) >= self.effective_threshold
+
     @property
     def training_cost_node_hours(self) -> float:
         return self._training_cost

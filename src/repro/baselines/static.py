@@ -39,6 +39,15 @@ class NeverMitigatePolicy(MitigationPolicy):
         stop = len(trace) if stop is None else stop
         return np.zeros(stop - start, dtype=bool)
 
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return np.zeros(len(features), dtype=bool)
+
 
 class AlwaysMitigatePolicy(MitigationPolicy):
     """Mitigate on every event in the error log.
@@ -61,6 +70,15 @@ class AlwaysMitigatePolicy(MitigationPolicy):
     ) -> np.ndarray:
         stop = len(trace) if stop is None else stop
         return np.ones(stop - start, dtype=bool)
+
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return np.ones(len(features), dtype=bool)
 
 
 class OraclePolicy(MitigationPolicy):
@@ -85,6 +103,18 @@ class OraclePolicy(MitigationPolicy):
     ) -> np.ndarray:
         stop = len(trace) if stop is None else stop
         return np.asarray(trace.is_last_before_ue[start:stop], dtype=bool)
+
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError(
+            "OraclePolicy reads is_last_event_before_ue, which encodes the "
+            "future of the log; it cannot be served online"
+        )
 
 
 class PeriodicMitigatePolicy(MitigationPolicy):
@@ -165,3 +195,16 @@ class PeriodicMitigatePolicy(MitigationPolicy):
             i = j + 1
         self._last_mitigation = last
         return decisions[start:stop]
+
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError(
+            "PeriodicMitigatePolicy keeps one mitigation clock per replayed "
+            "trace; a serving tick interleaves many nodes, which would need "
+            "one clock per node — wrap one policy instance per node instead"
+        )

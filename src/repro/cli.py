@@ -32,6 +32,23 @@ Five subcommands over the :class:`~repro.study.Study` facade and the
     (``--dry-run`` reports the freeable bytes without deleting): long-lived
     stores otherwise keep every spilled product forever.
 
+``serve``
+    The online micro-batched decision service (see :mod:`repro.serve`):
+    tail an mcelog file — or replay a synthetic preset stream, optionally
+    paced at a multiple of real time — through a mitigation policy, one
+    batched model call per tick::
+
+        python -m repro serve --source preset:small --policy sc20
+        python -m repro serve --source /var/log/mcelog.events --policy always \\
+            --follow --decision-log decisions.jsonl
+        python -m repro serve --source preset:small --policy rl \\
+            --replay-at-speed 100000   # storm mode: 100000x real time
+
+    Trained policies (``sc20``, ``myopic``, ``rl``) are fitted on the first
+    ``--train-fraction`` of a preset stream (on the file's current contents
+    for file sources) and serve the remainder; decisions are bit-identical
+    to an offline ``evaluate_policy`` replay of the same events.
+
 ``run`` and ``sweep`` additionally accept ``--profile``: each pipeline
 stage runs under cProfile, the raw stats are merged across stages
 (``pstats.Stats.add``) and ONE top-cumulative-time table is printed after
@@ -234,6 +251,88 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=CostBreakdown.series_fields(),
                        help="cost series shown in the table (default: total)")
 
+    serve = sub.add_parser(
+        "serve", help="run the online micro-batched decision service"
+    )
+    serve.add_argument(
+        "--source",
+        default="preset:small",
+        metavar="FILE|preset:NAME",
+        help="mcelog-format file to tail, or preset:NAME for a synthetic "
+        "scenario stream (default: preset:small)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("never", "always", "sc20", "myopic", "rl"),
+        default="sc20",
+        help="mitigation policy to serve (default: sc20)",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="root scenario seed")
+    serve.add_argument(
+        "--mitigation-cost",
+        type=float,
+        default=None,
+        metavar="NODE_MINUTES",
+        help="cost of one mitigation (default: the scenario's, or 2)",
+    )
+    serve.add_argument("--restartable", choices=("on", "off"), default="on")
+    serve.add_argument(
+        "--threshold", type=float, default=0.4, help="SC20 forest threshold"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="tick as soon as this many nodes have a pending step",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=50.0,
+        help="tick at most this long after the first pending step arrived",
+    )
+    serve.add_argument(
+        "--merge-window-seconds",
+        type=float,
+        default=60.0,
+        help="event merge window of the online feature extractor",
+    )
+    serve.add_argument(
+        "--replay-at-speed",
+        type=float,
+        default=None,
+        metavar="X",
+        help="pace a replayed stream at X times real time (storm mode); "
+        "default: unthrottled",
+    )
+    serve.add_argument(
+        "--train-fraction",
+        type=float,
+        default=0.5,
+        help="leading fraction of a preset stream used to train sc20/myopic/"
+        "rl; the remainder is served (default: 0.5)",
+    )
+    serve.add_argument(
+        "--rl-episodes", type=int, default=120, help="RL training episodes"
+    )
+    serve.add_argument(
+        "--job-nodes",
+        type=float,
+        default=1.0,
+        help="nodes per job assumed for file sources (constant-job provider)",
+    )
+    serve.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing a file source for appended lines (tail -f)",
+    )
+    serve.add_argument(
+        "--decision-log",
+        metavar="PATH",
+        default=None,
+        help="write the per-node decision log as JSON lines",
+    )
+
     report = sub.add_parser("report", help="render a stored sweep without recomputing")
     report.add_argument("--store", metavar="DIR", required=True)
     report.add_argument("--sweep", metavar="KEY", default=None,
@@ -392,6 +491,215 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _serve_policy(
+    kind: str,
+    train_log,
+    mitigation_cost_node_hours: float,
+    restartable: bool,
+    seed: int,
+    threshold: float,
+    rl_episodes: int,
+    job_sampler=None,
+):
+    """Build (and, where needed, train) the policy a serve run deploys."""
+    from repro.baselines.static import AlwaysMitigatePolicy, NeverMitigatePolicy
+
+    if kind == "never":
+        return NeverMitigatePolicy()
+    if kind == "always":
+        return AlwaysMitigatePolicy()
+
+    from repro.baselines.dataset import build_prediction_dataset
+    from repro.baselines.sc20 import SC20RandomForestPolicy, train_sc20_forest
+    from repro.core.features import build_feature_tracks
+
+    if train_log is None or len(train_log) == 0:
+        raise SystemExit(
+            f"error: --policy {kind} needs training data, but the training "
+            f"slice of the stream is empty; lower --train-fraction or pick "
+            f"a richer source"
+        )
+    tracks = build_feature_tracks(train_log)
+    t_lo = float(train_log.time[0])
+    t_hi = float(train_log.time[-1])
+
+    if kind in ("sc20", "myopic"):
+        dataset = build_prediction_dataset(
+            tracks, prediction_window_seconds=DAY, t_start=t_lo, t_end=t_hi + 1.0
+        )
+        if len(dataset) == 0:
+            raise SystemExit(
+                "error: the training slice yields no prediction samples"
+            )
+        forest, _ = train_sc20_forest(dataset, n_estimators=16, max_depth=8, seed=seed)
+        sc20 = SC20RandomForestPolicy(forest, threshold=threshold)
+        if kind == "sc20":
+            return sc20
+        from repro.baselines.myopic import MyopicRFPolicy
+
+        return MyopicRFPolicy(sc20, mitigation_cost_node_hours)
+
+    if job_sampler is None:
+        raise SystemExit(
+            "error: --policy rl needs a job log to train against; use a "
+            "preset source (--source preset:NAME)"
+        )
+    from repro.core.dqn import DDDQNAgent, DQNConfig
+    from repro.core.environment import MitigationEnv
+    from repro.core.features import StateNormalizer
+    from repro.core.policies import RLPolicy
+    from repro.core.trainer import train_agent
+
+    normalizer = StateNormalizer()
+    env = MitigationEnv(
+        tracks,
+        job_sampler,
+        mitigation_cost_node_hours,
+        restartable=restartable,
+        normalizer=normalizer,
+        seed=seed,
+    )
+    agent = DDDQNAgent(
+        normalizer.state_dim, DQNConfig(hidden_sizes=(32, 16), seed=seed)
+    )
+    train_agent(env, agent, n_episodes=rl_episodes)
+    return RLPolicy(agent, normalizer)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import (
+        ConstantJobProvider,
+        DecisionService,
+        ReplaySource,
+        SampledJobProvider,
+        ServeConfig,
+        TailSource,
+    )
+
+    restartable = args.restartable == "on"
+    if not 0.0 <= args.train_fraction < 1.0:
+        raise SystemExit("error: --train-fraction must be in [0, 1)")
+
+    if args.source.startswith("preset:"):
+        name = args.source.split(":", 1)[1]
+        if name not in PRESETS:
+            raise SystemExit(
+                f"error: unknown preset {name!r}; choose from {', '.join(PRESETS)}"
+            )
+        from repro.telemetry.generator import TelemetryGenerator
+        from repro.telemetry.reduction import prepare_log
+        from repro.workload.generator import WorkloadGenerator
+        from repro.workload.sampling import JobSequenceSampler
+
+        scenario = getattr(ScenarioConfig, name)()
+        if args.seed is not None:
+            scenario = scenario.with_seed(args.seed)
+        raw = TelemetryGenerator(
+            scenario.topology,
+            scenario.fault_model,
+            scenario.duration_seconds,
+            seed=scenario.seed,
+        ).generate()
+        log, _ = prepare_log(raw, scenario.evaluation.ue_burst_window_seconds)
+        if len(log) == 0:
+            raise SystemExit("error: the preset scenario generated no events")
+        job_log = WorkloadGenerator(
+            scenario.workload,
+            n_cluster_nodes=scenario.topology.n_nodes,
+            duration_seconds=scenario.duration_seconds,
+            seed=scenario.seed,
+        ).generate()
+        sampler = JobSequenceSampler(job_log, seed=scenario.seed)
+        cost_minutes = (
+            args.mitigation_cost
+            if args.mitigation_cost is not None
+            else scenario.evaluation.mitigation_cost_node_minutes
+        )
+        cost_hours = cost_minutes / 60.0
+        t_lo = float(log.time[0])
+        t_hi = float(log.time[-1])
+        cutoff = t_lo + args.train_fraction * (t_hi - t_lo)
+        train_log = log.filter_time(t_lo, cutoff)
+        served = log.filter_time(cutoff, t_hi + 1.0)
+        policy = _serve_policy(
+            args.policy,
+            train_log,
+            cost_hours,
+            restartable,
+            scenario.seed,
+            args.threshold,
+            args.rl_episodes,
+            job_sampler=sampler,
+        )
+        jobs = SampledJobProvider(sampler, cutoff, t_hi + 1.0, seed=scenario.seed)
+        source = ReplaySource(served, speed=args.replay_at_speed)
+        described = (
+            f"{len(served)} events of preset:{name} "
+            f"({len(train_log)} used for training)"
+        )
+    else:
+        if args.replay_at_speed is not None:
+            raise SystemExit(
+                "error: --replay-at-speed paces a replayed preset stream; "
+                "file sources already arrive at their own pace"
+            )
+        if args.policy == "rl":
+            raise SystemExit(
+                "error: --policy rl needs a job log to train against; use a "
+                "preset source (--source preset:NAME)"
+            )
+        train_log = None
+        if args.policy in ("sc20", "myopic"):
+            from repro.telemetry.error_log import ErrorLog
+            from repro.telemetry.mcelog import iter_mcelog_records
+
+            with open(args.source, "r", encoding="utf-8") as handle:
+                train_log = ErrorLog.from_records(list(iter_mcelog_records(handle)))
+        cost_minutes = (
+            args.mitigation_cost if args.mitigation_cost is not None else 2.0
+        )
+        cost_hours = cost_minutes / 60.0
+        policy = _serve_policy(
+            args.policy,
+            train_log,
+            cost_hours,
+            restartable,
+            args.seed if args.seed is not None else 0,
+            args.threshold,
+            args.rl_episodes,
+        )
+        jobs = ConstantJobProvider(n_nodes=args.job_nodes)
+        source = TailSource(args.source, follow=args.follow)
+        described = args.source + (" (following)" if args.follow else "")
+
+    config = ServeConfig(
+        mitigation_cost_node_hours=cost_hours,
+        restartable=restartable,
+        max_batch=args.max_batch,
+        max_delay_seconds=args.max_delay_ms / 1000.0,
+        merge_window_seconds=args.merge_window_seconds,
+    )
+    print(f"serving {described} with policy {policy.name}")
+    service = DecisionService(policy, jobs, config)
+    report = asyncio.run(service.run(source))
+    print(report.summary())
+    histogram = report.batch_size_histogram()
+    if histogram:
+        print(
+            "batch sizes: "
+            + ", ".join(f"{size}x{count}" for size, count in histogram.items())
+        )
+    if args.decision_log is not None:
+        with open(args.decision_log, "w", encoding="utf-8") as handle:
+            for record in report.decisions:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        print(f"decision log: {args.decision_log} ({len(report.decisions)} entries)")
+    return 0
+
+
 def _pick_sweep_key(store: ArtifactStore, requested: Optional[str]) -> Optional[str]:
     if requested is not None:
         return requested
@@ -474,6 +782,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     commands = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "report": _cmd_report,
         "list": _cmd_list,
         "gc": _cmd_gc,

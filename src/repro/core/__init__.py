@@ -14,6 +14,8 @@ from repro.core.features import (
     FEATURE_NAMES,
     N_FEATURES,
     NodeFeatureTrack,
+    OnlineFeatureState,
+    OnlineStep,
     StateNormalizer,
     build_feature_tracks,
     extract_node_features,
@@ -40,6 +42,8 @@ __all__ = [
     "MitigationPolicy",
     "N_FEATURES",
     "NodeFeatureTrack",
+    "OnlineFeatureState",
+    "OnlineStep",
     "PrioritizedReplayBuffer",
     "RLPolicy",
     "RandomSearchResult",

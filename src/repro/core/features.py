@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.telemetry.error_log import ErrorLog
 from repro.telemetry.merging import MergedEvent, merge_node_events
-from repro.telemetry.records import EventKind
+from repro.telemetry.records import EventKind, EventRecord
 from repro.utils.timeutils import HOUR, MINUTE
 
 #: Names of the telemetry-derived state features, in vector order.
@@ -364,6 +364,292 @@ def _extract_node_features_loop(
         hist_boots.append(boots_total)
 
     return NodeFeatureTrack(node=int(node), times=times, features=features, is_ue=is_ue)
+
+
+class _GrowableArray:
+    """Append-only float64 buffer with amortised growth and a zero-copy view.
+
+    The Equation 2 histories grow one entry per merged step for the lifetime
+    of a node; a list would force ``np.searchsorted`` to re-copy it on every
+    lookup, so the online state keeps real arrays.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self) -> None:
+        self._buf = np.empty(16, dtype=np.float64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, value: float) -> None:
+        if self._n == self._buf.shape[0]:
+            grown = np.empty(self._buf.shape[0] * 2, dtype=np.float64)
+            grown[: self._n] = self._buf
+            self._buf = grown
+        self._buf[self._n] = value
+        self._n += 1
+
+    def view(self) -> np.ndarray:
+        return self._buf[: self._n]
+
+    def __deepcopy__(self, memo) -> "_GrowableArray":
+        clone = _GrowableArray.__new__(_GrowableArray)
+        clone._buf = self._buf.copy()
+        clone._n = self._n
+        return clone
+
+
+@dataclass(frozen=True)
+class OnlineStep:
+    """One finalised merged decision step emitted by the online extractor.
+
+    ``features`` is the same 14-vector a :class:`NodeFeatureTrack` row would
+    carry for this step; ``is_ue`` marks terminal (UE / over-temperature)
+    steps, for which the agent is not invoked.
+    """
+
+    node: int
+    time: float
+    features: np.ndarray
+    is_ue: bool
+
+
+class OnlineFeatureState:
+    """Incremental, per-node equivalent of :func:`extract_node_features`.
+
+    The offline extractors see a complete log and fold it in one pass; a
+    serving daemon sees one event at a time and needs the Table 1 features
+    of each merged step the moment the step closes.  This class replays the
+    exact operation order of :func:`_extract_node_features_loop` — the same
+    left-fold float additions, the same distinct-location sets, the same
+    Equation 2 ``searchsorted`` look-backs — so a stream absorbed event by
+    event produces rows bit-identical to the batch extractor run over any
+    prefix of the same stream (pinned by the prefix-equivalence tests).
+
+    Merge-group life cycle (mirrors :func:`merge_node_events`):
+
+    * an event more than ``merge_window_seconds`` after the open group's
+      first event closes that group and starts a new one;
+    * a UE joins the open group and closes it immediately (no later event
+      may share a group with a UE, so nothing can change the step anymore);
+    * :meth:`advance_to` closes an open group once the *stream* clock passes
+      ``window start + merge window`` — by then every unseen event is too
+      late to join, so the step is final even though no node event arrived;
+    * :meth:`flush` force-closes the open group at end of stream, matching
+      how the batch extractor terminates the last group at the array end.
+
+    Events must be absorbed in non-decreasing time order (the log is sorted;
+    a live tail is too).
+    """
+
+    def __init__(self, node: int, merge_window_seconds: float = MINUTE) -> None:
+        if merge_window_seconds <= 0:
+            raise ValueError("merge_window_seconds must be > 0")
+        self.node = int(node)
+        self.merge_window_seconds = float(merge_window_seconds)
+
+        self._ces_total = 0.0
+        self._warnings_total = 0.0
+        self._boots_total = 0.0
+        self._last_boot_time: Optional[float] = None
+        self._ranks: set = set()
+        self._banks: set = set()
+        self._rows: set = set()
+        self._cols: set = set()
+        self._dimms: set = set()
+
+        self._hist_times = _GrowableArray()
+        self._hist_ces = _GrowableArray()
+        self._hist_boots = _GrowableArray()
+
+        self._track_start: Optional[float] = None
+        self._last_event_time: Optional[float] = None
+        self._group: List[Tuple[float, int, int, int, int, int, int, int]] = []
+        self._group_start = 0.0
+        self._group_has_ue = False
+        self._n_steps = 0
+
+    @property
+    def n_steps(self) -> int:
+        """Number of merged steps finalised so far."""
+        return self._n_steps
+
+    @property
+    def has_open_group(self) -> bool:
+        """True while events are accumulating in an unfinalised step."""
+        return bool(self._group)
+
+    @property
+    def open_group_deadline(self) -> Optional[float]:
+        """Stream time at which the open group becomes final, or ``None``.
+
+        Once the stream clock reaches this instant no future event can join
+        the group, so :meth:`advance_to` will close it.
+        """
+        if not self._group:
+            return None
+        return self._group_start + self.merge_window_seconds
+
+    def absorb(self, record: EventRecord) -> List[OnlineStep]:
+        """Absorb one :class:`EventRecord`; return any steps it finalised."""
+        return self.absorb_event(
+            record.time,
+            int(record.kind),
+            ce_count=record.ce_count,
+            dimm=record.dimm,
+            rank=record.rank,
+            bank=record.bank,
+            row=record.row,
+            col=record.col,
+        )
+
+    def absorb_event(
+        self,
+        time: float,
+        kind: int,
+        ce_count: int = 0,
+        dimm: int = -1,
+        rank: int = -1,
+        bank: int = -1,
+        row: int = -1,
+        col: int = -1,
+    ) -> List[OnlineStep]:
+        """Absorb one raw event given as plain fields (the fast path)."""
+        t = float(time)
+        if self._last_event_time is not None and t < self._last_event_time:
+            raise ValueError(
+                f"node {self.node}: events must arrive in time order "
+                f"(got {t!r} after {self._last_event_time!r})"
+            )
+        self._last_event_time = t
+        if self._track_start is None:
+            self._track_start = t
+
+        out: List[OnlineStep] = []
+        if self._group and t - self._group_start >= self.merge_window_seconds:
+            out.append(self._finalize())
+        if not self._group:
+            self._group_start = t
+        self._group.append(
+            (t, int(kind), int(ce_count), int(dimm), int(rank), int(bank), int(row), int(col))
+        )
+        if EventKind(int(kind)).counts_as_ue:
+            self._group_has_ue = True
+            out.append(self._finalize())
+        return out
+
+    def absorb_log(
+        self, log: ErrorLog, indices: Optional[np.ndarray] = None
+    ) -> List[OnlineStep]:
+        """Absorb one event batch (this node's slice of ``log``) at a time."""
+        if indices is None:
+            indices = np.flatnonzero(log.node == self.node)
+        out: List[OnlineStep] = []
+        time, kind, count = log.time, log.kind, log.ce_count
+        dimm, rank, bank = log.dimm, log.rank, log.bank
+        row, col = log.row, log.col
+        for idx in np.asarray(indices):
+            out.extend(
+                self.absorb_event(
+                    float(time[idx]),
+                    int(kind[idx]),
+                    ce_count=int(count[idx]),
+                    dimm=int(dimm[idx]),
+                    rank=int(rank[idx]),
+                    bank=int(bank[idx]),
+                    row=int(row[idx]),
+                    col=int(col[idx]),
+                )
+            )
+        return out
+
+    def advance_to(self, stream_time: float) -> List[OnlineStep]:
+        """Finalise the open group once the stream clock has passed it by.
+
+        ``stream_time`` must not exceed the time of the next event this node
+        will absorb (the global stream clock satisfies this: events arrive
+        across nodes in non-decreasing time order).
+        """
+        if self._group and (
+            float(stream_time) - self._group_start >= self.merge_window_seconds
+        ):
+            return [self._finalize()]
+        return []
+
+    def flush(self) -> List[OnlineStep]:
+        """Force-close the open group (end of stream)."""
+        if self._group:
+            return [self._finalize()]
+        return []
+
+    def _finalize(self) -> OnlineStep:
+        group = self._group
+        ces_in_step = 0.0
+        for t_ev, kind, count, dimm, rank, bank, row, col in group:
+            if kind == int(EventKind.CE):
+                count_f = float(count)
+                ces_in_step += count_f
+                self._ces_total += count_f
+                self._dimms.add(dimm)
+                if rank >= 0:
+                    self._ranks.add((dimm, rank))
+                if bank >= 0:
+                    self._banks.add((dimm, rank, bank))
+                if row >= 0:
+                    self._rows.add((dimm, rank, bank, row))
+                if col >= 0:
+                    self._cols.add((dimm, rank, bank, col))
+            elif kind == int(EventKind.UE_WARNING):
+                self._warnings_total += 1.0
+            elif kind == int(EventKind.BOOT):
+                self._boots_total += 1.0
+                self._last_boot_time = t_ev
+
+        t = group[-1][0]
+        is_ue = self._group_has_ue
+
+        if self._last_boot_time is None:
+            time_since_boot = t - float(self._track_start)
+        else:
+            time_since_boot = t - self._last_boot_time
+
+        vec = np.zeros(N_FEATURES)
+        vec[FEATURE_INDEX["ces_since_last_event"]] = ces_in_step
+        vec[FEATURE_INDEX["ces_total"]] = self._ces_total
+        vec[FEATURE_INDEX["ranks_with_ce"]] = len(self._ranks)
+        vec[FEATURE_INDEX["banks_with_ce"]] = len(self._banks)
+        vec[FEATURE_INDEX["rows_with_ce"]] = len(self._rows)
+        vec[FEATURE_INDEX["cols_with_ce"]] = len(self._cols)
+        vec[FEATURE_INDEX["dimms_with_ce"]] = len(self._dimms)
+        vec[FEATURE_INDEX["ue_warnings_total"]] = self._warnings_total
+        vec[FEATURE_INDEX["time_since_boot"]] = max(time_since_boot, 0.0)
+        vec[FEATURE_INDEX["boots_total"]] = self._boots_total
+        hist_times = self._hist_times.view()
+        hist_ces = self._hist_ces.view()
+        hist_boots = self._hist_boots.view()
+        vec[FEATURE_INDEX["ces_total_var_1min"]] = feature_variation(
+            hist_times, hist_ces, t, self._ces_total, MINUTE
+        )
+        vec[FEATURE_INDEX["ces_total_var_1hour"]] = feature_variation(
+            hist_times, hist_ces, t, self._ces_total, HOUR
+        )
+        vec[FEATURE_INDEX["boots_var_1min"]] = feature_variation(
+            hist_times, hist_boots, t, self._boots_total, MINUTE
+        )
+        vec[FEATURE_INDEX["boots_var_1hour"]] = feature_variation(
+            hist_times, hist_boots, t, self._boots_total, HOUR
+        )
+
+        self._hist_times.append(t)
+        self._hist_ces.append(self._ces_total)
+        self._hist_boots.append(self._boots_total)
+
+        self._group = []
+        self._group_has_ue = False
+        self._n_steps += 1
+        return OnlineStep(node=self.node, time=t, features=vec, is_ue=is_ue)
 
 
 def build_feature_tracks(

@@ -160,6 +160,41 @@ class MitigationPolicy(abc.ABC):
             return pieces[0]
         return np.concatenate(pieces)
 
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One decision per row of concurrent per-node feature states.
+
+        This is the *serving* entry point: a micro-batch tick hands the
+        policy the current feature vector and potential UE cost of several
+        distinct nodes at once — unlike :meth:`decide_batch`, the rows are
+        not a window of one trace but one pending step per node.  Returns a
+        boolean array aligned with the rows.
+
+        The base implementation loops :meth:`decide` with one
+        :class:`DecisionContext` per row, which is correct for any policy
+        whose ``decide`` is a pure function of the context (every built-in
+        except the stateful periodic baseline).  Batch-backed policies
+        override it so one model evaluation serves the whole tick.
+        """
+        features = np.asarray(features, dtype=float)
+        costs = np.asarray(ue_costs, dtype=float)
+        out = np.empty(len(features), dtype=bool)
+        for i in range(len(features)):
+            out[i] = self.decide(
+                DecisionContext(
+                    time=float(times[i]) if times is not None else 0.0,
+                    node=int(nodes[i]) if nodes is not None else -1,
+                    features=features[i],
+                    ue_cost=float(costs[i]),
+                )
+            )
+        return out
+
     def reset(self) -> None:
         """Called before each node's test trace is replayed (stateless by default)."""
 
@@ -359,6 +394,28 @@ class RLPolicy(MitigationPolicy):
             )
         return self._greedy_decisions(states)
 
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One Q-network forward for a whole micro-batch of nodes.
+
+        Same element-wise state normalisation as the uncached
+        :meth:`decide_batch` branch, so each row's state is bit-identical to
+        what ``decide()`` would build; the batched-GEMM rounding caveat of
+        :meth:`decide_batch` applies unchanged.
+        """
+        costs = np.asarray(ue_costs, dtype=float)
+        states = self.normalizer.transform(
+            np.concatenate(
+                [np.asarray(features, dtype=float), costs[:, None]], axis=1
+            )
+        )
+        return self._greedy_decisions(states)
+
     def _greedy_decisions(self, states: np.ndarray) -> np.ndarray:
         """Greedy decision = argmax over Q-values, for a batch of states.
 
@@ -444,3 +501,12 @@ class FallbackPolicy(MitigationPolicy):
         ue_costs: Optional[np.ndarray] = None,
     ) -> Optional[np.ndarray]:
         return self.inner.decide_windows(windows, ue_costs)
+
+    def decide_nodes(
+        self,
+        features: np.ndarray,
+        ue_costs: np.ndarray,
+        times: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return self.inner.decide_nodes(features, ue_costs, times=times, nodes=nodes)

@@ -48,6 +48,7 @@ from repro.evaluation.runner import (
     build_traces,
     evaluate_policies,
     evaluate_policy,
+    replay_decision_masks,
 )
 from repro.evaluation.report import (
     format_cost_table,
@@ -90,6 +91,7 @@ __all__ = [
     "get_approach",
     "register_approach",
     "register_sc20_variant",
+    "replay_decision_masks",
     "run_experiment",
     "run_sweep",
     "unregister_approach",

@@ -829,6 +829,120 @@ def _account_panel(
         )
 
 
+def _resolve_panel_masks(
+    traces: Sequence[EvaluationTrace],
+    policy: MitigationPolicy,
+    restartable: bool,
+) -> Optional[Tuple[List[Tuple[EvaluationTrace, np.ndarray, np.ndarray]], Optional[_PanelArrays], Optional[np.ndarray]]]:
+    """Resolve every trace's final decision mask through the batched core.
+
+    This is the whole vectorized decision pipeline minus the accounting:
+    per-trace hooks and candidate masks (in trace order, exactly as the
+    scalar path runs them), then — for cost-dependent policies under
+    restartable jobs — the lockstep renewal walk.  Callers must have called
+    ``policy.prepare_traces(traces)`` beforehand (and are responsible for
+    releasing the bulk caches afterwards).
+
+    Returns ``(panel, arrays, resolved)`` where ``resolved`` is the
+    panel-concatenated final mask (``arrays.bounds`` slices it per trace),
+    or ``None`` when the policy declines anywhere — batch support is a
+    property of the policy, not of one trace, so the caller falls back to
+    the scalar path wholesale.  An empty ``traces`` yields ``([], None,
+    None)``.
+    """
+    panel: List[Tuple[EvaluationTrace, np.ndarray, np.ndarray]] = []
+    chunks: List[np.ndarray] = []
+    for trace in traces:
+        policy.reset()
+        policy.prepare_trace(trace.features)
+        job_start, job_nodes = _timeline_job_arrays(trace)
+        if not policy.cost_dependent:
+            # Cost-independent candidates stay per trace, right after the
+            # trace's own hooks (the pairing the scalar path has).
+            mask = _candidate_decisions(trace, policy, job_start, job_nodes)
+            if mask is None:
+                return None
+            chunks.append(mask)
+        panel.append((trace, job_start, job_nodes))
+    if not panel:
+        return [], None, None
+    arrays = _panel_arrays(panel)
+    if policy.cost_dependent:
+        arrays.candidates = _panel_candidates(panel, arrays, policy)
+        if arrays.candidates is None:
+            return None
+    else:
+        arrays.candidates = np.concatenate(chunks)
+    if policy.cost_dependent and restartable:
+        resolved = _lockstep_walk(panel, arrays, policy)
+        if resolved is None:
+            return None
+    else:
+        resolved = arrays.candidates
+    return panel, arrays, resolved
+
+
+def replay_decision_masks(
+    traces: Sequence[EvaluationTrace],
+    policy: MitigationPolicy,
+    restartable: bool = True,
+    vectorized: bool = True,
+) -> List[np.ndarray]:
+    """Per-trace decision masks of a replay — what ``evaluate_policy`` accounts.
+
+    Returns one boolean array per trace (aligned with ``traces``), True where
+    the policy triggers a mitigation; entries at UE events are always False.
+    This is the *offline reference* the online serving equivalence is tested
+    against: the masks come from the same candidate/lockstep machinery as
+    ``evaluate_policy`` (or, with ``vectorized=False`` or when the policy
+    declines batching, from the same sequential ``decide()`` replay with
+    mitigation-cost feedback), so they are bit-identical to the decisions an
+    evaluation of the same panel charges.
+    """
+    if vectorized:
+        policy.prepare_traces(traces)
+        resolution = _resolve_panel_masks(traces, policy, restartable)
+        policy.prepare_traces(())
+        if resolution is not None:
+            panel, arrays, resolved = resolution
+            if not panel:
+                return []
+            bounds = arrays.bounds
+            return [
+                np.array(
+                    resolved[int(bounds[k]) : int(bounds[k + 1])],
+                    dtype=bool,
+                    copy=True,
+                )
+                for k in range(len(panel))
+            ]
+    masks: List[np.ndarray] = []
+    for trace in traces:
+        policy.reset()
+        policy.prepare_trace(trace.features)
+        mask = np.zeros(len(trace), dtype=bool)
+        last_mitigation: Optional[float] = None
+        for i in range(len(trace)):
+            t = float(trace.times[i])
+            if trace.is_ue[i]:
+                last_mitigation = None
+                continue
+            cost = trace.timeline.potential_ue_cost(t, last_mitigation, restartable)
+            context = DecisionContext(
+                time=t,
+                node=trace.node,
+                features=trace.features[i],
+                ue_cost=cost,
+                is_last_event_before_ue=bool(trace.is_last_before_ue[i]),
+                event_index=i,
+            )
+            if policy.decide(context):
+                mask[i] = True
+                last_mitigation = t
+        masks.append(mask)
+    return masks
+
+
 def _replay_scalar(
     trace: EvaluationTrace,
     policy: MitigationPolicy,
@@ -967,37 +1081,12 @@ def evaluate_policy(
     # path, so the per-trace hook sequence and the order of the cost folds
     # stay exactly those of ``vectorized=False``.
     if use_batches:
-        panel: List[Tuple[EvaluationTrace, np.ndarray, np.ndarray]] = []
-        chunks: List[np.ndarray] = []
-        for trace in traces:
-            policy.reset()
-            policy.prepare_trace(trace.features)
-            job_start, job_nodes = _timeline_job_arrays(trace)
-            if not policy.cost_dependent:
-                # Cost-independent candidates stay per trace, right after
-                # the trace's own hooks (the pairing the scalar path has).
-                mask = _candidate_decisions(trace, policy, job_start, job_nodes)
-                if mask is None:
-                    use_batches = False
-                    break
-                chunks.append(mask)
-            panel.append((trace, job_start, job_nodes))
-        if use_batches and panel:
-            arrays = _panel_arrays(panel)
-            if policy.cost_dependent:
-                arrays.candidates = _panel_candidates(panel, arrays, policy)
-                if arrays.candidates is None:
-                    use_batches = False
-            else:
-                arrays.candidates = np.concatenate(chunks)
-        if use_batches and panel:
-            if policy.cost_dependent and restartable:
-                resolved = _lockstep_walk(panel, arrays, policy)
-                if resolved is None:
-                    use_batches = False
-            else:
-                resolved = arrays.candidates
-            if use_batches:
+        resolution = _resolve_panel_masks(traces, policy, restartable)
+        if resolution is None:
+            use_batches = False
+        else:
+            panel, arrays, resolved = resolution
+            if panel:
                 _account_panel(
                     panel,
                     arrays,

@@ -1,0 +1,127 @@
+"""Per-node job state for the online decision service.
+
+The potential UE cost of a decision point (Equation 3) depends on the job
+running on the node at that instant.  Offline, :func:`repro.evaluation.runner
+.build_traces` samples one :class:`~repro.workload.sampling.NodeJobTimeline`
+per node; online, the service asks a *job state provider* for the timeline of
+a node the first time that node produces a decision step.
+
+Three providers cover the serving scenarios:
+
+* :class:`TimelineJobProvider` serves explicit, pre-built timelines — the
+  exact-equivalence configuration (hand the service the timelines of an
+  offline trace panel and its decisions replay bit for bit);
+* :class:`SampledJobProvider` derives each node's timeline from a
+  :class:`~repro.workload.sampling.JobSequenceSampler` with the *same*
+  per-node RNG streams as ``build_traces`` — a serving daemon pointed at the
+  scenario's job log and seed reconstructs the offline workloads;
+* :class:`ConstantJobProvider` models one everlasting job per node — the
+  minimal stand-in when no job log is available (e.g. tailing a raw mcelog
+  file).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.utils.rng import RngFactory
+from repro.utils.validation import check_non_negative, check_positive
+from repro.workload.sampling import JobSequenceSampler, NodeJobTimeline
+
+
+@runtime_checkable
+class JobStateProvider(Protocol):
+    """Answers "what jobs run on node ``n``?" for the decision service."""
+
+    def timeline_for(self, node: int) -> NodeJobTimeline:
+        """Return the job timeline of ``node`` (stable across calls)."""
+        ...
+
+
+class TimelineJobProvider:
+    """Serve explicit per-node timelines (with an optional fallback).
+
+    Parameters
+    ----------
+    timelines:
+        Mapping from node id to its job timeline — typically
+        ``{trace.node: trace.timeline for trace in traces}`` when checking
+        serving against an offline replay.
+    fallback:
+        Provider consulted for nodes absent from ``timelines``; by default
+        unknown nodes raise ``KeyError``.
+    """
+
+    def __init__(
+        self,
+        timelines: Dict[int, NodeJobTimeline],
+        fallback: Optional[JobStateProvider] = None,
+    ) -> None:
+        self._timelines = dict(timelines)
+        self._fallback = fallback
+
+    def timeline_for(self, node: int) -> NodeJobTimeline:
+        timeline = self._timelines.get(node)
+        if timeline is not None:
+            return timeline
+        if self._fallback is not None:
+            return self._fallback.timeline_for(node)
+        raise KeyError(f"no job timeline registered for node {node}")
+
+
+class SampledJobProvider:
+    """Sample per-node timelines exactly as the offline trace builder does.
+
+    Uses the same ``RngFactory(seed).stream(f"node-{node}")`` derivation as
+    :func:`repro.evaluation.runner.build_traces`, so a service configured
+    with the scenario's job sampler, seed and evaluation range sees the
+    identical workload a ``build_traces`` panel charges — node by node, job
+    by job.  Timelines are cached per node (the provider must answer the
+    same timeline on every call).
+    """
+
+    def __init__(
+        self,
+        job_sampler: JobSequenceSampler,
+        t_start: float,
+        t_end: float,
+        seed: int = 0,
+    ) -> None:
+        check_positive("time range", t_end - t_start)
+        self._sampler = job_sampler
+        self._t_start = float(t_start)
+        self._t_end = float(t_end)
+        self._factory = RngFactory(seed)
+        self._cache: Dict[int, NodeJobTimeline] = {}
+
+    def timeline_for(self, node: int) -> NodeJobTimeline:
+        timeline = self._cache.get(node)
+        if timeline is None:
+            timeline = self._sampler.sample_timeline(
+                self._t_start, self._t_end, rng=self._factory.stream(f"node-{node}")
+            )
+            self._cache[node] = timeline
+        return timeline
+
+
+class ConstantJobProvider:
+    """One everlasting job per node — the job-log-free default.
+
+    Every node runs a single job of ``n_nodes`` nodes that started at
+    ``job_start``; the potential UE cost grows linearly with the time since
+    the job start (or since the last mitigation, for restartable jobs).
+    """
+
+    def __init__(self, n_nodes: float = 1.0, job_start: float = 0.0) -> None:
+        check_positive("n_nodes", n_nodes)
+        check_non_negative("job_start", job_start)
+        self._timeline = NodeJobTimeline(
+            starts=np.asarray([float(job_start)]),
+            durations=np.asarray([1e18]),
+            n_nodes=np.asarray([float(n_nodes)]),
+        )
+
+    def timeline_for(self, node: int) -> NodeJobTimeline:
+        return self._timeline

@@ -1,0 +1,546 @@
+"""The micro-batched online decision service (the ``repro.serve`` daemon).
+
+A fleet-scale deployment of the paper's mitigation policies cannot afford
+one model evaluation per node event: UE storms deliver bursts of correlated
+events across many nodes at once.  :class:`DecisionService` therefore runs a
+single asyncio loop that
+
+1. ingests an mcelog event stream (replayed or tailed, see
+   :mod:`repro.serve.sources`) into one incremental
+   :class:`~repro.core.features.OnlineFeatureState` per node,
+2. finalises merged decision steps the moment the stream clock passes their
+   merge window (a deadline heap keys the open groups), and
+3. *micro-batches* the nodes with pending steps: each tick stacks one step
+   per ready node and answers them all with a single
+   :meth:`~repro.core.policies.MitigationPolicy.decide_nodes` call — one
+   forest gather or one DQN GEMM serves the whole batch.
+
+A tick fires as soon as ``max_batch`` nodes are ready or ``max_delay``
+wall-clock seconds after the first step of the open batch arrived, whichever
+comes first — the classical throughput/latency knob pair of a batching RPC
+server.
+
+Equivalence with the offline replay is exact, not approximate: the per-node
+step sequence is bit-identical to :func:`~repro.core.features
+.extract_node_features` (pinned by the online feature tests), the potential
+UE cost at each step is computed by the same
+:meth:`~repro.workload.sampling.NodeJobTimeline.potential_ue_cost` scalar
+operations the sequential reference replay uses, at most one step per node
+is decided per tick (so a mitigation's cost reset is visible to the node's
+next step, exactly as in the sequential replay), and the cost totals fold in
+the same order as the evaluation runner's accumulator.  The serve
+equivalence suite pins decisions and totals against
+:func:`~repro.evaluation.runner.replay_decision_masks` and
+:func:`~repro.evaluation.runner.evaluate_policy` for the forest and RL
+policies alike.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import heapq
+import time as time_module
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.features import OnlineFeatureState, OnlineStep
+from repro.core.policies import MitigationPolicy
+from repro.serve.jobs import JobStateProvider
+from repro.serve.sources import ReplaySource
+from repro.telemetry.records import EventRecord
+from repro.utils.timeutils import MINUTE
+from repro.utils.validation import check_non_negative, check_positive
+from repro.workload.sampling import NodeJobTimeline
+
+#: End-of-stream marker on the ingestion queue.
+_EOF = object()
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the online decision service.
+
+    ``max_batch`` and ``max_delay_seconds`` trade throughput for decision
+    latency: a tick fires when ``max_batch`` nodes have a pending step or
+    ``max_delay_seconds`` after the first pending step arrived, whichever
+    comes first.  They only shape *when* model calls happen — decisions are
+    invariant under any setting (pinned by the batching-invariance test).
+    """
+
+    mitigation_cost_node_hours: float = 1.0
+    restartable: bool = True
+    max_batch: int = 64
+    max_delay_seconds: float = 0.05
+    merge_window_seconds: float = MINUTE
+    queue_size: int = 4096
+    keep_decisions: bool = True
+
+    def __post_init__(self) -> None:
+        check_non_negative("mitigation_cost_node_hours", self.mitigation_cost_node_hours)
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        check_non_negative("max_delay_seconds", self.max_delay_seconds)
+        check_positive("merge_window_seconds", self.merge_window_seconds)
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One entry of the per-node decision log."""
+
+    tick: int
+    node: int
+    time: float
+    ue_cost: float
+    mitigate: bool
+    is_ue: bool
+
+    def to_dict(self) -> Dict:
+        """JSONL-ready representation (the ``--decision-log`` format)."""
+        return {
+            "tick": self.tick,
+            "node": self.node,
+            "time": self.time,
+            "ue_cost": self.ue_cost,
+            "mitigate": self.mitigate,
+            "is_ue": self.is_ue,
+        }
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Outcome and telemetry of one service run.
+
+    ``masks`` holds, per node, one boolean per merged step in step order
+    (``False`` at UE steps) — directly comparable to the offline
+    :func:`~repro.evaluation.runner.replay_decision_masks` of the same
+    panel.  ``ue_cost_node_hours`` / ``mitigation_cost_node_hours`` fold
+    exactly as the evaluation runner's accumulator does, so they equal the
+    corresponding :class:`~repro.evaluation.costs.CostBreakdown` fields of
+    an offline :func:`~repro.evaluation.runner.evaluate_policy` run.
+    """
+
+    policy_name: str
+    n_events: int
+    n_steps: int
+    n_decision_points: int
+    n_ues: int
+    n_mitigations: int
+    n_ticks: int
+    wall_seconds: float
+    ue_cost_node_hours: float
+    mitigation_cost_node_hours: float
+    masks: Dict[int, np.ndarray]
+    batch_sizes: np.ndarray
+    tick_latencies: np.ndarray
+    decisions: List[DecisionRecord] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean decision-batch size across non-empty ticks."""
+        if self.batch_sizes.size == 0:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    @property
+    def decisions_per_second(self) -> float:
+        """Decision throughput over the whole run."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_decision_points / self.wall_seconds
+
+    def latency_seconds(self, percentile: float) -> float:
+        """Tick-latency percentile in seconds (e.g. ``50`` / ``99``)."""
+        if self.tick_latencies.size == 0:
+            return 0.0
+        return float(np.percentile(self.tick_latencies, percentile))
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        """``{batch size: number of ticks}`` over the run."""
+        return dict(sorted(Counter(int(b) for b in self.batch_sizes).items()))
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        return (
+            f"{self.policy_name}: {self.n_events} events -> {self.n_steps} steps "
+            f"({self.n_decision_points} decision points, {self.n_ues} UEs) in "
+            f"{self.n_ticks} ticks; {self.n_mitigations} mitigations; "
+            f"mean batch {self.mean_batch_size:.1f}, "
+            f"{self.decisions_per_second:,.0f} decisions/s, "
+            f"tick p50 {self.latency_seconds(50) * 1e3:.2f} ms / "
+            f"p99 {self.latency_seconds(99) * 1e3:.2f} ms; "
+            f"UE cost {self.ue_cost_node_hours:,.1f} node-h, "
+            f"mitigation cost {self.mitigation_cost_node_hours:,.1f} node-h"
+        )
+
+
+class _NodeState:
+    """Everything the service tracks for one node."""
+
+    __slots__ = (
+        "features",
+        "pending",
+        "timeline",
+        "last_mitigation",
+        "mask",
+        "ue_costs",
+        "pushed_deadline",
+    )
+
+    def __init__(self, features: OnlineFeatureState, timeline: NodeJobTimeline) -> None:
+        self.features = features
+        self.pending: Deque[OnlineStep] = deque()
+        self.timeline = timeline
+        self.last_mitigation: Optional[float] = None
+        self.mask: List[bool] = []
+        self.ue_costs: List[float] = []
+        #: Deadline of the open merge group already on the service heap
+        #: (deadlines only grow, so equality is enough to dedupe pushes).
+        self.pushed_deadline: Optional[float] = None
+
+
+class DecisionService:
+    """Long-lived micro-batching decision loop over an async event source.
+
+    One instance serves one stream; :meth:`run` consumes the source to
+    exhaustion (or forever, for a following tail) and returns the
+    :class:`ServeReport`.  The policy must implement ``decide_nodes`` for
+    batched ticks — every built-in online-servable policy does; the base
+    class falls back to per-row ``decide`` calls.
+    """
+
+    def __init__(
+        self,
+        policy: MitigationPolicy,
+        jobs: JobStateProvider,
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        self._policy = policy
+        self._jobs = jobs
+        self._config = config or ServeConfig()
+        self._nodes: Dict[int, _NodeState] = {}
+        self._ready: set = set()
+        self._deadlines: List = []
+        self._clock: Optional[float] = None
+        self._n_events = 0
+        self._n_steps = 0
+        self._n_decision_points = 0
+        self._n_ues = 0
+        self._n_mitigations = 0
+        self._tick_index = 0
+        self._batch_sizes: List[int] = []
+        self._tick_latencies: List[float] = []
+        self._decisions: List[DecisionRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # ingestion                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _node_state(self, node: int) -> _NodeState:
+        state = self._nodes.get(node)
+        if state is None:
+            state = _NodeState(
+                OnlineFeatureState(
+                    node, merge_window_seconds=self._config.merge_window_seconds
+                ),
+                self._jobs.timeline_for(node),
+            )
+            self._nodes[node] = state
+        return state
+
+    def _ingest(self, record: EventRecord) -> None:
+        if self._clock is not None and record.time < self._clock:
+            raise ValueError(
+                f"event stream must be time-ordered (got t={record.time!r} "
+                f"after t={self._clock!r})"
+            )
+        self._clock = record.time
+        self._n_events += 1
+        state = self._node_state(record.node)
+        steps = state.features.absorb(record)
+        if steps:
+            state.pending.extend(steps)
+            self._ready.add(record.node)
+        deadline = state.features.open_group_deadline
+        if deadline is not None and deadline != state.pushed_deadline:
+            heapq.heappush(self._deadlines, (deadline, record.node))
+            state.pushed_deadline = deadline
+        self._expire_deadlines()
+
+    def _expire_deadlines(self) -> None:
+        """Finalise every open group the stream clock has passed.
+
+        Safe because the stream is globally time-ordered: any node's next
+        event is no earlier than the current clock, which is exactly the
+        :meth:`OnlineFeatureState.advance_to` precondition.
+        """
+        clock = self._clock
+        while self._deadlines and self._deadlines[0][0] <= clock:
+            deadline, node = heapq.heappop(self._deadlines)
+            state = self._nodes[node]
+            if state.features.open_group_deadline != deadline:
+                continue  # stale entry: the group already closed
+            steps = state.features.advance_to(clock)
+            state.pushed_deadline = None
+            if steps:
+                state.pending.extend(steps)
+                self._ready.add(node)
+
+    def _flush_all(self) -> None:
+        """Force-close every open group (end of stream)."""
+        self._deadlines.clear()
+        for node in sorted(self._nodes):
+            state = self._nodes[node]
+            steps = state.features.flush()
+            state.pushed_deadline = None
+            if steps:
+                state.pending.extend(steps)
+                self._ready.add(node)
+
+    # ------------------------------------------------------------------ #
+    # micro-batched ticks                                                #
+    # ------------------------------------------------------------------ #
+
+    def _account_ue(self, state: _NodeState, step: OnlineStep) -> None:
+        cost = state.timeline.potential_ue_cost(
+            step.time, state.last_mitigation, self._config.restartable
+        )
+        state.ue_costs.append(cost)
+        state.mask.append(False)
+        # The node reboots after the UE; the next job starts fresh.
+        state.last_mitigation = None
+        self._n_ues += 1
+        self._n_steps += 1
+        if self._config.keep_decisions:
+            self._decisions.append(
+                DecisionRecord(
+                    tick=self._tick_index,
+                    node=step.node,
+                    time=step.time,
+                    ue_cost=cost,
+                    mitigate=False,
+                    is_ue=True,
+                )
+            )
+
+    def _tick(self) -> None:
+        """Decide one pending step per ready node, all in one policy call."""
+        started = time_module.perf_counter()
+        batch_nodes: List[int] = []
+        batch_steps: List[OnlineStep] = []
+        batch_costs: List[float] = []
+        for node in sorted(self._ready):
+            state = self._nodes[node]
+            # Terminal (UE) steps never reach the policy: account the UE
+            # cost under the node's current mitigation state and reset it.
+            while state.pending and state.pending[0].is_ue:
+                self._account_ue(state, state.pending.popleft())
+            if not state.pending:
+                self._ready.discard(node)
+                continue
+            if len(batch_nodes) >= self._config.max_batch:
+                break
+            step = state.pending.popleft()
+            cost = state.timeline.potential_ue_cost(
+                step.time, state.last_mitigation, self._config.restartable
+            )
+            batch_nodes.append(node)
+            batch_steps.append(step)
+            batch_costs.append(cost)
+
+        if batch_nodes:
+            features = np.stack([step.features for step in batch_steps])
+            ue_costs = np.asarray(batch_costs, dtype=float)
+            times = np.asarray([step.time for step in batch_steps])
+            nodes = np.asarray(batch_nodes, dtype=np.int64)
+            result = self._policy.decide_nodes(
+                features, ue_costs, times=times, nodes=nodes
+            )
+            decisions = np.asarray(result, dtype=bool)
+            if decisions.shape != (len(batch_nodes),):
+                raise ValueError(
+                    f"decide_nodes of {self._policy.name!r} returned shape "
+                    f"{decisions.shape}, expected ({len(batch_nodes)},)"
+                )
+            for node, step, cost, mitigate in zip(
+                batch_nodes, batch_steps, batch_costs, decisions
+            ):
+                state = self._nodes[node]
+                mitigate = bool(mitigate)
+                state.mask.append(mitigate)
+                if mitigate:
+                    state.last_mitigation = step.time
+                    self._n_mitigations += 1
+                self._n_decision_points += 1
+                self._n_steps += 1
+                if self._config.keep_decisions:
+                    self._decisions.append(
+                        DecisionRecord(
+                            tick=self._tick_index,
+                            node=node,
+                            time=step.time,
+                            ue_cost=cost,
+                            mitigate=mitigate,
+                            is_ue=False,
+                        )
+                    )
+                if not state.pending:
+                    self._ready.discard(node)
+            self._batch_sizes.append(len(batch_nodes))
+            self._tick_latencies.append(time_module.perf_counter() - started)
+            self._tick_index += 1
+
+    # ------------------------------------------------------------------ #
+    # main loop                                                          #
+    # ------------------------------------------------------------------ #
+
+    async def run(self, source) -> ServeReport:
+        """Consume ``source`` to exhaustion and return the run report."""
+        started = time_module.perf_counter()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self._config.queue_size)
+
+        async def _produce() -> None:
+            try:
+                async for record in source:
+                    await queue.put(record)
+            except asyncio.CancelledError:
+                raise
+            except BaseException:
+                # The source failed: the consumer must still see the end
+                # marker (so run() reaches ``await producer`` and re-raises
+                # this error), but a plain put could block on a full queue.
+                while True:
+                    try:
+                        queue.put_nowait(_EOF)
+                        break
+                    except asyncio.QueueFull:
+                        await asyncio.sleep(0)
+                raise
+            else:
+                await queue.put(_EOF)
+
+        producer = asyncio.create_task(_produce())
+        try:
+            await self._consume(queue)
+        except BaseException:
+            producer.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await producer
+            raise
+        await producer
+        return self._report(time_module.perf_counter() - started)
+
+    async def _consume(self, queue: asyncio.Queue) -> None:
+        loop = asyncio.get_running_loop()
+        max_batch = self._config.max_batch
+        max_delay = self._config.max_delay_seconds
+        batch_deadline: Optional[float] = None
+        eof = False
+        while not eof:
+            # Drain whatever already arrived (up to one batch's worth).
+            while len(self._ready) < max_batch:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _EOF:
+                    eof = True
+                    break
+                self._ingest(item)
+            if eof:
+                break
+            if len(self._ready) >= max_batch:
+                self._tick()
+                batch_deadline = None
+                continue
+            if self._ready:
+                if batch_deadline is None:
+                    batch_deadline = loop.time() + max_delay
+                remaining = batch_deadline - loop.time()
+                if remaining <= 0:
+                    self._tick()
+                    batch_deadline = None
+                    continue
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    self._tick()
+                    batch_deadline = None
+                    continue
+            else:
+                batch_deadline = None
+                item = await queue.get()
+            if item is _EOF:
+                eof = True
+            else:
+                self._ingest(item)
+        # End of stream: close every open merge group and drain the backlog.
+        self._flush_all()
+        while self._ready:
+            self._tick()
+
+    # ------------------------------------------------------------------ #
+    # reporting                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _report(self, wall_seconds: float) -> ServeReport:
+        # Cost totals fold exactly as the evaluation runner's accumulator:
+        # per-node UE-cost chunks concatenated in sorted-node (= panel)
+        # order and left-folded with np.add.accumulate; the mitigation
+        # total is the same fold of the unit cost repeated per mitigation.
+        chunks = [
+            np.asarray(self._nodes[node].ue_costs, dtype=np.float64)
+            for node in sorted(self._nodes)
+            if self._nodes[node].ue_costs
+        ]
+        if chunks:
+            ue_cost = float(np.add.accumulate(np.concatenate(chunks))[-1])
+        else:
+            ue_cost = 0.0
+        if self._n_mitigations:
+            repeated = np.full(
+                self._n_mitigations, self._config.mitigation_cost_node_hours
+            )
+            mitigation_cost = float(np.add.accumulate(repeated)[-1])
+        else:
+            mitigation_cost = 0.0
+        return ServeReport(
+            policy_name=self._policy.name,
+            n_events=self._n_events,
+            n_steps=self._n_steps,
+            n_decision_points=self._n_decision_points,
+            n_ues=self._n_ues,
+            n_mitigations=self._n_mitigations,
+            n_ticks=self._tick_index,
+            wall_seconds=wall_seconds,
+            ue_cost_node_hours=ue_cost,
+            mitigation_cost_node_hours=mitigation_cost,
+            masks={
+                node: np.asarray(self._nodes[node].mask, dtype=bool)
+                for node in sorted(self._nodes)
+            },
+            batch_sizes=np.asarray(self._batch_sizes, dtype=np.int64),
+            tick_latencies=np.asarray(self._tick_latencies, dtype=np.float64),
+            decisions=self._decisions,
+        )
+
+
+def serve_log(
+    log,
+    policy: MitigationPolicy,
+    jobs: JobStateProvider,
+    config: Optional[ServeConfig] = None,
+    speed: Optional[float] = None,
+) -> ServeReport:
+    """Serve a whole error log through a fresh service (sync convenience).
+
+    ``speed=None`` replays unthrottled (maximal batching); a positive value
+    replays at that multiple of real time, exercising the max-delay path.
+    """
+    service = DecisionService(policy, jobs, config)
+    return asyncio.run(service.run(ReplaySource(log, speed=speed)))

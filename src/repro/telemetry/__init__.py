@@ -23,8 +23,10 @@ from repro.telemetry.error_log import ErrorLog
 from repro.telemetry.fault_model import FaultModelConfig
 from repro.telemetry.generator import TelemetryGenerator, generate_error_log
 from repro.telemetry.mcelog import (
+    format_full_log,
     format_mcelog,
     format_ue_log,
+    iter_mcelog_records,
     parse_mcelog,
     parse_ue_log,
 )
@@ -50,9 +52,11 @@ __all__ = [
     "MANUFACTURER_NAMES",
     "MergedEvent",
     "TelemetryGenerator",
+    "format_full_log",
     "format_mcelog",
     "format_ue_log",
     "generate_error_log",
+    "iter_mcelog_records",
     "merge_events",
     "merge_node_events",
     "parse_mcelog",

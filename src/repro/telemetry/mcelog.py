@@ -9,14 +9,19 @@ that generated logs can be inspected with standard tools.
 
 The formats are deliberately simple, line-oriented and human readable::
 
-    CE time=86455.100 node=17 dimm=139 count=12 rank=1 bank=4 row=5121 \
+    CE time=86455.1 node=17 dimm=139 count=12 rank=1 bank=4 row=5121 \
 col=77 scrubber=1 manufacturer=2
-    UE time=90001.000 node=17 dimm=139 manufacturer=2
+    UE time=90001.0 node=17 dimm=139 manufacturer=2
+
+Timestamps are emitted with ``repr`` precision so that a format -> parse
+round-trip reproduces every ``float64`` bit-exactly: real dumps carry
+sub-millisecond spacing, and a fixed-precision rendering would collapse or
+reorder those events on ingestion.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, TextIO, Union
+from typing import Iterable, Iterator, List, TextIO, Union
 
 from repro.telemetry.error_log import ErrorLog
 from repro.telemetry.records import EventKind, EventRecord
@@ -48,7 +53,7 @@ _TAG_KINDS = {v: k for k, v in _KIND_TAGS.items()}
 
 def _format_record(record: EventRecord) -> str:
     tag = _KIND_TAGS[EventKind(record.kind)]
-    fields = [f"time={record.time:.3f}", f"node={record.node}"]
+    fields = [f"time={record.time!r}", f"node={record.node}"]
     if record.dimm >= 0:
         fields.append(f"dimm={record.dimm}")
     if record.kind == EventKind.CE:
@@ -80,14 +85,24 @@ def _parse_line(line: str) -> EventRecord:
         if "=" not in token:
             raise ValueError(f"malformed field {token!r} in line {line!r}")
         key, value = token.split("=", 1)
+        if key in values:
+            raise ValueError(f"duplicate field {key!r} in line {line!r}")
         values[key] = value
     try:
+        time = float(values["time"])
+        if time < 0:
+            raise ValueError(f"negative time {values['time']!r} in line {line!r}")
+        count = int(values.get("count", 1 if kind == EventKind.CE else 0))
+        if count < 0:
+            raise ValueError(
+                f"negative count {values['count']!r} in line {line!r}"
+            )
         return EventRecord(
-            time=float(values["time"]),
+            time=time,
             node=int(values["node"]),
             dimm=int(values.get("dimm", -1)),
             kind=kind,
-            ce_count=int(values.get("count", 1 if kind == EventKind.CE else 0)),
+            ce_count=count,
             rank=int(values.get("rank", -1)),
             bank=int(values.get("bank", -1)),
             row=int(values.get("row", -1)),
@@ -129,18 +144,37 @@ def _iter_lines(source: Union[str, TextIO, Iterable[str]]) -> Iterable[str]:
     return source
 
 
+def iter_mcelog_records(
+    source: Union[str, TextIO, Iterable[str]],
+    start_lineno: int = 1,
+) -> Iterator[EventRecord]:
+    """Lazily parse an mcelog-format stream into :class:`EventRecord`\\ s.
+
+    This is the streaming entry point: it consumes one line at a time (a
+    string, an open file, or any iterable of lines — including a live tail),
+    skips blanks and ``#`` comments, and yields records as they parse.  Every
+    ``ValueError`` is annotated with the 1-based line number so a bad line in
+    a multi-MB firmware dump is findable.  ``start_lineno`` lets a resumed
+    tail keep numbering from where the previous read stopped.
+    """
+    for lineno, raw in enumerate(_iter_lines(source), start=start_lineno):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            yield _parse_line(line)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+
+
 def parse_mcelog(source: Union[str, TextIO, Iterable[str]]) -> ErrorLog:
     """Parse a corrected-error stream produced by :func:`format_mcelog`.
 
     Non-CE lines are tolerated and parsed as their own kinds, so a combined
-    file also round-trips through this function.
+    file also round-trips through this function.  Malformed input raises
+    ``ValueError`` with the offending 1-based line number.
     """
-    records: List[EventRecord] = []
-    for raw in _iter_lines(source):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        records.append(_parse_line(line))
+    records: List[EventRecord] = list(iter_mcelog_records(source))
     return ErrorLog.from_records(records)
 
 

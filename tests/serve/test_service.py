@@ -1,0 +1,347 @@
+"""Online/offline equivalence and behavior of the decision service.
+
+The central claim of ``repro.serve`` is exactness: a service fed the same
+events, job timelines and policy as an offline replay produces *bit-identical*
+decisions and cost totals — for the forest baselines and the RL policy alike,
+with and without restartable jobs, under any micro-batch configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dataset import build_prediction_dataset
+from repro.baselines.myopic import MyopicRFPolicy
+from repro.baselines.sc20 import SC20RandomForestPolicy, train_sc20_forest
+from repro.baselines.static import (
+    AlwaysMitigatePolicy,
+    NeverMitigatePolicy,
+    OraclePolicy,
+    PeriodicMitigatePolicy,
+)
+from repro.core.dqn import DDDQNAgent, DQNConfig
+from repro.core.policies import MitigationPolicy, RLPolicy
+from repro.evaluation.runner import (
+    build_traces,
+    evaluate_policy,
+    replay_decision_masks,
+)
+from repro.serve import (
+    ConstantJobProvider,
+    DecisionService,
+    ReplaySource,
+    SampledJobProvider,
+    ServeConfig,
+    TimelineJobProvider,
+    serve_log,
+)
+from repro.utils.timeutils import DAY
+
+MITIGATION_COST = 2 / 60.0
+
+
+@pytest.fixture(scope="module")
+def traces(feature_tracks, job_sampler):
+    """Full-range traces of the small log (serving covers the whole stream)."""
+    t_max = max(
+        float(track.times[-1]) for track in feature_tracks.values() if len(track)
+    )
+    return build_traces(feature_tracks, job_sampler, 0.0, t_max + 1.0, seed=97)
+
+
+@pytest.fixture(scope="module")
+def jobs(traces):
+    return TimelineJobProvider({trace.node: trace.timeline for trace in traces})
+
+
+@pytest.fixture(scope="module")
+def sc20_policy(feature_tracks):
+    dataset = build_prediction_dataset(
+        feature_tracks, prediction_window_seconds=DAY, t_start=0.0, t_end=50 * DAY
+    )
+    forest, _ = train_sc20_forest(dataset, n_estimators=8, max_depth=6, seed=5)
+    return SC20RandomForestPolicy(forest, threshold=0.4)
+
+
+def _rl_policy(normalizer, seed, mitigate_bias=0.0):
+    agent = DDDQNAgent(
+        normalizer.state_dim, DQNConfig(hidden_sizes=(24, 12), seed=seed)
+    )
+    agent.online.advantage_b[:] = [-mitigate_bias, 0.0]
+    agent.target.copy_from(agent.online)
+    return RLPolicy(agent, normalizer)
+
+
+def _assert_serve_matches_offline(
+    log, traces, jobs, policy, restartable, config=None
+):
+    """Serve the log and pin decisions + cost totals against the replay."""
+    config = config or ServeConfig(
+        mitigation_cost_node_hours=MITIGATION_COST, restartable=restartable
+    )
+    report = serve_log(log, policy, jobs, config)
+
+    masks = replay_decision_masks(traces, policy, restartable=restartable)
+    assert set(report.masks) == {trace.node for trace in traces}
+    for trace, mask in zip(traces, masks):
+        assert np.array_equal(report.masks[trace.node], mask), (
+            policy.name,
+            trace.node,
+        )
+
+    evaluation = evaluate_policy(
+        traces,
+        policy,
+        MITIGATION_COST,
+        restartable=restartable,
+        include_training_cost=False,
+    )
+    assert report.ue_cost_node_hours == evaluation.costs.ue_cost
+    assert report.mitigation_cost_node_hours == evaluation.costs.mitigation_cost
+    assert report.n_mitigations == evaluation.costs.n_mitigations
+    assert report.n_ues == evaluation.costs.n_ues
+    assert report.n_decision_points == evaluation.n_decision_points
+    assert report.n_steps == sum(len(trace) for trace in traces)
+    return report
+
+
+class TestOfflineEquivalence:
+    """Serve == evaluate_policy, bit for bit (the ISSUE acceptance bar)."""
+
+    @pytest.mark.parametrize("restartable", [True, False])
+    def test_forest_policy(self, reduced_error_log, traces, jobs, sc20_policy, restartable):
+        report = _assert_serve_matches_offline(
+            reduced_error_log, traces, jobs, sc20_policy, restartable
+        )
+        assert report.mean_batch_size > 1.0
+
+    @pytest.mark.parametrize("restartable", [True, False])
+    def test_rl_policy(self, reduced_error_log, traces, jobs, normalizer, restartable):
+        policy = _rl_policy(normalizer, seed=17)
+        report = _assert_serve_matches_offline(
+            reduced_error_log, traces, jobs, policy, restartable
+        )
+        assert report.n_mitigations > 0 or report.n_decision_points > 0
+
+    def test_rl_policy_dense_mitigation(self, reduced_error_log, traces, jobs, normalizer):
+        """A mitigate-biased head exercises the cost-reset feedback densely."""
+        policy = _rl_policy(normalizer, seed=20, mitigate_bias=3.0)
+        report = _assert_serve_matches_offline(
+            reduced_error_log, traces, jobs, policy, True
+        )
+        assert report.n_mitigations > 0
+
+    @pytest.mark.parametrize("restartable", [True, False])
+    def test_myopic_cost_feedback(
+        self, reduced_error_log, traces, jobs, sc20_policy, restartable
+    ):
+        policy = MyopicRFPolicy(sc20_policy, MITIGATION_COST)
+        _assert_serve_matches_offline(
+            reduced_error_log, traces, jobs, policy, restartable
+        )
+
+    def test_static_policies(self, reduced_error_log, traces, jobs):
+        always = _assert_serve_matches_offline(
+            reduced_error_log, traces, jobs, AlwaysMitigatePolicy(), True
+        )
+        assert always.n_mitigations == always.n_decision_points
+        never = _assert_serve_matches_offline(
+            reduced_error_log, traces, jobs, NeverMitigatePolicy(), True
+        )
+        assert never.n_mitigations == 0
+
+    def test_decide_only_policy_uses_the_scalar_fallback(
+        self, reduced_error_log, traces, jobs
+    ):
+        """The base-class decide_nodes loop serves decide()-only policies."""
+
+        class _ThresholdOnCost(MitigationPolicy):
+            name = "Cost-threshold"
+            cost_dependent = True
+
+            def decide(self, context) -> bool:
+                return context.ue_cost > 5.0
+
+        _assert_serve_matches_offline(
+            reduced_error_log, traces, jobs, _ThresholdOnCost(), True
+        )
+
+
+class TestBatchingInvariance:
+    """max_batch / max_delay shape latency, never decisions."""
+
+    def test_decisions_invariant_under_batch_knobs(
+        self, reduced_error_log, jobs, sc20_policy
+    ):
+        reports = [
+            serve_log(
+                reduced_error_log,
+                sc20_policy,
+                jobs,
+                ServeConfig(
+                    mitigation_cost_node_hours=MITIGATION_COST,
+                    max_batch=max_batch,
+                    max_delay_seconds=max_delay,
+                ),
+            )
+            for max_batch, max_delay in [(1, 0.0), (8, 0.01), (1024, 0.5)]
+        ]
+        reference = reports[0]
+        for report in reports[1:]:
+            assert set(report.masks) == set(reference.masks)
+            for node in reference.masks:
+                assert np.array_equal(report.masks[node], reference.masks[node])
+            assert report.ue_cost_node_hours == reference.ue_cost_node_hours
+            assert report.n_mitigations == reference.n_mitigations
+        # max_batch=1 degenerates to scalar serving; the wide config batches.
+        assert reference.mean_batch_size == 1.0
+        assert reports[2].mean_batch_size > 1.0
+
+    def test_throttled_replay_matches_unthrottled(self, reduced_error_log, jobs):
+        """Real-time pacing (the storm mode) changes timing, not decisions."""
+        span = reduced_error_log.time[-1] - reduced_error_log.time[0]
+        throttled = serve_log(
+            reduced_error_log,
+            AlwaysMitigatePolicy(),
+            jobs,
+            ServeConfig(mitigation_cost_node_hours=MITIGATION_COST),
+            speed=float(span) / 0.2,  # whole log in ~200 ms of wall time
+        )
+        unthrottled = serve_log(
+            reduced_error_log,
+            AlwaysMitigatePolicy(),
+            jobs,
+            ServeConfig(mitigation_cost_node_hours=MITIGATION_COST),
+        )
+        assert throttled.n_steps == unthrottled.n_steps
+        for node in unthrottled.masks:
+            assert np.array_equal(throttled.masks[node], unthrottled.masks[node])
+        assert throttled.ue_cost_node_hours == unthrottled.ue_cost_node_hours
+
+
+class TestJobProviders:
+    def test_sampled_provider_reconstructs_build_traces_timelines(
+        self, traces, job_sampler
+    ):
+        """Same sampler + seed + range => the offline timelines, node by node."""
+        t_max = max(float(trace.times[-1]) for trace in traces)
+        provider = SampledJobProvider(job_sampler, 0.0, t_max + 1.0, seed=97)
+        for trace in traces:
+            timeline = provider.timeline_for(trace.node)
+            assert np.array_equal(timeline.starts, trace.timeline.starts)
+            assert np.array_equal(timeline.durations, trace.timeline.durations)
+            assert np.array_equal(timeline.n_nodes, trace.timeline.n_nodes)
+            # Cached: the provider must answer a stable timeline.
+            assert provider.timeline_for(trace.node) is timeline
+
+    def test_timeline_provider_unknown_node(self, jobs):
+        with pytest.raises(KeyError, match="no job timeline"):
+            jobs.timeline_for(10**9)
+
+    def test_timeline_provider_fallback(self):
+        provider = TimelineJobProvider({}, fallback=ConstantJobProvider(n_nodes=4.0))
+        timeline = provider.timeline_for(3)
+        assert timeline.potential_ue_cost(3600.0, None, True) == 4.0
+
+    def test_constant_provider_cost_grows_from_job_start(self):
+        provider = ConstantJobProvider(n_nodes=2.0, job_start=0.0)
+        timeline = provider.timeline_for(0)
+        assert timeline.potential_ue_cost(7200.0, None, False) == 4.0
+        assert timeline.potential_ue_cost(7200.0, 3600.0, True) == 2.0
+
+
+class TestServiceBehavior:
+    def test_unservable_policies_are_rejected(self, reduced_error_log, jobs):
+        for policy in (OraclePolicy(), PeriodicMitigatePolicy(12.0)):
+            with pytest.raises(NotImplementedError):
+                serve_log(reduced_error_log, policy, jobs)
+
+    def test_out_of_order_stream_is_rejected(self, jobs):
+        from repro.telemetry.records import EventKind, EventRecord
+
+        records = [
+            EventRecord(time=100.0, node=0, dimm=1, ce_count=1),
+            EventRecord(time=50.0, node=1, dimm=2, ce_count=1),
+        ]
+        with pytest.raises(ValueError, match="time-ordered"):
+            serve_log(records, AlwaysMitigatePolicy(), ConstantJobProvider())
+
+    def test_decision_log_covers_every_step(self, reduced_error_log, jobs, sc20_policy):
+        report = serve_log(
+            reduced_error_log,
+            sc20_policy,
+            jobs,
+            ServeConfig(mitigation_cost_node_hours=MITIGATION_COST),
+        )
+        assert len(report.decisions) == report.n_steps
+        n_ue = sum(1 for record in report.decisions if record.is_ue)
+        n_mitigate = sum(1 for record in report.decisions if record.mitigate)
+        assert n_ue == report.n_ues
+        assert n_mitigate == report.n_mitigations
+        payload = report.decisions[0].to_dict()
+        assert set(payload) == {"tick", "node", "time", "ue_cost", "mitigate", "is_ue"}
+        # Per node, the log is in step-time order (the per-node decision log).
+        by_node = {}
+        for record in report.decisions:
+            by_node.setdefault(record.node, []).append(record.time)
+        for times in by_node.values():
+            assert times == sorted(times)
+
+    def test_keep_decisions_off_drops_the_log_only(
+        self, reduced_error_log, jobs, sc20_policy
+    ):
+        slim = serve_log(
+            reduced_error_log,
+            sc20_policy,
+            jobs,
+            ServeConfig(
+                mitigation_cost_node_hours=MITIGATION_COST, keep_decisions=False
+            ),
+        )
+        full = serve_log(
+            reduced_error_log,
+            sc20_policy,
+            jobs,
+            ServeConfig(mitigation_cost_node_hours=MITIGATION_COST),
+        )
+        assert slim.decisions == []
+        assert slim.n_mitigations == full.n_mitigations
+        assert slim.ue_cost_node_hours == full.ue_cost_node_hours
+
+    def test_report_telemetry(self, reduced_error_log, jobs):
+        report = serve_log(reduced_error_log, AlwaysMitigatePolicy(), jobs)
+        assert report.n_ticks == len(report.batch_sizes)
+        assert report.n_ticks == len(report.tick_latencies)
+        assert int(report.batch_sizes.sum()) == report.n_decision_points
+        histogram = report.batch_size_histogram()
+        assert sum(histogram.values()) == report.n_ticks
+        assert report.latency_seconds(99) >= report.latency_seconds(50) >= 0.0
+        assert report.decisions_per_second > 0
+        assert "decisions/s" in report.summary()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_delay_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ServeConfig(mitigation_cost_node_hours=-1.0)
+        with pytest.raises(ValueError):
+            ServeConfig(queue_size=0)
+
+    def test_source_errors_propagate(self, jobs):
+        class _FailingSource:
+            async def __aiter__(self):
+                from repro.telemetry.records import EventRecord
+
+                yield EventRecord(time=1.0, node=0, dimm=0, ce_count=1)
+                raise RuntimeError("stream went away")
+
+        import asyncio
+
+        service = DecisionService(
+            AlwaysMitigatePolicy(), ConstantJobProvider(), ServeConfig()
+        )
+        with pytest.raises(RuntimeError, match="stream went away"):
+            asyncio.run(service.run(_FailingSource()))

@@ -1,0 +1,129 @@
+"""Event sources: file tailing, replay pacing, parser error surfacing."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.baselines.static import AlwaysMitigatePolicy
+from repro.serve import (
+    ConstantJobProvider,
+    DecisionService,
+    ReplaySource,
+    ServeConfig,
+    TailSource,
+)
+from repro.telemetry import format_full_log
+from repro.telemetry.records import EventKind, EventRecord
+
+
+def _sample_records():
+    return [
+        EventRecord(time=10.0, node=3, dimm=1, ce_count=4, rank=0, bank=2),
+        EventRecord(time=15.5, node=7, kind=EventKind.BOOT),
+        EventRecord(time=200.25, node=3, dimm=1, ce_count=1),
+        EventRecord(time=300.0, node=3, kind=EventKind.UE, dimm=1),
+        EventRecord(time=410.0, node=7, dimm=2, ce_count=2),
+    ]
+
+
+def _serve(source):
+    service = DecisionService(
+        AlwaysMitigatePolicy(),
+        ConstantJobProvider(),
+        ServeConfig(mitigation_cost_node_hours=0.5),
+    )
+    return asyncio.run(service.run(source))
+
+
+class TestTailSource:
+    def test_file_matches_in_memory_replay(self, tmp_path):
+        from repro.telemetry.error_log import ErrorLog
+
+        records = _sample_records()
+        log = ErrorLog.from_records(records)
+        path = tmp_path / "events.log"
+        path.write_text("# spooled by mcelog\n\n" + format_full_log(log) + "\n")
+
+        from_file = _serve(TailSource(path))
+        from_memory = _serve(ReplaySource(log))
+        assert from_file.n_events == len(records)
+        assert from_file.n_steps == from_memory.n_steps
+        assert set(from_file.masks) == set(from_memory.masks)
+        for node in from_memory.masks:
+            assert np.array_equal(from_file.masks[node], from_memory.masks[node])
+        assert from_file.ue_cost_node_hours == from_memory.ue_cost_node_hours
+
+    def test_parse_errors_carry_the_file_line_number(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text(
+            "# header comment\n"
+            "CE time=1.0 node=0 dimm=0 count=1\n"
+            "WAT time=2.0 node=0\n"
+        )
+        with pytest.raises(ValueError, match="^line 3: "):
+            _serve(TailSource(path))
+
+    def test_missing_trailing_newline_is_parsed(self, tmp_path):
+        path = tmp_path / "torn.log"
+        path.write_text("CE time=5.0 node=1 dimm=0 count=2")  # no newline
+        report = _serve(TailSource(path))
+        assert report.n_events == 1
+        assert report.n_steps == 1
+
+    def test_follow_mode_picks_up_appended_lines(self, tmp_path):
+        path = tmp_path / "live.log"
+        path.write_text("")
+
+        async def scenario():
+            source = TailSource(path, follow=True, poll_seconds=0.01)
+            iterator = source.__aiter__()
+
+            async def writer():
+                await asyncio.sleep(0.03)
+                with open(path, "a") as handle:
+                    handle.write("CE time=1.0 node=0 dimm=0 count=1\n")
+                await asyncio.sleep(0.03)
+                with open(path, "a") as handle:
+                    handle.write("UE time=70.0 node=0\n")
+
+            task = asyncio.create_task(writer())
+            first = await asyncio.wait_for(iterator.__anext__(), timeout=5.0)
+            second = await asyncio.wait_for(iterator.__anext__(), timeout=5.0)
+            await task
+            await iterator.aclose()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.kind == EventKind.CE and first.time == 1.0
+        assert second.kind == EventKind.UE and second.time == 70.0
+
+
+class TestReplaySource:
+    def test_replays_record_sequences(self):
+        report = _serve(ReplaySource(_sample_records()))
+        assert report.n_events == 5
+        assert report.n_ues == 1
+
+    def test_speed_paces_wall_time(self):
+        records = [
+            EventRecord(time=0.0, node=0, dimm=0, ce_count=1),
+            EventRecord(time=100.0, node=0, dimm=0, ce_count=1),
+        ]
+
+        async def timed():
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            collected = [r async for r in ReplaySource(records, speed=1000.0)]
+            return collected, loop.time() - started
+
+        collected, elapsed = asyncio.run(timed())
+        assert len(collected) == 2
+        # 100 s of event time at 1000x => >= 0.1 s of wall time.
+        assert elapsed >= 0.09
+
+    def test_speed_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReplaySource([], speed=0.0)

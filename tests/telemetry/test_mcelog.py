@@ -1,5 +1,8 @@
 """Tests for mcelog-style serialisation."""
 
+from pathlib import Path
+
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -8,10 +11,13 @@ from repro.telemetry.mcelog import (
     format_full_log,
     format_mcelog,
     format_ue_log,
+    iter_mcelog_records,
     parse_mcelog,
     parse_ue_log,
 )
 from repro.telemetry.records import EventKind, EventRecord
+
+DATA_DIR = Path(__file__).parent / "data"
 
 
 @pytest.fixture()
@@ -94,3 +100,181 @@ class TestRoundTrip:
         parsed = parse_mcelog(format_full_log(subset))
         assert len(parsed) == len(subset)
         assert parsed.count_ues() == subset.count_ues()
+
+    def test_generated_log_roundtrips_bit_exact(self, reduced_error_log):
+        subset = reduced_error_log.filter_time(0, reduced_error_log.time[-1] / 10)
+        assert parse_mcelog(format_full_log(subset)) == subset
+
+
+class TestHardening:
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate field 'time'"):
+            parse_mcelog("BOOT time=1.0 time=2.0 node=3")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative time"):
+            parse_mcelog("BOOT time=-1.5 node=3")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative count"):
+            parse_mcelog("CE time=1.0 node=3 dimm=4 count=-2")
+
+    def test_errors_carry_1based_line_number(self):
+        text = "# header comment\n\nBOOT time=1.0 node=2\nWAT time=2.0 node=2\n"
+        with pytest.raises(ValueError, match=r"line 4: unknown event tag 'WAT'"):
+            parse_mcelog(text)
+
+    @pytest.mark.parametrize(
+        "bad_line",
+        [
+            "BOOT node=2",                      # missing time
+            "BOOT time=abc node=2",             # unparsable float
+            "BOOT time=1.0 node=-4",            # EventRecord validation
+            "CE time=1.0 node=2 count=0",       # CE needs ce_count >= 1
+            "BOOT time=1.0 time=2.0 node=2",    # duplicate key
+        ],
+    )
+    def test_every_value_error_is_line_numbered(self, bad_line):
+        text = "BOOT time=0.5 node=1\n" + bad_line + "\n"
+        with pytest.raises(ValueError, match=r"^line 2: "):
+            parse_mcelog(text)
+
+    def test_iter_records_is_lazy_and_respects_start_lineno(self):
+        lines = iter(["BOOT time=1.0 node=2", "broken"])
+        stream = iter_mcelog_records(lines, start_lineno=41)
+        first = next(stream)
+        assert first.kind == EventKind.BOOT
+        with pytest.raises(ValueError, match="line 42"):
+            next(stream)
+
+
+def _records_to_log(records):
+    return ErrorLog.from_records(records)
+
+
+_times = st.floats(
+    min_value=0.0, max_value=4.0e9, allow_nan=False, allow_infinity=False
+)
+_manufacturers = st.sampled_from([-1, 0, 1, 2])
+_dimms = st.one_of(st.just(-1), st.integers(0, 4000))
+
+
+@st.composite
+def _event_records(draw):
+    kind = draw(st.sampled_from(list(EventKind)))
+    time = draw(_times)
+    node = draw(st.integers(0, 5000))
+    dimm = draw(_dimms)
+    manufacturer = draw(_manufacturers)
+    if kind == EventKind.CE:
+        return EventRecord(
+            time=time,
+            node=node,
+            dimm=dimm,
+            kind=kind,
+            ce_count=draw(st.integers(1, 10**6)),
+            rank=draw(st.integers(-1, 7)),
+            bank=draw(st.integers(-1, 15)),
+            row=draw(st.integers(-1, 10**5)),
+            col=draw(st.integers(-1, 10**4)),
+            scrubber=draw(st.booleans()),
+            manufacturer=manufacturer,
+        )
+    return EventRecord(
+        time=time, node=node, dimm=dimm, kind=kind, manufacturer=manufacturer
+    )
+
+
+class TestPropertyRoundTrip:
+    """format -> parse must be lossless for every field of every EventKind."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(records=st.lists(_event_records(), min_size=1, max_size=30))
+    def test_full_log_roundtrips_bit_exact(self, records):
+        log = _records_to_log(records)
+        assert parse_mcelog(format_full_log(log)) == log
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        base=st.floats(
+            min_value=0.0, max_value=1e8, allow_nan=False, allow_infinity=False
+        ),
+        delta=st.floats(min_value=1e-9, max_value=1e-3, exclude_min=False),
+        kind=st.sampled_from([EventKind.UE, EventKind.BOOT, EventKind.OVERTEMP]),
+    )
+    def test_submillisecond_pairs_keep_order_and_identity(self, base, delta, kind):
+        """The %.3f regression: close event pairs must not collapse or swap."""
+        t0, t1 = base, base + delta
+        if not t1 > t0:  # delta lost to float rounding at this magnitude
+            return
+        log = _records_to_log(
+            [
+                EventRecord(time=t0, node=1, kind=kind),
+                EventRecord(time=t1, node=2, kind=kind),
+            ]
+        )
+        parsed = parse_mcelog(format_full_log(log))
+        assert parsed == log
+        # from_records re-sorts by time: the sub-millisecond ordering must
+        # survive the text round-trip exactly.
+        assert parsed.time[0] == t0 and parsed.time[1] == t1
+        assert list(parsed.node) == [1, 2]
+
+    @pytest.mark.parametrize("kind", list(EventKind))
+    @pytest.mark.parametrize("dimm", [-1, 17])
+    @pytest.mark.parametrize("manufacturer", [-1, 2])
+    def test_every_kind_tag_and_omission_path(self, kind, dimm, manufacturer):
+        record = (
+            EventRecord(
+                time=123.000456, node=9, dimm=dimm, kind=kind, ce_count=3,
+                rank=1, bank=2, row=10, col=11, scrubber=True,
+                manufacturer=manufacturer,
+            )
+            if kind == EventKind.CE
+            else EventRecord(
+                time=123.000456, node=9, dimm=dimm, kind=kind,
+                manufacturer=manufacturer,
+            )
+        )
+        log = _records_to_log([record])
+        text = format_full_log(log)
+        if dimm < 0:
+            assert "dimm=" not in text
+        if manufacturer < 0:
+            assert "manufacturer=" not in text
+        assert parse_mcelog(text) == log
+
+
+class TestRealShapedDump:
+    """A tiny checked-in real-shaped combined dump, ingested end to end."""
+
+    @pytest.fixture()
+    def dump_log(self):
+        with open(DATA_DIR / "real_shaped_dump.log") as handle:
+            return parse_mcelog(handle)
+
+    def test_counts(self, dump_log):
+        assert len(dump_log) == 14
+        assert dump_log.count_ues() == 3  # 2 UEs + 1 over-temperature
+        assert dump_log.total_corrected_errors() == 1 + 3 + 2 + 40 + 6
+
+    def test_submillisecond_ordering_preserved(self, dump_log):
+        node = dump_log.filter_nodes([201])
+        times = node.time
+        assert np.all(np.diff(times) > 0)
+        assert 86455.100244 in times and 86455.100245 in times
+
+    def test_roundtrips_bit_exact(self, dump_log):
+        assert parse_mcelog(format_full_log(dump_log)) == dump_log
+
+    def test_feature_tracks_build_end_to_end(self, dump_log):
+        from repro.core.features import FEATURE_INDEX, build_feature_tracks
+
+        tracks = build_feature_tracks(dump_log)
+        assert set(tracks) == {201, 202, 305}
+        node = tracks[201]
+        assert node.is_ue.sum() == 1  # the firmware UE terminates the node
+        # The two sub-millisecond CE bursts merge into one decision step.
+        last = node.features[-1]
+        assert last[FEATURE_INDEX["ces_total"]] == 1 + 3 + 2 + 40
+        assert last[FEATURE_INDEX["boots_total"]] == 2.0

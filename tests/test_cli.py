@@ -65,6 +65,108 @@ class TestParsing:
         assert cli._config_from_args(off).rl_trial_tasks is False
 
 
+class TestServe:
+    """The `serve` subcommand over a tiny mcelog file (fast policies only)."""
+
+    EVENTS = (
+        "# spooled by mcelog\n"
+        "CE time=10.0 node=3 dimm=1 count=4 rank=0 bank=2\n"
+        "BOOT time=15.5 node=7\n"
+        "CE time=200.25 node=3 dimm=1 count=1\n"
+        "UE time=300.0 node=3 dimm=1\n"
+        "CE time=410.0 node=7 dimm=2 count=2\n"
+    )
+
+    def _spool(self, tmp_path):
+        path = tmp_path / "events.log"
+        path.write_text(self.EVENTS)
+        return str(path)
+
+    def test_serve_file_source_with_decision_log(self, tmp_path, capsys):
+        import json
+
+        log_path = str(tmp_path / "decisions.jsonl")
+        assert (
+            cli.main(
+                [
+                    "serve",
+                    "--source", self._spool(tmp_path),
+                    "--policy", "always",
+                    "--decision-log", log_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Always-mitigate: 5 events -> 5 steps" in out
+        assert "decisions/s" in out
+        with open(log_path) as handle:
+            entries = [json.loads(line) for line in handle]
+        assert len(entries) == 5
+        assert sum(entry["is_ue"] for entry in entries) == 1
+        assert all(
+            set(entry) == {"tick", "node", "time", "ue_cost", "mitigate", "is_ue"}
+            for entry in entries
+        )
+
+    def test_serve_never_policy(self, tmp_path, capsys):
+        assert (
+            cli.main(
+                ["serve", "--source", self._spool(tmp_path), "--policy", "never"]
+            )
+            == 0
+        )
+        assert "0 mitigations" in capsys.readouterr().out
+
+    def test_serve_rejects_rl_without_a_preset(self, tmp_path):
+        with pytest.raises(SystemExit, match="preset"):
+            cli.main(["serve", "--source", self._spool(tmp_path), "--policy", "rl"])
+
+    def test_serve_rejects_bad_train_fraction(self, tmp_path):
+        with pytest.raises(SystemExit, match="train-fraction"):
+            cli.main(
+                [
+                    "serve",
+                    "--source", self._spool(tmp_path),
+                    "--policy", "always",
+                    "--train-fraction", "1.5",
+                ]
+            )
+
+    def test_serve_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit, match="unknown preset"):
+            cli.main(["serve", "--source", "preset:galactic", "--policy", "never"])
+
+    def test_serve_rejects_pacing_a_file_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="replay-at-speed"):
+            cli.main(
+                [
+                    "serve",
+                    "--source", self._spool(tmp_path),
+                    "--policy", "always",
+                    "--replay-at-speed", "100",
+                ]
+            )
+
+    def test_serve_trains_a_forest_on_the_file(self, tmp_path, capsys):
+        """sc20 on a file source trains on the file's own contents."""
+        # A handful of CE/UE pairs gives the dataset both classes.
+        lines = ["# generated\n"]
+        t = 0.0
+        for node in range(4):
+            for k in range(6):
+                t += 400.0
+                lines.append(f"CE time={t!r} node={node} dimm=0 count={k + 1}\n")
+            t += 120.0
+            lines.append(f"UE time={t!r} node={node}\n")
+        path = tmp_path / "trainable.log"
+        path.write_text("".join(lines))
+        assert (
+            cli.main(["serve", "--source", str(path), "--policy", "sc20"]) == 0
+        )
+        assert "SC20-RF" in capsys.readouterr().out
+
+
 class TestReportErrors:
     def test_report_on_empty_store_fails_cleanly(self, tmp_path, capsys):
         assert cli.main(["report", "--store", str(tmp_path / "runs")]) == 2
