@@ -20,6 +20,20 @@ Five subcommands over the :class:`~repro.study.Study` facade and the
     how many points it actually computed — re-running a finished sweep
     prints ``points computed: 0``.
 
+    A sweep also scales across processes and machines that share nothing
+    but the store directory (see :mod:`repro.distributed`)::
+
+        python -m repro sweep ... --store runs/ --shard 0/4   # worker 0 of 4
+        python -m repro sweep ... --store runs/ --claim       # work stealing
+        python -m repro sweep ... --store runs/ --status      # who's doing what
+        python -m repro sweep ... --store runs/ --reduce      # assemble manifest
+
+    ``--shard i/N`` statically partitions the points; ``--claim`` workers
+    race over all missing points through atomic store leases, heartbeat
+    while computing, and reclaim the points of workers that die.  Either
+    way the reduced sweep is bit-identical to a single-process run (with
+    ``charge_training_time=False``).
+
 ``report``
     Render a stored sweep's points × approaches table without recomputing
     anything: ``python -m repro report --store runs/``.
@@ -136,6 +150,22 @@ def _parse_manufacturers(text: str) -> List[Optional[int]]:
     return values
 
 
+def _parse_shard(text: str):
+    """``I/N`` — this process is worker I of an N-way static partition."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 0/4), got {text!r}"
+        )
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 0 <= I < N, got {text!r}"
+        )
+    return (index, count)
+
+
 def _single(values, flag: str):
     if values is None:
         return None
@@ -191,7 +221,15 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
         help="run each split's RL hyperparameter trials as independent "
         "executor tasks (default: on; --no-rl-trial-tasks restores the "
         "in-task trial loop — results are identical, only the schedule "
-        "changes)",
+        "changes — but is deprecated and emits a DeprecationWarning)",
+    )
+    parser.add_argument(
+        "--charge-training-time",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="charge measured wall-clock training time to the mitigation "
+        "costs (default: on; --no-charge-training-time makes results fully "
+        "deterministic — required for bit-identical distributed sweeps)",
     )
     parser.add_argument(
         "--store",
@@ -250,6 +288,54 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--which", default="total",
                        choices=CostBreakdown.series_fields(),
                        help="cost series shown in the table (default: total)")
+    distributed = sweep.add_argument_group(
+        "distributed execution",
+        "multi-worker sweeps coordinated through a shared --store "
+        "(see repro.distributed); --shard/--claim/--status/--reduce are "
+        "mutually exclusive and all require --store",
+    )
+    distributed.add_argument(
+        "--shard",
+        type=_parse_shard,
+        default=None,
+        metavar="I/N",
+        help="compute only worker I's share of an N-way static partition "
+        "of the points (e.g. --shard 0/4 ... --shard 3/4, one per process)",
+    )
+    distributed.add_argument(
+        "--claim",
+        action="store_true",
+        help="dynamic work stealing: claim missing points through atomic "
+        "store leases, heartbeat while computing, reclaim dead workers' "
+        "points after their lease TTL; waits until the whole sweep is done",
+    )
+    distributed.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="NAME",
+        help="this worker's identity in leases and status output "
+        "(default: host:pid:nonce)",
+    )
+    distributed.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat staleness after which other workers may reclaim "
+        "this worker's leased points (default: 120)",
+    )
+    distributed.add_argument(
+        "--status",
+        action="store_true",
+        help="print each point's state (done / leased by whom, heartbeat "
+        "age / pending) and exit without computing anything",
+    )
+    distributed.add_argument(
+        "--reduce",
+        action="store_true",
+        help="assemble and store the sweep manifest from already-computed "
+        "points and print the table; fails if any point is still missing",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the online micro-batched decision service"
@@ -390,6 +476,8 @@ def _config_from_args(args) -> ExperimentConfig:
         overrides["executor_kind"] = args.executor
     if args.rl_trial_tasks is not None:
         overrides["rl_trial_tasks"] = args.rl_trial_tasks
+    if args.charge_training_time is not None:
+        overrides["charge_training_time"] = args.charge_training_time
     if args.profile:
         overrides["profile"] = True
     if args.compiled:
@@ -460,6 +548,53 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _print_sweep_status(spec, config, store) -> int:
+    """The ``sweep --status`` body: each point's distributed-sweep state."""
+    from repro.distributed import sweep_status
+
+    statuses = sweep_status(spec, config, store)
+    print(f"store: {store.root} (sweep {store.sweep_key(spec, config)})")
+    for status in statuses:
+        print(f"  {status.describe()}")
+    counts = {"done": 0, "leased": 0, "pending": 0}
+    for status in statuses:
+        counts[status.state] += 1
+    print(
+        f"{counts['done']}/{len(statuses)} done, "
+        f"{counts['leased']} leased, {counts['pending']} pending"
+    )
+    return 0
+
+
+def _run_distributed_sweep(args, spec, config, store):
+    """The ``sweep --shard/--claim/--reduce`` body; returns the result or None."""
+    from repro.distributed import reduce_sweep, run_sweep_worker, sweep_status
+
+    if args.reduce:
+        result = reduce_sweep(spec, config, store)
+        if result is None:
+            missing = [
+                s.label for s in sweep_status(spec, config, store) if s.state != "done"
+            ]
+            print(
+                f"error: cannot reduce, {len(missing)} point(s) still "
+                f"missing: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+        return result
+    outcome = run_sweep_worker(
+        spec,
+        config,
+        store,
+        shard=args.shard,
+        claim=args.claim,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+    )
+    print(outcome.summary())
+    return outcome.result
+
+
 def _cmd_sweep(args) -> int:
     def axis(values):
         return None if values is None else tuple(values)
@@ -473,8 +608,50 @@ def _cmd_sweep(args) -> int:
         seeds=axis(args.seeds),
     )
     store = _store_from_args(args)
+    config = _config_from_args(args)
+
+    chosen = [
+        flag
+        for flag, on in (
+            ("--shard", args.shard is not None),
+            ("--claim", args.claim),
+            ("--status", args.status),
+            ("--reduce", args.reduce),
+        )
+        if on
+    ]
+    if len(chosen) > 1:
+        raise SystemExit(
+            f"error: {' and '.join(chosen)} are mutually exclusive"
+        )
+    if chosen and store is None:
+        raise SystemExit(
+            f"error: {chosen[0]} coordinates workers through a shared "
+            f"store; pass --store DIR"
+        )
+    if args.worker_id is not None and not args.claim:
+        raise SystemExit("error: --worker-id only applies to --claim workers")
+    if args.lease_ttl is not None and not args.claim:
+        raise SystemExit("error: --lease-ttl only applies to --claim workers")
+
+    if args.status:
+        return _print_sweep_status(spec, config, store)
+    if chosen:
+        result = _run_distributed_sweep(args, spec, config, store)
+        if result is None:
+            if args.reduce:
+                return 2
+            print(
+                "this worker's share is done; other shards are still "
+                "pending — run --reduce (or the remaining shards) to finish"
+            )
+            return 0
+        print(result.table(which=args.which))
+        print(f"store: {store.root} (sweep {store.sweep_key(spec, config)})")
+        return 0
+
     study = Study.from_sweep(spec, store=store)
-    result = study.run(_config_from_args(args))
+    result = study.run(config)
     print(result.table(which=args.which))
     print()
     print(f"wallclock: {result.wallclock_seconds:.1f}s, "
@@ -767,12 +944,19 @@ def _cmd_gc(args) -> int:
     print(f"store: {store.root}")
     for key in report.removed:
         print(f"  {verb}: prepared/{key}")
+    for key in report.expired_leases:
+        print(f"  {verb}: expired lease {key}")
     megabytes = report.freed_bytes / (1024 * 1024)
     print(
         f"{verb} {len(report.removed)} unreferenced prepared product(s), "
         f"freeing {report.freed_bytes} bytes ({megabytes:.1f} MiB); "
         f"{len(report.kept)} referenced product(s) kept"
     )
+    if report.active_leases:
+        print(
+            f"{len(report.active_leases)} active lease(s) pinned their "
+            f"prepared products"
+        )
     return 0
 
 

@@ -12,12 +12,11 @@ This package re-exports the *public* evaluation surface: configs, result
 types, the ``run_experiment`` / ``run_sweep`` entry points, the approach
 registry, the policy-replay helpers and the report formatters.  Pipeline
 internals (the individual stages, the executor, the content keys and cache
-handles) live in — and should be imported from — their home modules; the
-old package-level import paths still work for one release but raise a
-:class:`DeprecationWarning`.
+handles) live in — and must be imported from — their home modules:
+:mod:`repro.evaluation.pipeline` and :mod:`repro.evaluation.executor`.
+(The package-level aliases for those internals were deprecated for one
+release and have been removed.)
 """
-
-import warnings as _warnings
 
 from repro.evaluation.behavior import BehaviorGrid, behavior_grid
 from repro.evaluation.costs import CostBreakdown
@@ -96,44 +95,3 @@ __all__ = [
     "run_sweep",
     "unregister_approach",
 ]
-
-#: Former package-level re-exports of pipeline/executor internals, kept
-#: importable for one release.  name -> home module holding the attribute.
-_DEPRECATED = {
-    "GroupOutcome": "repro.evaluation.pipeline",
-    "SplitContext": "repro.evaluation.pipeline",
-    "SplitEvaluation": "repro.evaluation.pipeline",
-    "TrainedSplit": "repro.evaluation.pipeline",
-    "Task": "repro.evaluation.executor",
-    "aggregate": "repro.evaluation.pipeline",
-    "build_split_tasks": "repro.evaluation.pipeline",
-    "clear_trace_cache": "repro.evaluation.pipeline",
-    "default_prepared_cache": "repro.evaluation.pipeline",
-    "evaluate_split": "repro.evaluation.pipeline",
-    "execute_tasks": "repro.evaluation.executor",
-    "make_splits": "repro.evaluation.pipeline",
-    "prepare_data": "repro.evaluation.pipeline",
-    "prepared_data_key": "repro.evaluation.pipeline",
-    "trace_cache_stats": "repro.evaluation.pipeline",
-    "train_split": "repro.evaluation.pipeline",
-}
-
-
-def __getattr__(name: str):
-    module_name = _DEPRECATED.get(name)
-    if module_name is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    _warnings.warn(
-        f"importing {name!r} from 'repro.evaluation' is deprecated — it is a "
-        f"pipeline internal, not part of the public evaluation API; import it "
-        f"from {module_name!r} instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    import importlib
-
-    return getattr(importlib.import_module(module_name), name)
-
-
-def __dir__():
-    return sorted(set(globals()) | set(_DEPRECATED))

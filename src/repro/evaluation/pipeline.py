@@ -49,6 +49,7 @@ import dataclasses
 import itertools
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -157,7 +158,8 @@ class ExperimentConfig:
     #: immediately, shrinking the serial critical path from splits × trials
     #: training runs to splits.  Results are bit-identical either way (every
     #: trial draws from pre-drawn keyed RNG streams); ``False`` restores the
-    #: old in-task trial loop for one release.
+    #: old in-task trial loop but is **deprecated** (``build_split_tasks``
+    #: warns) and will be removed.
     rl_trial_tasks: bool = True
     #: Random forest size of the SC20 baseline.
     rf_n_estimators: int = 25
@@ -1541,9 +1543,17 @@ def build_split_tasks(
     # Fan out per-trial tasks only when the built-in RL approach runs: a
     # custom approach in the "rl" group may never ask for the shared agent,
     # and the lazy single-task shape must not pay for training it.
-    rl_fan_out = config.rl_trial_tasks and any(
-        spec.name == "RL" for spec in groups.get("rl", [])
-    )
+    rl_runs = any(spec.name == "RL" for spec in groups.get("rl", []))
+    if not config.rl_trial_tasks and rl_runs:
+        warnings.warn(
+            "rl_trial_tasks=False (the in-task RL trial loop) is deprecated "
+            "and will be removed: the per-trial task fan-out is bit-identical "
+            "and strictly faster under parallel executors. Drop the override "
+            "(or the --no-rl-trial-tasks flag) to silence this warning.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    rl_fan_out = config.rl_trial_tasks and rl_runs
     tasks: List[Task] = []
     for split in splits:
         for group in groups:

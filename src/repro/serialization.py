@@ -34,6 +34,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
     "canonical_json",
+    "canonical_json_bytes",
     "simple_from_dict",
     "simple_to_dict",
     "tag",
@@ -131,3 +132,12 @@ def simple_from_dict(
 def canonical_json(data: Any) -> str:
     """Deterministic JSON used for content keys and byte-compared artifacts."""
     return json.dumps(data, sort_keys=True, indent=2, ensure_ascii=False) + "\n"
+
+
+def canonical_json_bytes(data: Any) -> bytes:
+    """:func:`canonical_json` as UTF-8 bytes — what a
+    :class:`~repro.store.backends.StoreBackend` ``put`` takes verbatim, so
+    identical payloads written by racing workers are identical byte strings
+    (the lease and result families of the distributed sweep rely on this).
+    """
+    return canonical_json(data).encode("utf-8")

@@ -1,0 +1,42 @@
+"""Disk-backed, content-keyed artifact store — now a layered package.
+
+:mod:`repro.store.backends`
+    The pluggable byte-level :class:`StoreBackend` contract
+    (get/put/list/delete plus the atomic ``put_if_absent`` one-winner
+    primitive), with :class:`LocalFSBackend` (the classic on-disk layout,
+    byte for byte) and :class:`DictBackend` (in-memory test double; the
+    key scheme stays object-store/S3-compatible).
+:mod:`repro.store.leases`
+    The ``leases/`` family and the distributed-sweep claim protocol:
+    atomic point claims, heartbeats, TTL expiry and reclaim.
+:mod:`repro.store.artifacts`
+    :class:`ArtifactStore` — the content-keyed artifact families
+    (``prepared/``, ``results/``, ``sweeps/``) over any backend, plus the
+    lease-aware garbage collector.
+
+``from repro.store import ArtifactStore`` keeps working unchanged — the
+package re-exports the full public surface of the old ``store`` module.
+"""
+
+from repro.store.artifacts import ArtifactStore, StoreGcReport
+from repro.store.backends import DictBackend, LocalFSBackend, StoreBackend
+from repro.store.leases import (
+    DEFAULT_LEASE_TTL,
+    Lease,
+    LeaseLost,
+    LeaseManager,
+    default_worker_id,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_LEASE_TTL",
+    "DictBackend",
+    "Lease",
+    "LeaseLost",
+    "LeaseManager",
+    "LocalFSBackend",
+    "StoreBackend",
+    "StoreGcReport",
+    "default_worker_id",
+]

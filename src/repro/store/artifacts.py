@@ -1,10 +1,10 @@
-"""Disk-backed, content-keyed artifact store for experiments and sweeps.
+"""Content-keyed artifact store over a pluggable :class:`StoreBackend`.
 
-The :class:`ArtifactStore` persists the three artifact families of the
-evaluation pipeline under one root directory, each addressed by a SHA-256
-content key derived from the *inputs* that produced it — never by run order
-or timestamps — so identical work is found again across processes and
-sessions:
+The :class:`ArtifactStore` persists the artifact families of the
+evaluation pipeline under one backend namespace, each addressed by a
+SHA-256 content key derived from the *inputs* that produced it — never by
+run order or timestamps — so identical work is found again across
+processes, sessions and machines:
 
 ``prepared/<key>/``
     One :class:`~repro.evaluation.pipeline.PreparedData` product (the
@@ -12,8 +12,8 @@ sessions:
     ``meta.json`` + ``arrays.npz``.  Keyed by the same inputs as
     :func:`~repro.evaluation.pipeline.prepared_data_key`, so everything the
     in-memory :class:`~repro.evaluation.pipeline.PreparedDataCache` would
-    share, the disk store shares too — attach a store as the cache's
-    ``spill`` backend and sweeps warm-start across sessions.
+    share, the store shares too — attach a store as the cache's ``spill``
+    backend and sweeps warm-start across sessions.
 ``results/<key>.json``
     One :class:`~repro.evaluation.pipeline.ExperimentResult`, keyed by the
     full (scenario, experiment-config) pair *minus* the scheduling knobs
@@ -26,21 +26,29 @@ sessions:
     :class:`~repro.evaluation.sweep.SweepSpec` to its result key, so
     ``python -m repro report`` can rebuild the whole
     :class:`~repro.evaluation.sweep.SweepResult` from disk.
+``leases/<result_key>.json``
+    The distributed-sweep claim protocol (see :mod:`repro.store.leases`):
+    which worker is computing which point, heartbeat-stamped.
 
 All JSON artifacts use the versioned schema of :mod:`repro.serialization`;
-writes go through a temporary file + ``os.replace`` so a crashed run never
-leaves a half-written artifact behind.
+writes go through the backend's atomic ``put`` so a crashed run never
+leaves a half-written artifact behind.  The default
+:class:`~repro.store.backends.LocalFSBackend` keeps the exact directory
+layout this store has always written; any backend honouring the
+:class:`~repro.store.backends.StoreBackend` contract (e.g. an object
+store, or the in-memory :class:`~repro.store.backends.DictBackend`) drops
+in without touching the store logic.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
-import os
-import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -54,7 +62,15 @@ from repro.evaluation.pipeline import (
     _effective_manufacturer,
     prepared_data_key,
 )
-from repro.serialization import SchemaError, canonical_json, tag, untag
+from repro.serialization import (
+    SchemaError,
+    canonical_json,
+    canonical_json_bytes,
+    tag,
+    untag,
+)
+from repro.store.backends import LocalFSBackend, StoreBackend
+from repro.store.leases import Lease, LeaseManager
 from repro.telemetry.reduction import ReductionReport
 from repro.utils.rng import RngFactory
 from repro.workload.job import JobLog
@@ -69,13 +85,20 @@ class StoreGcReport:
 
     #: Keys of the pruned (or, with ``dry_run``, prunable) prepared products.
     removed: Tuple[str, ...]
-    #: Keys kept: referenced by a sweep manifest or stored result, or
-    #: written recently enough to fall inside the in-flight grace window.
+    #: Keys kept: referenced by a sweep manifest, a stored result or an
+    #: *active* lease, or written recently enough to fall inside the
+    #: in-flight grace window.
     kept: Tuple[str, ...]
     #: Bytes freed (or freeable) by removing the orphaned products.
     freed_bytes: int
     #: Whether this was a report-only pass.
     dry_run: bool
+    #: Result keys of leases pruned (or prunable) because their heartbeat
+    #: exceeded the TTL — a worker died mid-point and nobody reclaimed it.
+    expired_leases: Tuple[str, ...] = ()
+    #: Result keys of leases left untouched: their owners are still
+    #: heartbeating, and their prepared products are pinned.
+    active_leases: Tuple[str, ...] = ()
 
 #: Experiment-config fields that select a *schedule* or a diagnostic, not a
 #: result: two runs differing only here produce identical numbers
@@ -98,30 +121,6 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-
-
-def _atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-
-
 def _redacted_config_dict(config: ExperimentConfig) -> Dict[str, Any]:
     """Config payload with the result-irrelevant scheduling knobs dropped."""
     payload = config.to_dict()
@@ -131,31 +130,61 @@ def _redacted_config_dict(config: ExperimentConfig) -> Dict[str, Any]:
 
 
 class ArtifactStore:
-    """Content-keyed on-disk store of prepared data, results and sweeps.
+    """Content-keyed store of prepared data, results, sweeps and leases.
 
-    Creating the store lays down (or validates) a ``store.json`` marker so
-    an arbitrary directory is never silently treated as a store.  All
-    operations are safe to interleave across processes: artifacts are
+    ``ArtifactStore(path)`` opens (or creates) the classic on-disk layout
+    through a :class:`~repro.store.backends.LocalFSBackend`;
+    ``ArtifactStore(backend=...)`` mounts the same artifact families on any
+    :class:`~repro.store.backends.StoreBackend`.  Creating the store lays
+    down (or validates) a ``store.json`` marker so an arbitrary namespace
+    is never silently treated as a store.  All operations are safe to
+    interleave across processes sharing the backend: artifacts are
     immutable once written and writes are atomic, so the worst concurrent
     outcome is two processes computing the same artifact once each.
     """
 
     MARKER = "store.json"
 
-    def __init__(self, root) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        marker = self.root / self.MARKER
-        if marker.exists():
-            meta = json.loads(marker.read_text())
-            untag(meta, "artifact_store")  # validates kind + schema
+    def __init__(self, root=None, *, backend: Optional[StoreBackend] = None) -> None:
+        if (root is None) == (backend is None):
+            raise ValueError(
+                "ArtifactStore takes a root directory (LocalFSBackend) or "
+                "an explicit backend=, not both and not neither"
+            )
+        self.backend: StoreBackend = (
+            LocalFSBackend(root) if backend is None else backend
+        )
+        #: Filesystem root when the backend has one (``None`` otherwise);
+        #: kept for path-flavoured display (the CLI prints it).
+        self.root: Optional[Path] = getattr(self.backend, "root", None)
+        marker = self.backend.get(self.MARKER)
+        if marker is not None:
+            untag(json.loads(marker.decode("utf-8")), "artifact_store")
         else:
-            _atomic_write_text(marker, canonical_json(tag("artifact_store", {})))
-        for sub in ("prepared", "results", "sweeps"):
-            (self.root / sub).mkdir(exist_ok=True)
+            # put_if_absent: two processes opening a fresh store race to
+            # one marker instead of overwriting each other.
+            self.backend.put_if_absent(
+                self.MARKER, canonical_json_bytes(tag("artifact_store", {}))
+            )
+        for family in ("prepared", "results", "sweeps", "leases"):
+            self.backend.ensure_prefix(family)
 
     def __repr__(self) -> str:
-        return f"ArtifactStore({str(self.root)!r})"
+        if self.root is not None:
+            return f"ArtifactStore({str(self.root)!r})"
+        return f"ArtifactStore(backend={self.backend!r})"
+
+    # ------------------------------------------------------------------ #
+    # Backend text/JSON helpers
+    # ------------------------------------------------------------------ #
+    def _get_json(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
+        data = self.backend.get(key)
+        if data is None:
+            return None
+        return untag(json.loads(data.decode("utf-8")), kind)
+
+    def _put_json(self, key: str, payload: Dict[str, Any]) -> None:
+        self.backend.put(key, canonical_json_bytes(payload))
 
     # ------------------------------------------------------------------ #
     # Content keys
@@ -206,7 +235,7 @@ class ArtifactStore:
         self, scenario: ScenarioConfig, config: ExperimentConfig
     ) -> bool:
         key = self.prepared_key(scenario, config)
-        return (self.root / "prepared" / key / "meta.json").exists()
+        return self.backend.get(f"prepared/{key}/meta.json") is not None
 
     def save_prepared(
         self, prepared: PreparedData, config: ExperimentConfig
@@ -219,10 +248,8 @@ class ArtifactStore:
         """
         scenario = prepared.scenario
         key = self.prepared_key(scenario, config)
-        directory = self.root / "prepared" / key
-        if (directory / "meta.json").exists():
+        if self.backend.get(f"prepared/{key}/meta.json") is not None:
             return key
-        directory.mkdir(parents=True, exist_ok=True)
 
         arrays: Dict[str, np.ndarray] = {}
         nodes = sorted(prepared.tracks)
@@ -238,7 +265,9 @@ class ArtifactStore:
         arrays["job_start"] = job_log.start
         arrays["job_end"] = job_log.end
         arrays["job_n_nodes"] = job_log.n_nodes
-        _atomic_write_npz(directory / "arrays.npz", arrays)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        self.backend.put(f"prepared/{key}/arrays.npz", buffer.getvalue())
 
         meta = tag(
             "prepared_data",
@@ -248,7 +277,7 @@ class ArtifactStore:
             },
         )
         # meta.json is written last: its presence marks the entry complete.
-        _atomic_write_text(directory / "meta.json", canonical_json(meta))
+        self._put_json(f"prepared/{key}/meta.json", meta)
         return key
 
     def load_prepared(
@@ -262,14 +291,15 @@ class ArtifactStore:
         and its ``data_key`` is restored, so trace caching keeps working.
         """
         key = self.prepared_key(scenario, config)
-        directory = self.root / "prepared" / key
-        meta_path = directory / "meta.json"
-        if not meta_path.exists():
+        meta = self._get_json(f"prepared/{key}/meta.json", "prepared_data")
+        if meta is None:
             return None
-        meta = untag(json.loads(meta_path.read_text()), "prepared_data")
         reduction_report = ReductionReport.from_dict(meta["reduction_report"])
 
-        with np.load(directory / "arrays.npz") as archive:
+        raw = self.backend.get(f"prepared/{key}/arrays.npz")
+        if raw is None:
+            return None  # incomplete entry: a crashed writer beat the marker
+        with np.load(io.BytesIO(raw)) as archive:
             nodes = [int(node) for node in archive["nodes"]]
             tracks = {
                 node: NodeFeatureTrack(
@@ -304,7 +334,12 @@ class ArtifactStore:
     # Experiment results
     # ------------------------------------------------------------------ #
     def has_result(self, scenario: ScenarioConfig, config: ExperimentConfig) -> bool:
-        return (self.root / "results" / f"{self.result_key(scenario, config)}.json").exists()
+        key = self.result_key(scenario, config)
+        return self.backend.get(f"results/{key}.json") is not None
+
+    def has_result_key(self, key: str) -> bool:
+        """Whether a result is stored under the given content key."""
+        return self.backend.get(f"results/{key}.json") is not None
 
     def save_result(
         self,
@@ -322,9 +357,7 @@ class ArtifactStore:
                 "result": result.to_dict(),
             },
         )
-        _atomic_write_text(
-            self.root / "results" / f"{key}.json", canonical_json(payload)
-        )
+        self._put_json(f"results/{key}.json", payload)
         return key
 
     def load_result(
@@ -334,10 +367,9 @@ class ArtifactStore:
         return self.load_result_by_key(self.result_key(scenario, config))
 
     def load_result_by_key(self, key: str) -> Optional[ExperimentResult]:
-        path = self.root / "results" / f"{key}.json"
-        if not path.exists():
+        payload = self._get_json(f"results/{key}.json", "stored_result")
+        if payload is None:
             return None
-        payload = untag(json.loads(path.read_text()), "stored_result")
         return ExperimentResult.from_dict(payload["result"])
 
     # ------------------------------------------------------------------ #
@@ -362,15 +394,12 @@ class ArtifactStore:
                 },
             },
         )
-        _atomic_write_text(self.root / "sweeps" / f"{key}.json", canonical_json(payload))
+        self._put_json(f"sweeps/{key}.json", payload)
         return key
 
     def load_sweep_manifest(self, key: str) -> Optional[Dict[str, Any]]:
         """The raw manifest payload of one stored sweep, or ``None``."""
-        path = self.root / "sweeps" / f"{key}.json"
-        if not path.exists():
-            return None
-        return untag(json.loads(path.read_text()), "sweep_manifest")
+        return self._get_json(f"sweeps/{key}.json", "sweep_manifest")
 
     def load_sweep_by_key(self, key: str):
         """Rebuild a :class:`~repro.evaluation.sweep.SweepResult` from disk.
@@ -402,18 +431,38 @@ class ArtifactStore:
         )
 
     # ------------------------------------------------------------------ #
+    # Leases
+    # ------------------------------------------------------------------ #
+    def lease_manager(
+        self,
+        owner: Optional[str] = None,
+        ttl_seconds: Optional[float] = None,
+    ) -> LeaseManager:
+        """A :class:`~repro.store.leases.LeaseManager` over this backend."""
+        kwargs: Dict[str, Any] = {}
+        if ttl_seconds is not None:
+            kwargs["ttl_seconds"] = ttl_seconds
+        return LeaseManager(self.backend, owner=owner, **kwargs)
+
+    def list_leases(self) -> List[Lease]:
+        """Every lease currently recorded in the store."""
+        return self.lease_manager().list_leases()
+
+    # ------------------------------------------------------------------ #
     # Inventory
     # ------------------------------------------------------------------ #
     def list_sweeps(self) -> List[Dict[str, Any]]:
         """Summaries of every stored sweep (key, base scenario, point labels)."""
         entries: List[Dict[str, Any]] = []
-        for path in sorted((self.root / "sweeps").glob("*.json")):
-            manifest = untag(json.loads(path.read_text()), "sweep_manifest")
+        for key in self.backend.list("sweeps/"):
+            manifest = self._get_json(key, "sweep_manifest")
+            if manifest is None:
+                continue
             spec = manifest["spec"]
             base = untag(spec, "sweep_spec")["base"]
             entries.append(
                 {
-                    "key": path.stem,
+                    "key": key[len("sweeps/"):-len(".json")],
                     "base_scenario": untag(base, "scenario_config")["name"],
                     "labels": list(manifest["points"]),
                 }
@@ -423,13 +472,15 @@ class ArtifactStore:
     def list_results(self) -> List[Dict[str, Any]]:
         """Summaries of every stored experiment result."""
         entries: List[Dict[str, Any]] = []
-        for path in sorted((self.root / "results").glob("*.json")):
-            payload = untag(json.loads(path.read_text()), "stored_result")
+        for key in self.backend.list("results/"):
+            payload = self._get_json(key, "stored_result")
+            if payload is None:
+                continue
             scenario = untag(payload["scenario"], "scenario_config")
             result = untag(payload["result"], "experiment_result")
             entries.append(
                 {
-                    "key": path.stem,
+                    "key": key[len("results/"):-len(".json")],
                     "scenario": scenario["name"],
                     "seed": scenario["seed"],
                     "mitigation_cost_node_minutes": scenario["evaluation"].get(
@@ -443,9 +494,9 @@ class ArtifactStore:
     def list_prepared(self) -> List[str]:
         """Content keys of every stored prepared-data product."""
         return sorted(
-            path.name
-            for path in (self.root / "prepared").iterdir()
-            if (path / "meta.json").exists()
+            key[len("prepared/"):-len("/meta.json")]
+            for key in self.backend.list("prepared/")
+            if key.endswith("/meta.json")
         )
 
     # ------------------------------------------------------------------ #
@@ -464,63 +515,88 @@ class ArtifactStore:
         from repro.evaluation.sweep import SweepSpec
 
         referenced = set()
-        for path in sorted((self.root / "sweeps").glob("*.json")):
-            manifest = untag(json.loads(path.read_text()), "sweep_manifest")
+        for key in self.backend.list("sweeps/"):
+            manifest = self._get_json(key, "sweep_manifest")
+            if manifest is None:
+                continue
             spec = SweepSpec.from_dict(manifest["spec"])
             config = ExperimentConfig.from_dict(manifest["config"])
             for point in spec.points():
                 referenced.add(self.prepared_key(point.scenario, config))
-        for path in sorted((self.root / "results").glob("*.json")):
-            payload = untag(json.loads(path.read_text()), "stored_result")
+        for key in self.backend.list("results/"):
+            payload = self._get_json(key, "stored_result")
+            if payload is None:
+                continue
             scenario = ScenarioConfig.from_dict(payload["scenario"])
             config = ExperimentConfig.from_dict(payload["config"])
             referenced.add(self.prepared_key(scenario, config))
         return referenced
 
+    def _prepared_entries(self) -> Dict[str, List[str]]:
+        """Prepared content key -> every backend key of that entry."""
+        entries: Dict[str, List[str]] = {}
+        for key in self.backend.list("prepared/"):
+            parts = key.split("/")
+            if len(parts) < 3:
+                continue
+            entries.setdefault(parts[1], []).append(key)
+        return entries
+
     def gc(
         self, dry_run: bool = False, grace_seconds: float = 3600.0
     ) -> "StoreGcReport":
-        """Prune prepared products not referenced by any sweep or result.
+        """Prune unreferenced prepared products and expired leases.
 
-        Incomplete entries (a crashed writer left no ``meta.json``) are
-        pruned as well — their content key can never be trusted.  Entries
-        modified within ``grace_seconds`` are always kept: a sweep that is
-        *currently* spilling products (or has written products but not yet
-        its manifest) must not have the ground pulled from under it by a
-        concurrent gc pass.  With ``dry_run`` nothing is deleted; the
-        report still lists what would go and how many bytes it would free.
+        Prepared products survive when a stored sweep or result references
+        them — or when an **active** lease does: a worker is computing that
+        point right now, and collecting its inputs out from under it would
+        waste the work.  Incomplete entries (a crashed writer left no
+        ``meta.json``) are pruned; entries modified within
+        ``grace_seconds`` are always kept (a sweep *currently* spilling
+        products must not be raced by a concurrent gc pass).
+
+        Leases whose heartbeat exceeds their TTL are the debris of killed
+        workers nobody reclaimed; they are deleted and reported in
+        :attr:`StoreGcReport.expired_leases`.  With ``dry_run`` nothing is
+        deleted; the report still lists what would go and how many bytes it
+        would free.
         """
-        import shutil
-        import time
-
         referenced = self.referenced_prepared_keys()
+        active_leases: List[str] = []
+        expired_leases: List[str] = []
+        for lease in self.list_leases():
+            if lease.expired():
+                expired_leases.append(lease.result_key)
+                if not dry_run:
+                    self.backend.delete(lease.key)
+            else:
+                active_leases.append(lease.result_key)
+                if lease.prepared_key:
+                    referenced.add(lease.prepared_key)
+
         now = time.time()
         removed: List[str] = []
         kept: List[str] = []
         freed = 0
-        for path in sorted((self.root / "prepared").iterdir()):
-            if not path.is_dir():
+        for name, keys in sorted(self._prepared_entries().items()):
+            complete = f"prepared/{name}/meta.json" in keys
+            if complete and name in referenced:
+                kept.append(name)
                 continue
-            complete = (path / "meta.json").exists()
-            if complete and path.name in referenced:
-                kept.append(path.name)
-                continue
-            newest = max(
-                (item.stat().st_mtime for item in path.rglob("*") if item.is_file()),
-                default=path.stat().st_mtime,
-            )
+            newest = max(self.backend.mtime(key) for key in keys)
             if now - newest < grace_seconds:
-                kept.append(path.name)
+                kept.append(name)
                 continue
-            freed += sum(
-                item.stat().st_size for item in path.rglob("*") if item.is_file()
-            )
-            removed.append(path.name)
+            freed += sum(self.backend.size(key) for key in keys)
+            removed.append(name)
             if not dry_run:
-                shutil.rmtree(path)
+                for key in keys:
+                    self.backend.delete(key)
         return StoreGcReport(
             removed=tuple(removed),
             kept=tuple(kept),
             freed_bytes=freed,
             dry_run=dry_run,
+            expired_leases=tuple(expired_leases),
+            active_leases=tuple(active_leases),
         )

@@ -1,0 +1,255 @@
+"""Pluggable key–value backends under the :class:`~repro.store.ArtifactStore`.
+
+The store's artifact families (``prepared/``, ``results/``, ``sweeps/`` and
+the coordination ``leases/``) are all addressed by ``/``-separated object
+keys — ``results/<key>.json``, ``prepared/<key>/arrays.npz`` — and every
+store operation reduces to the small byte-oriented contract of
+:class:`StoreBackend`.  The key scheme is deliberately object-store shaped:
+an S3/GCS backend maps each key to one object name verbatim, with
+``put_if_absent`` provided by conditional puts (``If-None-Match: *``).
+
+Two backends ship here:
+
+:class:`LocalFSBackend`
+    Keys are relative file paths under one root directory — exactly the
+    on-disk layout :class:`~repro.store.ArtifactStore` has always written,
+    byte for byte.  Writes are atomic (temp file + ``os.replace``), and
+    ``put_if_absent`` is a hard-link publish: the content is fully written
+    before the name appears, and the link either creates the name or fails,
+    so concurrent writers admit exactly one winner with complete content.
+:class:`DictBackend`
+    An in-memory mapping guarded by a lock — the unit-test double, and the
+    semantic reference for any remote backend (same keys, same atomicity
+    contract, no filesystem).
+
+All mutating operations must be safe to interleave across processes (for
+backends that can be shared across processes at all): ``put`` replaces the
+value atomically — a reader never observes a torn write — and
+``put_if_absent`` is an atomic test-and-set over key *existence*.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Protocol, Tuple
+
+__all__ = [
+    "DictBackend",
+    "LocalFSBackend",
+    "StoreBackend",
+]
+
+
+class StoreBackend(Protocol):
+    """The byte-oriented contract every store backend implements.
+
+    Keys are non-empty ``/``-separated relative paths (``results/ab.json``).
+    Values are opaque byte strings.  Implementations must make ``put``
+    atomic (no torn reads) and ``put_if_absent`` an atomic one-winner
+    test-and-set; everything else may be best-effort eventually-listed, as
+    object stores are.
+    """
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The value at ``key``, or ``None`` when absent."""
+
+    def put(self, key: str, data: bytes) -> None:
+        """Atomically create or replace the value at ``key``."""
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Publish ``data`` at ``key`` only if no value exists yet.
+
+        Returns ``True`` when this call created the value — under any
+        number of concurrent callers, exactly one receives ``True``.
+        """
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; ``True`` when a value was actually removed."""
+
+    def list(self, prefix: str = "") -> List[str]:
+        """Sorted keys starting with ``prefix`` (files only, never dirs)."""
+
+    def size(self, key: str) -> int:
+        """Stored size of ``key`` in bytes (0 when absent)."""
+
+    def mtime(self, key: str) -> float:
+        """Last-modified time of ``key`` (seconds since the epoch)."""
+
+    def ensure_prefix(self, prefix: str) -> None:
+        """Pre-create a key family (a no-op for flat-namespace backends)."""
+
+
+def _check_key(key: str) -> str:
+    """Reject keys that would escape the namespace or collide with temp files."""
+    if not key or key.startswith("/") or key.endswith("/"):
+        raise ValueError(f"invalid store key {key!r}")
+    parts = key.split("/")
+    if any(part in ("", ".", "..") for part in parts):
+        raise ValueError(f"invalid store key {key!r}")
+    return key
+
+
+class LocalFSBackend:
+    """Keys as relative file paths under ``root`` — today's store layout.
+
+    ``put`` writes to a same-directory temp file and ``os.replace``\\ s it
+    over the destination; ``put_if_absent`` hard-links the fully written
+    temp file to the destination name, which atomically fails with
+    ``FileExistsError`` when the name is taken — POSIX's one-winner
+    primitive with complete content either way.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"LocalFSBackend({str(self.root)!r})"
+
+    def _path(self, key: str) -> Path:
+        return self.root / _check_key(key)
+
+    def get(self, key: str) -> Optional[bytes]:
+        try:
+            return self._path(key).read_bytes()
+        except (FileNotFoundError, IsADirectoryError):
+            return None
+
+    def _write_tmp(self, directory: Path, data: bytes) -> str:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        return tmp
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        tmp = self._write_tmp(path.parent, data)
+        try:
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        path = self._path(key)
+        tmp = self._write_tmp(path.parent, data)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+        return True
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        # Prune now-empty parents so removing an entry's last file leaves no
+        # husk directory behind (matches the old rmtree-based gc exactly).
+        parent = path.parent
+        while parent != self.root:
+            try:
+                parent.rmdir()
+            except OSError:
+                break
+            parent = parent.parent
+        return True
+
+    def list(self, prefix: str = "") -> List[str]:
+        keys: List[str] = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            base = Path(dirpath).relative_to(self.root)
+            for name in filenames:
+                if name.endswith(".tmp"):
+                    continue  # in-flight atomic writes are not yet values
+                key = name if base == Path(".") else f"{base.as_posix()}/{name}"
+                if key.startswith(prefix):
+                    keys.append(key)
+        return sorted(keys)
+
+    def size(self, key: str) -> int:
+        try:
+            return self._path(key).stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def mtime(self, key: str) -> float:
+        return self._path(key).stat().st_mtime
+
+    def ensure_prefix(self, prefix: str) -> None:
+        (self.root / _check_key(prefix.rstrip("/"))).mkdir(
+            parents=True, exist_ok=True
+        )
+
+
+class DictBackend:
+    """In-memory backend: the test double and remote-backend reference.
+
+    Thread-safe (one lock around the mapping); naturally process-local, so
+    multi-*process* coordination tests use :class:`LocalFSBackend`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: Dict[str, Tuple[bytes, float]] = {}
+
+    def __repr__(self) -> str:
+        return f"DictBackend(<{len(self._data)} keys>)"
+
+    def get(self, key: str) -> Optional[bytes]:
+        _check_key(key)
+        with self._lock:
+            entry = self._data.get(key)
+        return None if entry is None else entry[0]
+
+    def put(self, key: str, data: bytes) -> None:
+        _check_key(key)
+        with self._lock:
+            self._data[key] = (bytes(data), time.time())
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        _check_key(key)
+        with self._lock:
+            if key in self._data:
+                return False
+            self._data[key] = (bytes(data), time.time())
+            return True
+
+    def delete(self, key: str) -> bool:
+        _check_key(key)
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def list(self, prefix: str = "") -> List[str]:
+        with self._lock:
+            return sorted(key for key in self._data if key.startswith(prefix))
+
+    def size(self, key: str) -> int:
+        _check_key(key)
+        with self._lock:
+            entry = self._data.get(key)
+        return 0 if entry is None else len(entry[0])
+
+    def mtime(self, key: str) -> float:
+        _check_key(key)
+        with self._lock:
+            entry = self._data.get(key)
+        if entry is None:
+            raise FileNotFoundError(key)
+        return entry[1]
+
+    def ensure_prefix(self, prefix: str) -> None:
+        pass  # flat namespace: prefixes need no creation

@@ -122,7 +122,10 @@ class Study:
     # Execution
     # ------------------------------------------------------------------ #
     def run(
-        self, config: Optional[ExperimentConfig] = None
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        shard=None,
     ) -> Union[ExperimentResult, SweepResult]:
         """Execute the study (incrementally, when a store is attached).
 
@@ -131,14 +134,25 @@ class Study:
         execute only the missing ones (``run_sweep`` handles the
         per-point bookkeeping).  Everything computed is written through to
         the store.
+
+        ``shard=(i, n)`` runs this process as worker *i* of an *n*-way
+        statically sharded sweep (store required; see
+        :mod:`repro.distributed`): the returned ``SweepResult`` covers only
+        the points already in the store plus this worker's shard, and the
+        sweep manifest is recorded by whichever worker finishes last.
         """
         config = config or ExperimentConfig()
         self.config = config
         if self.spec is not None:
             self._result = run_sweep(
-                self.spec, config, cache=self.cache, store=self.store
+                self.spec, config, cache=self.cache, store=self.store, shard=shard
             )
         else:
+            if shard is not None:
+                raise ValueError(
+                    "shard=(i, n) only applies to sweep studies; a single "
+                    "scenario has nothing to partition"
+                )
             result = None
             if self.store is not None:
                 result = self.store.load_result(self.scenario, config)
@@ -165,6 +179,22 @@ class Study:
                 "Study.from_scenario(..., store=...) / Study.from_sweep(..., store=...)"
             )
         return self.run(config)
+
+    def status(self, config: Optional[ExperimentConfig] = None) -> list:
+        """Per-point progress of a distributed sweep (store required).
+
+        Returns the :class:`~repro.distributed.PointStatus` list of
+        :func:`repro.distributed.sweep_status` — done / leased-by-whom /
+        pending — without computing anything.
+        """
+        if self.spec is None or self.store is None:
+            raise RuntimeError(
+                "Study.status() reports distributed-sweep progress; it needs "
+                "a sweep spec and an attached ArtifactStore"
+            )
+        from repro.distributed import sweep_status
+
+        return sweep_status(self.spec, config or self.config, self.store)
 
     # ------------------------------------------------------------------ #
     # Outcome access

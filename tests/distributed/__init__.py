@@ -1,0 +1,1 @@
+"""Tests of the distributed-sweep subsystem: backends, leases, workers."""

@@ -1,0 +1,156 @@
+"""The pluggable :class:`~repro.store.backends.StoreBackend` contract.
+
+Every test runs against both implementations — the on-disk
+:class:`LocalFSBackend` and the in-memory :class:`DictBackend` — because
+the whole point of the protocol is that the :class:`ArtifactStore` and the
+lease machinery cannot tell them apart.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.store import ArtifactStore, DictBackend, LocalFSBackend
+
+
+@pytest.fixture(params=["localfs", "dict"])
+def backend(request, tmp_path):
+    if request.param == "localfs":
+        return LocalFSBackend(tmp_path / "store")
+    return DictBackend()
+
+
+class TestGetPut:
+    def test_roundtrip(self, backend):
+        backend.put("results/abc.json", b"{}\n")
+        assert backend.get("results/abc.json") == b"{}\n"
+
+    def test_missing_key_is_none(self, backend):
+        assert backend.get("results/nothing.json") is None
+
+    def test_put_overwrites(self, backend):
+        backend.put("k.json", b"old")
+        backend.put("k.json", b"new")
+        assert backend.get("k.json") == b"new"
+
+    def test_size_and_mtime(self, backend):
+        backend.put("k.json", b"12345")
+        assert backend.size("k.json") == 5
+        assert backend.mtime("k.json") > 0
+        assert backend.size("missing") == 0
+        with pytest.raises(FileNotFoundError):
+            backend.mtime("missing")
+
+
+class TestDelete:
+    def test_delete_removes(self, backend):
+        backend.put("a/b/c.json", b"x")
+        backend.delete("a/b/c.json")
+        assert backend.get("a/b/c.json") is None
+
+    def test_delete_missing_is_noop(self, backend):
+        backend.delete("a/missing.json")  # must not raise
+
+    def test_localfs_delete_prunes_empty_dirs(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "store")
+        backend.put("prepared/deep/nest/arrays.npz", b"x")
+        backend.delete("prepared/deep/nest/arrays.npz")
+        # The content-key directory vanishes with its last object, matching
+        # the old rmtree-based gc layout.
+        assert not (tmp_path / "store" / "prepared" / "deep").exists()
+        assert (tmp_path / "store").exists()
+
+
+class TestList:
+    def test_prefix_listing_is_sorted(self, backend):
+        backend.put("results/b.json", b"1")
+        backend.put("results/a.json", b"1")
+        backend.put("sweeps/c.json", b"1")
+        assert backend.list("results/") == ["results/a.json", "results/b.json"]
+
+    def test_empty_prefix_lists_everything(self, backend):
+        backend.put("x.json", b"1")
+        backend.put("leases/y.json", b"1")
+        assert backend.list("") == ["leases/y.json", "x.json"]
+
+    def test_missing_prefix_is_empty(self, backend):
+        assert backend.list("nothing/") == []
+
+
+class TestKeyValidation:
+    @pytest.mark.parametrize("bad", ["", "/abs/path", "a/../b", ".", "a//b"])
+    def test_bad_keys_rejected(self, backend, bad):
+        with pytest.raises(ValueError):
+            backend.put(bad, b"x")
+        with pytest.raises(ValueError):
+            backend.get(bad)
+
+
+class TestPutIfAbsent:
+    def test_first_writer_wins(self, backend):
+        assert backend.put_if_absent("leases/k.json", b"winner") is True
+        assert backend.put_if_absent("leases/k.json", b"loser") is False
+        assert backend.get("leases/k.json") == b"winner"
+
+    def test_delete_reopens_the_key(self, backend):
+        backend.put_if_absent("leases/k.json", b"one")
+        backend.delete("leases/k.json")
+        assert backend.put_if_absent("leases/k.json", b"two") is True
+        assert backend.get("leases/k.json") == b"two"
+
+    def test_threaded_hammer_admits_exactly_one_winner(self, backend):
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def contender(i):
+            barrier.wait()
+            if backend.put_if_absent("leases/hot.json", b"%d" % i):
+                wins.append(i)
+
+        threads = [
+            threading.Thread(target=contender, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+        assert backend.get("leases/hot.json") == b"%d" % wins[0]
+
+    def test_localfs_leaves_no_tmp_droppings(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "store")
+        backend.put_if_absent("leases/k.json", b"one")
+        backend.put_if_absent("leases/k.json", b"two")  # loser
+        leftovers = [
+            p
+            for p in (tmp_path / "store").rglob("*")
+            if p.is_file() and p.name != "k.json"
+        ]
+        assert leftovers == []
+
+
+class TestStoreOverBackends:
+    """The ArtifactStore works identically over either backend."""
+
+    def test_store_opens_over_dict_backend(self):
+        store = ArtifactStore(backend=DictBackend())
+        assert store.root is None  # nothing on disk
+        assert store.list_results() == []
+
+    def test_store_requires_exactly_one_of_root_and_backend(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path / "runs", backend=DictBackend())
+        with pytest.raises(ValueError):
+            ArtifactStore()
+
+    def test_localfs_layout_is_unchanged(self, tmp_path):
+        # The package split must keep the classic on-disk layout: marker at
+        # the root, one directory per family.
+        root = tmp_path / "runs"
+        store = ArtifactStore(root)
+        assert (root / "store.json").exists()
+        for family in ("prepared", "results", "sweeps", "leases"):
+            assert (root / family).is_dir()
+        assert store.root == root

@@ -1,0 +1,170 @@
+"""The lease/claim protocol (:mod:`repro.store.leases`).
+
+Everything runs against a :class:`DictBackend` — the protocol only ever
+speaks the backend contract, and the multi-process variants of these
+guarantees are exercised in ``test_races.py`` / ``test_multiworker.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.store import (
+    DEFAULT_LEASE_TTL,
+    DictBackend,
+    Lease,
+    LeaseLost,
+    LeaseManager,
+    default_worker_id,
+)
+
+
+@pytest.fixture()
+def backend():
+    return DictBackend()
+
+
+class TestWorkerIdentity:
+    def test_default_worker_ids_are_unique(self):
+        assert default_worker_id() != default_worker_id()
+
+    def test_manager_defaults(self, backend):
+        manager = LeaseManager(backend)
+        assert manager.owner  # synthesized
+        assert manager.ttl_seconds == DEFAULT_LEASE_TTL
+
+    def test_nonpositive_ttl_rejected(self, backend):
+        with pytest.raises(ValueError, match="ttl"):
+            LeaseManager(backend, ttl_seconds=0)
+
+
+class TestLeasePayload:
+    def test_roundtrips_through_its_dict_form(self, backend):
+        manager = LeaseManager(backend, owner="w1", ttl_seconds=30)
+        lease = manager.claim("abcd1234", label="seed=7", prepared_key="pp")
+        assert lease is not None
+        assert Lease.from_dict(lease.to_dict()) == lease
+
+    def test_lease_lives_at_the_leases_key(self, backend):
+        manager = LeaseManager(backend, owner="w1")
+        lease = manager.claim("abcd1234", label="seed=7")
+        assert lease.key == "leases/abcd1234.json"
+        stored = json.loads(backend.get(lease.key).decode("utf-8"))
+        assert stored["kind"] == "lease"
+        assert stored["owner"] == "w1"
+        assert stored["label"] == "seed=7"
+
+    def test_age_and_expiry(self):
+        lease = Lease(
+            result_key="k", owner="w", label="", claimed_at=100.0,
+            heartbeat=100.0, ttl_seconds=10.0,
+        )
+        assert lease.age(now=105.0) == 5.0
+        assert not lease.expired(now=105.0)
+        assert lease.expired(now=111.0)
+
+
+class TestClaim:
+    def test_fresh_claim_succeeds_and_counts(self, backend):
+        manager = LeaseManager(backend, owner="w1")
+        assert manager.claim("k1") is not None
+        assert (manager.claims, manager.conflicts, manager.reclaims) == (1, 0, 0)
+
+    def test_live_lease_conflicts(self, backend):
+        first = LeaseManager(backend, owner="w1", ttl_seconds=60)
+        second = LeaseManager(backend, owner="w2", ttl_seconds=60)
+        assert first.claim("k1") is not None
+        assert second.claim("k1") is None
+        assert second.conflicts == 1
+        assert second.claims == 0
+
+    def test_own_live_lease_also_conflicts(self, backend):
+        # Claiming a key twice is a caller bug; the protocol treats the
+        # second attempt like any other loser rather than aliasing leases.
+        manager = LeaseManager(backend, owner="w1", ttl_seconds=60)
+        assert manager.claim("k1") is not None
+        assert manager.claim("k1") is None
+
+    def test_expired_lease_is_reclaimed(self, backend):
+        dead = LeaseManager(backend, owner="dead", ttl_seconds=0.01)
+        live = LeaseManager(backend, owner="live", ttl_seconds=60)
+        assert dead.claim("k1", label="seed=7") is not None
+        time.sleep(0.05)
+        lease = live.claim("k1", label="seed=7")
+        assert lease is not None
+        assert lease.owner == "live"
+        assert live.reclaims == 1
+        assert live.claims == 1
+
+    def test_vanished_lease_is_claimable(self, backend):
+        # A lease released between our failed put and our load: the retry
+        # path claims it without counting a reclaim (nothing was expired).
+        manager = LeaseManager(backend, owner="w1", ttl_seconds=60)
+
+        class VanishingBackend(DictBackend):
+            def __init__(self, inner):
+                super().__init__()
+                self._inner = inner
+                self._tries = 0
+
+            def put_if_absent(self, key, data):
+                self._tries += 1
+                if self._tries == 1:
+                    return False  # somebody held it a moment ago...
+                return self._inner.put_if_absent(key, data)
+
+            def get(self, key):
+                return self._inner.get(key)  # ...but it is gone now
+
+            def delete(self, key):
+                return self._inner.delete(key)
+
+        manager.backend = VanishingBackend(backend)
+        lease = manager.claim("k1")
+        assert lease is not None
+        assert manager.reclaims == 0
+
+
+class TestRenewRelease:
+    def test_renew_refreshes_the_heartbeat(self, backend):
+        manager = LeaseManager(backend, owner="w1", ttl_seconds=60)
+        lease = manager.claim("k1")
+        renewed = manager.renew(lease)
+        assert renewed.heartbeat >= lease.heartbeat
+        assert renewed.owner == "w1"
+        assert manager.load("k1").heartbeat == renewed.heartbeat
+
+    def test_renew_after_reclaim_raises_lease_lost(self, backend):
+        slow = LeaseManager(backend, owner="slow", ttl_seconds=0.01)
+        thief = LeaseManager(backend, owner="thief", ttl_seconds=60)
+        lease = slow.claim("k1")
+        time.sleep(0.05)
+        assert thief.claim("k1") is not None
+        with pytest.raises(LeaseLost, match="thief"):
+            slow.renew(lease)
+
+    def test_release_removes_own_lease(self, backend):
+        manager = LeaseManager(backend, owner="w1")
+        lease = manager.claim("k1")
+        manager.release(lease)
+        assert manager.load("k1") is None
+        assert backend.list("leases/") == []
+
+    def test_release_leaves_a_reclaimed_lease_alone(self, backend):
+        slow = LeaseManager(backend, owner="slow", ttl_seconds=0.01)
+        thief = LeaseManager(backend, owner="thief", ttl_seconds=60)
+        lease = slow.claim("k1")
+        time.sleep(0.05)
+        stolen = thief.claim("k1")
+        slow.release(lease)  # must not delete the thief's lease
+        assert slow.load("k1") == stolen
+
+    def test_list_leases(self, backend):
+        manager = LeaseManager(backend, owner="w1")
+        manager.claim("k1", label="a")
+        manager.claim("k2", label="b")
+        leases = manager.list_leases()
+        assert sorted(lease.label for lease in leases) == ["a", "b"]

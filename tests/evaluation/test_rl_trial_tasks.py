@@ -154,6 +154,40 @@ class TestGraphShape:
         assert {f"rl-{split.index}" for split in splits} <= keys
 
 
+class TestTrialTasksDeprecation:
+    """``rl_trial_tasks=False`` still works but is on its way out."""
+
+    def test_disabling_trial_tasks_warns(self, tiny_prepared, tiny_scenario):
+        splits = make_splits(tiny_scenario)
+        with pytest.warns(DeprecationWarning, match="rl_trial_tasks=False"):
+            build_split_tasks(
+                tiny_prepared,
+                splits,
+                TRIAL_CONFIG.with_overrides(rl_trial_tasks=False),
+            )
+
+    def test_default_fan_out_is_silent(self, tiny_prepared, tiny_scenario):
+        import warnings
+
+        splits = make_splits(tiny_scenario)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_split_tasks(tiny_prepared, splits, TRIAL_CONFIG)
+
+    def test_no_warning_when_rl_is_disabled(self, tiny_prepared, tiny_scenario):
+        # The override is meaningless without the built-in RL approach, and
+        # nagging about a no-op flag would be noise.
+        import warnings
+
+        splits = make_splits(tiny_scenario)
+        config = TRIAL_CONFIG.with_overrides(
+            include_rl=False, rl_trial_tasks=False
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_split_tasks(tiny_prepared, splits, config)
+
+
 class TestTrialSettings:
     def test_settings_are_stable_and_per_trial_distinct(self, tiny_scenario):
         first = _rl_trial_settings(tiny_scenario, TRIAL_CONFIG, split_index=2)

@@ -1,9 +1,9 @@
-"""The curated public surface: ``repro.__all__`` and the deprecation shim.
+"""The curated public surface: ``repro.__all__`` and ``repro.evaluation``.
 
-The top-level package exports exactly the blessed API; the pipeline
-internals that ``repro.evaluation`` used to re-export stay importable from
-their home modules and — for one release — from the package, with a
-:class:`DeprecationWarning` naming the new location.
+The top-level package exports exactly the blessed API.  Pipeline internals
+are importable only from their home modules (:mod:`repro.evaluation.pipeline`
+and :mod:`repro.evaluation.executor`) — the one-release deprecation shim
+that kept them importable from the package is gone.
 """
 
 from __future__ import annotations
@@ -64,6 +64,9 @@ class TestEvaluationSurface:
                 "train_split", "evaluate_split", "aggregate", "make_splits",
                 "prepare_data", "execute_tasks", "Task", "SplitContext",
                 "GroupOutcome")
+    # Where each internal actually lives — the supported import path.
+    HOMES = {"execute_tasks": "repro.evaluation.executor",
+             "Task": "repro.evaluation.executor"}
 
     def test_public_names_stay_in_all(self):
         for name in self.PUBLIC:
@@ -74,17 +77,23 @@ class TestEvaluationSurface:
             assert name not in evaluation.__all__, name
 
     @pytest.mark.parametrize("name", INTERNAL)
-    def test_old_import_path_warns_and_still_works(self, name):
-        home = evaluation._DEPRECATED[name]
-        with pytest.warns(DeprecationWarning, match=home):
-            value = getattr(evaluation, name)
-        assert value is getattr(importlib.import_module(home), name)
+    def test_old_import_path_is_gone(self, name):
+        """The deprecation shim served its one release and is removed."""
+        with pytest.raises(AttributeError, match="no attribute"):
+            getattr(evaluation, name)
+
+    @pytest.mark.parametrize("name", INTERNAL)
+    def test_home_module_import_path_works(self, name):
+        home = self.HOMES.get(name, "repro.evaluation.pipeline")
+        assert getattr(importlib.import_module(home), name) is not None
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError, match="no attribute"):
             evaluation.definitely_not_a_name
 
-    def test_dir_lists_deprecated_names(self):
+    def test_dir_lists_only_the_public_surface(self):
         listed = dir(evaluation)
         for name in self.INTERNAL:
-            assert name in listed
+            assert name not in listed, name
+        for name in self.PUBLIC:
+            assert name in listed, name
