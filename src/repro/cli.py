@@ -337,6 +337,56 @@ def build_parser() -> argparse.ArgumentParser:
         "points and print the table; fails if any point is still missing",
     )
 
+    suite = sub.add_parser(
+        "suite",
+        help="run a declarative scenario suite from a YAML file",
+        description="Compile every scenario block of SUITE.yaml into a "
+        "SweepSpec and run it through the ordinary sweep engine, so suite "
+        "results are bit-identical to the equivalent direct sweeps.",
+    )
+    suite.add_argument("suite_file", metavar="SUITE.yaml")
+    suite.add_argument(
+        "--validate",
+        action="store_true",
+        help="parse and schema-check the suite, print its plan, execute "
+        "nothing; exits non-zero on any schema error",
+    )
+    suite.add_argument(
+        "--only",
+        metavar="BLOCK",
+        default=None,
+        help="run a single named scenario block of the suite",
+    )
+    _add_experiment_flags(suite)
+    suite.add_argument("--which", default="total",
+                       choices=CostBreakdown.series_fields(),
+                       help="cost series shown in the tables (default: total)")
+    suite_distributed = suite.add_argument_group(
+        "distributed execution",
+        "multi-worker suites coordinated through a shared --store, exactly "
+        "as in `sweep`; mcelog-sourced blocks bypass the store and are "
+        "rejected under --shard/--claim",
+    )
+    suite_distributed.add_argument(
+        "--shard", type=_parse_shard, default=None, metavar="I/N",
+        help="compute only worker I's share of an N-way static partition "
+        "of every block's points",
+    )
+    suite_distributed.add_argument(
+        "--claim", action="store_true",
+        help="dynamic work stealing through atomic store leases, one block "
+        "at a time",
+    )
+    suite_distributed.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="this worker's identity in leases (default: host:pid:nonce)",
+    )
+    suite_distributed.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="heartbeat staleness after which other workers may reclaim "
+        "this worker's leased points (default: 120)",
+    )
+
     serve = sub.add_parser(
         "serve", help="run the online micro-batched decision service"
     )
@@ -668,6 +718,88 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_suite(args) -> int:
+    from repro.suite import SuiteError, load_suite, run_suite
+
+    try:
+        suite = load_suite(args.suite_file)
+    except SuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.validate:
+        print(
+            f"{args.suite_file}: OK — suite {suite.name!r}, "
+            f"{len(suite.entries)} block(s), {suite.n_points} point(s)"
+        )
+        for entry in suite.entries:
+            tags = []
+            if entry.source is not None:
+                tags.append(f"mcelog:{entry.source}")
+            if entry.experiment_overrides:
+                tags.append(
+                    "experiment: "
+                    + ", ".join(
+                        f"{k}={v}" for k, v in entry.experiment_overrides.items()
+                    )
+                )
+            suffix = f"  [{'; '.join(tags)}]" if tags else ""
+            print(f"  {entry.name}: {entry.spec.n_points} point(s){suffix}")
+        return 0
+
+    store = _store_from_args(args)
+    config = _config_from_args(args)
+    if args.shard is not None and args.claim:
+        raise SystemExit("error: --shard and --claim are mutually exclusive")
+    if (args.shard is not None or args.claim) and store is None:
+        flag = "--shard" if args.shard is not None else "--claim"
+        raise SystemExit(
+            f"error: {flag} coordinates workers through a shared store; "
+            f"pass --store DIR"
+        )
+    if args.worker_id is not None and not args.claim:
+        raise SystemExit("error: --worker-id only applies to --claim workers")
+    if args.lease_ttl is not None and not args.claim:
+        raise SystemExit("error: --lease-ttl only applies to --claim workers")
+
+    try:
+        results = run_suite(
+            suite,
+            config,
+            store=store,
+            only=args.only,
+            shard=args.shard,
+            claim=args.claim,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+        )
+    except SuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    pending = 0
+    for name, result in results.items():
+        print(f"== {name} ==")
+        if result is None:
+            pending += 1
+            print("this worker's share is done; other shards are still "
+                  "pending — rerun (or run the remaining shards) to finish")
+        else:
+            print(result.table(which=args.which))
+            if store is not None and result.spec is not None:
+                entry = suite.entry(name)
+                entry_config = config.with_overrides(
+                    **entry.experiment_overrides
+                )
+                if entry.source is None:
+                    print(
+                        f"store: {store.root} "
+                        f"(sweep {store.sweep_key(entry.spec, entry_config)})"
+                    )
+        print()
+    return 0
+
+
 def _serve_policy(
     kind: str,
     train_log,
@@ -966,6 +1098,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     commands = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "suite": _cmd_suite,
         "serve": _cmd_serve,
         "report": _cmd_report,
         "list": _cmd_list,

@@ -251,3 +251,20 @@ class ScenarioConfig:
     def with_job_scale(self, factor: float) -> "ScenarioConfig":
         """Return a copy with the workload scaled by ``factor`` (Figure 7 sweep)."""
         return replace(self, job_scaling_factor=factor)
+
+    def with_fault_overrides(self, **fields) -> "ScenarioConfig":
+        """Return a copy with selected fault-model fields replaced.
+
+        Used by the declarative suite layer to express e.g. correlated
+        burst-failure modes without rebuilding the whole configuration.
+        """
+        return replace(self, fault_model=replace(self.fault_model, **fields))
+
+    def with_workload_overrides(self, **fields) -> "ScenarioConfig":
+        """Return a copy with selected workload fields replaced (job-mix
+        stress shapes: diurnal submissions, backfill scheduling, ...)."""
+        return replace(self, workload=replace(self.workload, **fields))
+
+    def with_topology(self, topology: ClusterTopology) -> "ScenarioConfig":
+        """Return a copy on a different cluster topology (fleet segments)."""
+        return replace(self, topology=topology)

@@ -174,6 +174,12 @@ class ExperimentConfig:
     include_rf: bool = True
     include_myopic: bool = True
     include_rl: bool = True
+    #: Evaluate the Fleet-mix composite policy, which routes every decision
+    #: to a per-segment sub-policy according to the topology's fleet
+    #: segments.  Off by default: it only makes sense for heterogeneous
+    #: fleets, and keeping it out of the default approach set leaves all
+    #: existing results untouched.
+    include_fleet_mix: bool = False
     #: Job-size scaling factor (Section 5.6); 1.0 reproduces the base system.
     job_scaling_factor: float = 1.0
     #: Restrict the error log to one DRAM manufacturer (Section 5.3).

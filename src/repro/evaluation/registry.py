@@ -263,6 +263,12 @@ def _build_myopic(ctx, config, factory) -> MitigationPolicy:
     return MyopicRFPolicy(artifacts.optimal_policy, ctx.mitigation_cost)
 
 
+def _build_fleet_mix(ctx, config, factory) -> MitigationPolicy:
+    from repro.baselines.fleet import build_fleet_policy
+
+    return build_fleet_policy(ctx)
+
+
 def _build_rl(ctx, config, factory) -> MitigationPolicy:
     policy = ctx.rl()
     if policy is None:
@@ -304,6 +310,14 @@ def _register_defaults() -> None:
         order=50,
         enabled=lambda config: config.include_rf and config.include_myopic,
         description="Expected-cost extension of SC20-RF (uncalibrated).",
+    ))
+    register_approach(ApproachSpec(
+        name="Fleet-mix",
+        build=_build_fleet_mix,
+        group="rf",
+        order=55,
+        enabled=lambda config: config.include_fleet_mix,
+        description="Per-segment policy routing over a heterogeneous fleet.",
     ))
     register_approach(ApproachSpec(
         name="RL",

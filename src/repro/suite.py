@@ -1,0 +1,548 @@
+"""Declarative scenario suites: whole multi-sweep experiments from YAML.
+
+The paper's evaluation is a *grid of grids* — Figure 3 sweeps mitigation
+costs and restartability, Figure 5 sweeps manufacturers, Figure 7 job
+scales.  A suite file names each of those grids once, declaratively, and
+``python -m repro suite suite.yaml`` compiles every block into the exact
+:class:`~repro.evaluation.sweep.SweepSpec` a hand-written script would have
+built and drives the unchanged :func:`~repro.evaluation.sweep.run_sweep`
+engine — so suite results are bit-identical to direct API calls, stores
+compose, and the distributed ``--shard``/``--claim`` modes keep working.
+
+A minimal suite::
+
+    scenarios:
+      fig3:
+        preset: small
+        axes:
+          mitigation_costs: [2, 5, 10]
+          restartable: [on, off]
+
+Beyond the classic axes, blocks reach the scenario kinds the ROADMAP names:
+
+``source: mcelog:PATH``
+    Ingest a real mcelog dump through :mod:`repro.telemetry.mcelog` instead
+    of the synthetic generator (the block's points replay the trace).
+``fault_model: {correlated_bursts: 4, ...}``
+    Correlated multi-node burst failures (any
+    :class:`~repro.telemetry.fault_model.FaultModelConfig` field).
+``segments: [{name: old, n_nodes: 24, manufacturer: 0, ...}, ...]``
+    Heterogeneous fleets with per-segment manufacturer, fault scaling and
+    policy assignment (pair with ``experiment: {include_fleet_mix: true}``).
+``workload: {submit_pattern: diurnal, scheduler: backfill}``
+    Job-mix stress shapes (any
+    :class:`~repro.workload.generator.WorkloadConfig` field).
+
+Schema errors are reported as :class:`SuiteError` — a single line naming
+the offending block and field, never a traceback.  PyYAML is the only
+dependency and is imported lazily so the rest of the package works without
+it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import EvaluationConfig, ScenarioConfig
+from repro.evaluation.pipeline import ExperimentConfig
+from repro.evaluation.sweep import SweepResult, SweepSpec, run_sweep
+from repro.telemetry.fault_model import FaultModelConfig
+from repro.telemetry.records import MANUFACTURER_NAMES
+from repro.telemetry.topology import FleetSegment
+from repro.utils.timeutils import DAY
+from repro.workload.generator import WorkloadConfig
+
+__all__ = [
+    "Suite",
+    "SuiteEntry",
+    "SuiteError",
+    "load_suite",
+    "parse_suite",
+    "run_suite",
+]
+
+PRESETS = ("small", "benchmark", "paper")
+
+_TOP_KEYS = ("suite", "defaults", "scenarios")
+_BLOCK_KEYS = (
+    "preset",
+    "seed",
+    "duration_days",
+    "source",
+    "fault_model",
+    "workload",
+    "evaluation",
+    "segments",
+    "axes",
+    "experiment",
+)
+_AXIS_KEYS = (
+    "mitigation_costs",
+    "restartable",
+    "manufacturers",
+    "job_scales",
+    "seeds",
+)
+_SEGMENT_KEYS = ("name", "n_nodes", "manufacturer", "ce_scale", "ue_scale", "policy")
+
+
+class SuiteError(ValueError):
+    """A suite file problem, phrased as one line naming block and field."""
+
+
+def _yaml():
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - PyYAML ships in CI
+        raise SuiteError(
+            "scenario suites need PyYAML; install it with "
+            "'pip install pyyaml' (packaged as the [suite] extra: "
+            "pip install repro[suite])"
+        ) from exc
+    return yaml
+
+
+# --------------------------------------------------------------------- #
+# Data model
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One named scenario block, fully compiled."""
+
+    #: Block name (the key under ``scenarios:``).
+    name: str
+    #: The sweep the block compiles to — exactly what a hand-built
+    #: :class:`SweepSpec` for the same grid would be.
+    spec: SweepSpec
+    #: Per-block :class:`ExperimentConfig` field overrides.
+    experiment_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Absolute path of the block's mcelog trace, or ``None`` (synthetic).
+    source: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A parsed suite file: named entries, in declaration order."""
+
+    name: str
+    entries: Tuple[SuiteEntry, ...]
+    path: Optional[str] = None
+
+    @property
+    def n_points(self) -> int:
+        return sum(entry.spec.n_points for entry in self.entries)
+
+    def entry(self, name: str) -> SuiteEntry:
+        for candidate in self.entries:
+            if candidate.name == name:
+                return candidate
+        known = ", ".join(repr(entry.name) for entry in self.entries)
+        raise SuiteError(f"no scenario block named {name!r}; blocks: {known}")
+
+
+# --------------------------------------------------------------------- #
+# Schema helpers (every failure is a one-line SuiteError)
+# --------------------------------------------------------------------- #
+def _require_mapping(value: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise SuiteError(
+            f"{what} must be a mapping, got {type(value).__name__}"
+        )
+    return value
+
+
+def _check_keys(mapping: Dict[str, Any], valid: Sequence[str], what: str) -> None:
+    unknown = sorted(str(key) for key in mapping if key not in valid)
+    if unknown:
+        raise SuiteError(
+            f"{what}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(valid)}"
+        )
+
+
+def _config_overrides(
+    block: str, key: str, mapping: Any, cls, forbidden: Sequence[str] = ()
+) -> Dict[str, Any]:
+    """Validate a ``{field: value}`` override mapping against a dataclass."""
+    mapping = _require_mapping(mapping, f"scenario {block!r}: {key}")
+    known = {f.name for f in dataclass_fields(cls)}
+    for name in mapping:
+        if name in forbidden:
+            raise SuiteError(
+                f"scenario {block!r}: {key}.{name} cannot be set from a suite file"
+            )
+        if name not in known:
+            raise SuiteError(
+                f"scenario {block!r}: unknown {key} field {name!r}; "
+                f"valid fields: {', '.join(sorted(known - set(forbidden)))}"
+            )
+    return dict(mapping)
+
+
+def _number(block: str, axis: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SuiteError(
+            f"scenario {block!r}: axis {axis!r} values must be numbers, "
+            f"got {value!r}"
+        )
+    return float(value)
+
+
+def _axis_values(block: str, axis: str, values: Any) -> Tuple[Any, ...]:
+    if not isinstance(values, (list, tuple)) or not values:
+        raise SuiteError(
+            f"scenario {block!r}: axis {axis!r} must be a non-empty list, "
+            f"got {values!r}"
+        )
+    out: List[Any] = []
+    for value in values:
+        if axis in ("mitigation_costs", "job_scales"):
+            out.append(_number(block, axis, value))
+        elif axis == "seeds":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SuiteError(
+                    f"scenario {block!r}: axis 'seeds' values must be "
+                    f"integers, got {value!r}"
+                )
+            out.append(int(value))
+        elif axis == "restartable":
+            if isinstance(value, bool):
+                out.append(value)
+            elif value in ("on", "off"):
+                out.append(value == "on")
+            else:
+                raise SuiteError(
+                    f"scenario {block!r}: axis 'restartable' values must be "
+                    f"booleans (YAML on/off), got {value!r}"
+                )
+        elif axis == "manufacturers":
+            if value is None or value == "all":
+                out.append(None)
+            elif isinstance(value, str) and value.upper() in MANUFACTURER_NAMES:
+                out.append(MANUFACTURER_NAMES.index(value.upper()))
+            elif isinstance(value, int) and not isinstance(value, bool):
+                out.append(int(value))
+            else:
+                raise SuiteError(
+                    f"scenario {block!r}: axis 'manufacturers' values must "
+                    f"be 'all'/null, a letter "
+                    f"({'/'.join(MANUFACTURER_NAMES)}) or an index, "
+                    f"got {value!r}"
+                )
+        else:  # pragma: no cover - guarded by _check_keys
+            raise SuiteError(f"scenario {block!r}: unknown axis {axis!r}")
+    return tuple(out)
+
+
+def _compile_segments(block: str, raw: Any) -> Tuple[FleetSegment, ...]:
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise SuiteError(
+            f"scenario {block!r}: segments must be a non-empty list of mappings"
+        )
+    segments: List[FleetSegment] = []
+    for i, item in enumerate(raw):
+        item = _require_mapping(item, f"scenario {block!r}: segments[{i}]")
+        _check_keys(item, _SEGMENT_KEYS, f"scenario {block!r}: segments[{i}]")
+        for required in ("name", "n_nodes", "manufacturer"):
+            if required not in item:
+                raise SuiteError(
+                    f"scenario {block!r}: segments[{i}] needs a "
+                    f"{required!r} entry"
+                )
+        try:
+            segments.append(FleetSegment(**item))
+        except (TypeError, ValueError) as exc:
+            raise SuiteError(
+                f"scenario {block!r}: segments[{i}]: {exc}"
+            ) from None
+    return tuple(segments)
+
+
+def _compile_source(block: str, raw: Any, base_dir: str) -> str:
+    if not isinstance(raw, str) or not raw.startswith("mcelog:"):
+        raise SuiteError(
+            f"scenario {block!r}: source must be 'mcelog:PATH', got {raw!r}"
+        )
+    path = raw[len("mcelog:"):]
+    if not path:
+        raise SuiteError(f"scenario {block!r}: source names an empty path")
+    if not os.path.isabs(path):
+        path = os.path.join(base_dir, path)
+    if not os.path.exists(path):
+        raise SuiteError(
+            f"scenario {block!r}: mcelog source {path!r} does not exist"
+        )
+    return path
+
+
+# --------------------------------------------------------------------- #
+# Compilation
+# --------------------------------------------------------------------- #
+def _compile_block(
+    name: str,
+    raw: Any,
+    defaults: Dict[str, Any],
+    base_dir: str,
+) -> SuiteEntry:
+    block = _require_mapping(raw, f"scenario {name!r}")
+    _check_keys(block, _BLOCK_KEYS, f"scenario {name!r}")
+    merged = dict(defaults)
+    for key, value in block.items():
+        # Nested override mappings merge key-by-key with the defaults, so a
+        # block adding one experiment flag keeps the suite-wide ones.
+        if (
+            key in ("fault_model", "workload", "evaluation", "experiment")
+            and isinstance(value, dict)
+            and isinstance(merged.get(key), dict)
+        ):
+            merged[key] = {**merged[key], **value}
+        else:
+            merged[key] = value
+
+    preset = merged.get("preset", "small")
+    if preset not in PRESETS:
+        raise SuiteError(
+            f"scenario {name!r}: unknown preset {preset!r}; "
+            f"choose from {', '.join(PRESETS)}"
+        )
+    scenario: ScenarioConfig = getattr(ScenarioConfig, preset)()
+
+    if "seed" in merged:
+        seed = merged["seed"]
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise SuiteError(
+                f"scenario {name!r}: seed must be an integer, got {seed!r}"
+            )
+        scenario = scenario.with_seed(seed)
+    if "duration_days" in merged:
+        days = _number(name, "duration_days", merged["duration_days"])
+        try:
+            scenario = scenario.with_duration(days * DAY)
+        except ValueError as exc:
+            raise SuiteError(f"scenario {name!r}: duration_days: {exc}") from None
+
+    for key, cls, apply in (
+        ("fault_model", FaultModelConfig, "with_fault_overrides"),
+        ("workload", WorkloadConfig, "with_workload_overrides"),
+    ):
+        if key in merged:
+            overrides = _config_overrides(name, key, merged[key], cls)
+            try:
+                scenario = getattr(scenario, apply)(**overrides)
+            except (TypeError, ValueError) as exc:
+                raise SuiteError(f"scenario {name!r}: {key}: {exc}") from None
+
+    if "evaluation" in merged:
+        overrides = _config_overrides(
+            name, "evaluation", merged["evaluation"], EvaluationConfig
+        )
+        try:
+            scenario = replace(
+                scenario, evaluation=replace(scenario.evaluation, **overrides)
+            )
+        except (TypeError, ValueError) as exc:
+            raise SuiteError(f"scenario {name!r}: evaluation: {exc}") from None
+
+    if "segments" in merged:
+        segments = _compile_segments(name, merged["segments"])
+        try:
+            scenario = scenario.with_topology(
+                replace(scenario.topology, segments=segments)
+            )
+        except ValueError as exc:
+            raise SuiteError(f"scenario {name!r}: segments: {exc}") from None
+
+    axes: Dict[str, Tuple[Any, ...]] = {}
+    if "axes" in merged:
+        raw_axes = _require_mapping(merged["axes"], f"scenario {name!r}: axes")
+        _check_keys(raw_axes, _AXIS_KEYS, f"scenario {name!r}: axes")
+        for axis, values in raw_axes.items():
+            axes[axis] = _axis_values(name, axis, values)
+
+    experiment: Dict[str, Any] = {}
+    if "experiment" in merged:
+        experiment = _config_overrides(
+            name,
+            "experiment",
+            merged["experiment"],
+            ExperimentConfig,
+            forbidden=("rl_base_config",),
+        )
+        for tuple_key in ("rl_hidden_sizes", "sc20_threshold_offsets"):
+            if tuple_key in experiment:
+                experiment[tuple_key] = tuple(experiment[tuple_key])
+
+    source = None
+    if "source" in merged:
+        source = _compile_source(name, merged["source"], base_dir)
+
+    spec = SweepSpec(
+        base=replace(scenario, name=name),
+        mitigation_costs=axes.get("mitigation_costs"),
+        restartable=axes.get("restartable"),
+        manufacturers=axes.get("manufacturers"),
+        job_scales=axes.get("job_scales"),
+        seeds=axes.get("seeds"),
+    )
+    try:
+        points = spec.points()
+    except ValueError as exc:
+        raise SuiteError(f"scenario {name!r}: {exc}") from None
+    if experiment:
+        # Surface bad values (not just bad names) at compile time.
+        try:
+            ExperimentConfig().with_overrides(**experiment)
+        except (TypeError, ValueError) as exc:
+            raise SuiteError(f"scenario {name!r}: experiment: {exc}") from None
+    del points
+    return SuiteEntry(
+        name=name, spec=spec, experiment_overrides=experiment, source=source
+    )
+
+
+def parse_suite(
+    text: str, name: str = "suite", base_dir: str = "."
+) -> Suite:
+    """Compile suite YAML text; every schema problem is a :class:`SuiteError`."""
+    yaml = _yaml()
+    try:
+        document = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        reason = str(exc).replace("\n", " ").strip()
+        raise SuiteError(f"invalid YAML: {reason}") from None
+    if document is None:
+        raise SuiteError("the suite file is empty")
+    document = _require_mapping(document, "the suite document")
+    _check_keys(document, _TOP_KEYS, "suite")
+
+    meta = document.get("suite")
+    if meta is not None:
+        meta = _require_mapping(meta, "suite")
+        _check_keys(meta, ("name", "description"), "suite")
+        name = str(meta.get("name", name))
+
+    defaults: Dict[str, Any] = {}
+    if "defaults" in document:
+        defaults = dict(_require_mapping(document["defaults"], "defaults"))
+        _check_keys(defaults, _BLOCK_KEYS, "defaults")
+        if "axes" in defaults or "source" in defaults:
+            raise SuiteError(
+                "defaults cannot set 'axes' or 'source'; declare them per block"
+            )
+
+    if "scenarios" not in document:
+        raise SuiteError("the suite file needs a top-level 'scenarios' mapping")
+    scenarios = _require_mapping(document["scenarios"], "scenarios")
+    if not scenarios:
+        raise SuiteError("'scenarios' must contain at least one block")
+
+    entries = tuple(
+        _compile_block(str(block_name), raw, defaults, base_dir)
+        for block_name, raw in scenarios.items()
+    )
+    return Suite(name=name, entries=entries)
+
+
+def load_suite(path: str) -> Suite:
+    """Read and compile a suite file from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SuiteError(f"cannot read suite file {path!r}: {exc}") from None
+    base = os.path.basename(path)
+    for extension in (".yaml", ".yml"):
+        if base.endswith(extension):
+            base = base[: -len(extension)]
+    try:
+        suite = parse_suite(
+            text, name=base, base_dir=os.path.dirname(os.path.abspath(path))
+        )
+    except SuiteError as exc:
+        raise SuiteError(f"{path}: {exc}") from None
+    return replace(suite, path=path)
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+def _entry_error_log(entry: SuiteEntry, cache: Dict[str, Any]):
+    if entry.source is None:
+        return None
+    if entry.source not in cache:
+        from repro.telemetry.mcelog import parse_mcelog
+
+        with open(entry.source, "r", encoding="utf-8") as handle:
+            cache[entry.source] = parse_mcelog(handle)
+    return cache[entry.source]
+
+
+def run_suite(
+    suite: Suite,
+    config: Optional[ExperimentConfig] = None,
+    store=None,
+    only: Optional[str] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    claim: bool = False,
+    worker_id: Optional[str] = None,
+    lease_ttl: Optional[float] = None,
+) -> Dict[str, Optional[SweepResult]]:
+    """Execute every entry of ``suite`` and return ``{name: SweepResult}``.
+
+    ``config`` is the base :class:`ExperimentConfig`; each entry's
+    ``experiment:`` overrides are applied on top.  ``store``, ``shard`` and
+    ``claim`` compose exactly as in ``python -m repro sweep`` — except for
+    mcelog-sourced entries, whose trace content is not derivable from the
+    spec: they always bypass the store, so distributed modes reject them.
+    Under ``claim``, an entry whose points are still leased by other
+    workers yields ``None`` (reduce later); all other values are complete
+    :class:`SweepResult` objects.
+    """
+    base_config = config or ExperimentConfig()
+    entries = suite.entries if only is None else (suite.entry(only),)
+    if (shard is not None or claim) and store is None:
+        raise SuiteError(
+            "distributed suite execution needs a store; pass store="
+        )
+    if shard is not None or claim:
+        sourced = [entry.name for entry in entries if entry.source is not None]
+        if sourced:
+            raise SuiteError(
+                "mcelog-sourced blocks bypass the store and cannot be "
+                f"distributed: {', '.join(map(repr, sourced))}; run them "
+                "without --shard/--claim"
+            )
+
+    log_cache: Dict[str, Any] = {}
+    results: Dict[str, Optional[SweepResult]] = {}
+    for entry in entries:
+        entry_config = (
+            base_config.with_overrides(**entry.experiment_overrides)
+            if entry.experiment_overrides
+            else base_config
+        )
+        if shard is not None or claim:
+            from repro.distributed import run_sweep_worker
+
+            outcome = run_sweep_worker(
+                entry.spec,
+                entry_config,
+                store,
+                shard=shard,
+                claim=claim,
+                worker_id=worker_id,
+                lease_ttl=lease_ttl,
+            )
+            results[entry.name] = outcome.result
+        else:
+            results[entry.name] = run_sweep(
+                entry.spec,
+                entry_config,
+                error_log=_entry_error_log(entry, log_cache),
+                store=store,
+            )
+    return results

@@ -78,6 +78,19 @@ class FaultModelConfig:
     #: Week-long quarantine applied to a node after a UE (§2.1.3).
     quarantine_seconds: float = 7 * DAY
 
+    # -- correlated multi-node burst failures --------------------------- #
+    #: Number of correlated failure incidents striking *several adjacent
+    #: nodes* at once (rack-level power/cooling events).  ``0`` — the
+    #: default — disables the mode entirely and leaves every RNG stream of
+    #: the generator untouched, so existing scenarios are bit-identical.
+    correlated_bursts: int = 0
+    #: Number of consecutive nodes struck by each correlated incident.
+    correlated_burst_width: int = 4
+    #: Temporal span within which the incident's first UEs land, seconds.
+    correlated_burst_span_seconds: float = 1 * HOUR
+    #: Mean follow-up UEs per affected node within its quarantine window.
+    correlated_burst_repeat_mean: float = 2.0
+
     # -- warnings, boots, retirement ------------------------------------ #
     #: Correctable-error logging limit that triggers a UE warning.
     ce_logging_limit: int = 256
@@ -108,6 +121,14 @@ class FaultModelConfig:
         check_non_negative("n_ue_bursts", self.n_ue_bursts)
         check_non_negative("n_retired_dimms", self.n_retired_dimms)
         check_non_negative("ue_burst_repeat_mean", self.ue_burst_repeat_mean)
+        check_non_negative("correlated_bursts", self.correlated_bursts)
+        check_positive("correlated_burst_width", self.correlated_burst_width)
+        check_positive(
+            "correlated_burst_span_seconds", self.correlated_burst_span_seconds
+        )
+        check_non_negative(
+            "correlated_burst_repeat_mean", self.correlated_burst_repeat_mean
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -150,6 +171,30 @@ class FaultModelConfig:
             n_ue_bursts=int(target_ues),
             mean_ces_per_faulty_dimm=mean_ces,
             n_retired_dimms=int(n_retired_dimms),
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_burst_statistics(
+        stats,
+        base: Optional["FaultModelConfig"] = None,
+    ) -> "FaultModelConfig":
+        """Calibrate the UE burst process from measured burst statistics.
+
+        ``stats`` is a :class:`~repro.analysis.burst.BurstStatistics` (e.g.
+        of an ingested mcelog dump): the number of distinct bursts becomes
+        ``n_ue_bursts``, the mean burst size minus the first UE becomes the
+        per-burst repeat mean, and the grouping window becomes the
+        quarantine length — so a synthetic scenario reproduces the measured
+        raw-to-first UE reduction factor.  ``base`` supplies every other
+        field (default: the stock configuration).
+        """
+        base = base or FaultModelConfig()
+        return replace(
+            base,
+            n_ue_bursts=int(stats.n_first_ues),
+            ue_burst_repeat_mean=max(0.0, float(stats.mean_burst_size) - 1.0),
+            quarantine_seconds=float(stats.burst_window_seconds),
         )
 
     # ------------------------------------------------------------------ #

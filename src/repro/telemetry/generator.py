@@ -168,6 +168,12 @@ class TelemetryGenerator:
             ce_history[int(dimm)] = last_ce
 
         ue_first_times = self._emit_ue_bursts(buffer, rng, faulty_dimms, ce_history)
+        if self.config.correlated_bursts > 0:
+            correlated = self._emit_correlated_bursts(buffer)
+            if correlated.size:
+                ue_first_times = np.sort(
+                    np.concatenate([ue_first_times, correlated])
+                )
         self._emit_boots(buffer, rng, ue_first_times)
         self._emit_retirements(buffer, rng, faulty_dimms)
 
@@ -185,12 +191,23 @@ class TelemetryGenerator:
         weights = weights[: self.topology.n_manufacturers]
         return weights / weights.mean()
 
+    def _dimm_scale(self, attr: str) -> np.ndarray:
+        """Per-DIMM fault-rate multiplier from the fleet segments."""
+        topo = self.topology
+        node_scale = np.repeat(
+            np.asarray([getattr(seg, attr) for seg in topo.segments], dtype=float),
+            [seg.n_nodes for seg in topo.segments],
+        )
+        return np.repeat(node_scale, topo.dimms_per_node)
+
     def _select_faulty_dimms(self, rng: np.random.Generator) -> np.ndarray:
         """Choose which DIMMs develop CE-producing faults."""
         cfg = self.config
         n_dimms = self.topology.n_dimms
         weights = self._manufacturer_weight(cfg.manufacturer_ce_weights)
         per_dimm_p = cfg.faulty_dimm_fraction * weights[self.dimm_manufacturer]
+        if self.topology.segments:
+            per_dimm_p = per_dimm_p * self._dimm_scale("ce_scale")
         per_dimm_p = np.clip(per_dimm_p, 0.0, 1.0)
         mask = rng.random(n_dimms) < per_dimm_p
         faulty = np.flatnonzero(mask)
@@ -325,10 +342,16 @@ class TelemetryGenerator:
 
         weights = self._manufacturer_weight(cfg.manufacturer_ue_weights)
 
+        ue_scale: Optional[np.ndarray] = None
+        if self.topology.segments:
+            ue_scale = self._dimm_scale("ue_scale")
+
         # Predictable UEs strike DIMMs with CE history (after some of it).
         predictable_dimms: List[int] = []
         if n_predictable > 0 and faulty_dimms.size > 0:
             w = weights[self.dimm_manufacturer[faulty_dimms]]
+            if ue_scale is not None:
+                w = w * ue_scale[faulty_dimms]
             p = w / w.sum()
             chosen = rng.choice(
                 faulty_dimms,
@@ -346,6 +369,8 @@ class TelemetryGenerator:
         silent_dimms: List[int] = []
         if n_silent > 0 and healthy.size > 0:
             w = weights[self.dimm_manufacturer[healthy]]
+            if ue_scale is not None:
+                w = w * ue_scale[healthy]
             p = w / w.sum()
             chosen = rng.choice(
                 healthy, size=min(n_silent, healthy.size), replace=False, p=p
@@ -394,6 +419,59 @@ class TelemetryGenerator:
                         kind=EventKind.UE,
                         manufacturer=manufacturer,
                     )
+        return np.asarray(sorted(first_times))
+
+    def _emit_correlated_bursts(self, buffer: _EventBuffer) -> np.ndarray:
+        """Emit correlated multi-node failure incidents.
+
+        Each incident strikes ``correlated_burst_width`` consecutive nodes
+        (a rack-level power or cooling event, the failure mode the burst
+        statistics of :mod:`repro.analysis.burst` expose) with first UEs
+        spread over ``correlated_burst_span_seconds``, plus follow-up UEs
+        inside each node's quarantine window.  Draws come from a dedicated
+        ``"correlated-bursts"`` RNG stream so that enabling the mode never
+        perturbs the base generator's sequence.
+        """
+        cfg = self.config
+        topo = self.topology
+        rng = self._factory.stream("correlated-bursts")
+        width = min(cfg.correlated_burst_width, topo.n_nodes)
+        first_times: List[float] = []
+        for _ in range(cfg.correlated_bursts):
+            start_node = int(rng.integers(0, topo.n_nodes - width + 1))
+            t0 = rng.uniform(0.05 * self.duration, 0.9 * self.duration)
+            offsets = np.sort(
+                rng.uniform(0.0, cfg.correlated_burst_span_seconds, width)
+            )
+            for i, node in enumerate(range(start_node, start_node + width)):
+                t_first = min(float(t0 + offsets[i]), self.duration - 1.0)
+                dimm = node * topo.dimms_per_node + int(
+                    rng.integers(topo.dimms_per_node)
+                )
+                manufacturer = int(self.dimm_manufacturer[dimm])
+                buffer.append(
+                    time=t_first,
+                    node=node,
+                    dimm=dimm,
+                    kind=EventKind.UE,
+                    manufacturer=manufacturer,
+                )
+                first_times.append(t_first)
+                n_repeats = rng.poisson(cfg.correlated_burst_repeat_mean)
+                if n_repeats > 0:
+                    repeat_times = t_first + rng.uniform(
+                        10 * MINUTE, 0.93 * cfg.quarantine_seconds, size=n_repeats
+                    )
+                    for t in np.sort(repeat_times):
+                        if t >= self.duration:
+                            continue
+                        buffer.append(
+                            time=float(t),
+                            node=node,
+                            dimm=dimm,
+                            kind=EventKind.UE,
+                            manufacturer=manufacturer,
+                        )
         return np.asarray(sorted(first_times))
 
     def _emit_pre_ue_burst(

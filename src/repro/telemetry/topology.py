@@ -9,13 +9,60 @@ therefore assigns manufacturers per *node*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass, field, fields
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FleetSegment:
+    """One homogeneous slice of a heterogeneous fleet.
+
+    Real clusters are rarely uniform: racks are procured in generations,
+    each with its own DRAM manufacturer and its own fault rates (newer
+    parts fail less).  A segment pins a contiguous block of nodes to one
+    manufacturer and scales its CE/UE incidence; the optional ``policy``
+    names the mitigation approach serving the segment in the Fleet-mix
+    composite policy (see :mod:`repro.baselines.fleet`).
+    """
+
+    #: Human-readable segment name (unique within a topology).
+    name: str
+    #: Number of consecutive nodes in this segment.
+    n_nodes: int
+    #: Manufacturer index of every DIMM in the segment.
+    manufacturer: int
+    #: DIMM-generation fault-rate multipliers relative to the fault model.
+    ce_scale: float = 1.0
+    ue_scale: float = 1.0
+    #: Per-segment policy of the Fleet-mix approach (``None``: the default).
+    policy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("segment name must not be empty")
+        check_positive("n_nodes", self.n_nodes)
+        if self.manufacturer < 0:
+            raise ValueError("segment manufacturer index must be >= 0")
+        check_positive("ce_scale", self.ce_scale)
+        check_positive("ue_scale", self.ue_scale)
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
+        from repro.serialization import simple_to_dict
+
+        return simple_to_dict(self, "fleet_segment")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSegment":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialization import simple_from_dict
+
+        return simple_from_dict(cls, data, "fleet_segment")
 
 
 @dataclass(frozen=True)
@@ -45,6 +92,12 @@ class ClusterTopology:
     banks_per_rank: int = 8
     rows_per_bank: int = 65536
     cols_per_row: int = 1024
+    #: Heterogeneous-fleet description: contiguous node blocks, each with
+    #: its own manufacturer and DIMM-generation fault scaling.  When empty
+    #: (the default) manufacturers are drawn from ``manufacturer_shares``
+    #: exactly as before; when present the segment node counts must sum to
+    #: ``n_nodes`` and the assignment is deterministic.
+    segments: Tuple[FleetSegment, ...] = ()
 
     def __post_init__(self) -> None:
         check_positive("n_nodes", self.n_nodes)
@@ -58,22 +111,45 @@ class ClusterTopology:
             )
         if not (0.0 <= self.mixed_node_fraction <= 1.0):
             raise ValueError("mixed_node_fraction must be in [0, 1]")
+        if self.segments:
+            seg_total = sum(seg.n_nodes for seg in self.segments)
+            if seg_total != self.n_nodes:
+                raise ValueError(
+                    f"fleet segments cover {seg_total} nodes but the "
+                    f"topology has {self.n_nodes}"
+                )
+            names = [seg.name for seg in self.segments]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate segment names in {names!r}")
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
         """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
         from repro.serialization import simple_to_dict
 
-        return simple_to_dict(self, "cluster_topology")
+        payload = simple_to_dict(self, "cluster_topology")
+        payload["segments"] = [seg.to_dict() for seg in self.segments]
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClusterTopology":
         """Inverse of :meth:`to_dict`."""
-        from repro.serialization import simple_from_dict
+        from repro.serialization import untag
 
-        return simple_from_dict(
-            cls, data, "cluster_topology", tuple_fields=("manufacturer_shares",)
+        payload = dict(untag(data, "cluster_topology"))
+        payload["manufacturer_shares"] = tuple(payload["manufacturer_shares"])
+        payload["segments"] = tuple(
+            FleetSegment.from_dict(item) for item in payload.pop("segments", [])
         )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            from repro.serialization import SchemaError
+
+            raise SchemaError(
+                f"'cluster_topology' payload has unknown fields {unknown!r}"
+            )
+        return cls(**payload)
 
     # ------------------------------------------------------------------ #
     @property
@@ -84,7 +160,10 @@ class ClusterTopology:
     @property
     def n_manufacturers(self) -> int:
         """Number of DRAM manufacturers present."""
-        return len(self.manufacturer_shares)
+        n = len(self.manufacturer_shares)
+        if self.segments:
+            n = max(n, max(seg.manufacturer for seg in self.segments) + 1)
+        return n
 
     def dimm_node(self, dimm: np.ndarray | int) -> np.ndarray | int:
         """Node hosting DIMM ``dimm`` (vectorised)."""
@@ -97,6 +176,24 @@ class ClusterTopology:
         start = node * self.dimms_per_node
         return np.arange(start, start + self.dimms_per_node, dtype=np.int64)
 
+    def segment_bounds(self) -> Tuple[Tuple[int, int], ...]:
+        """``(start, stop)`` node range of each segment, in declaration order."""
+        bounds = []
+        start = 0
+        for seg in self.segments:
+            bounds.append((start, start + seg.n_nodes))
+            start += seg.n_nodes
+        return tuple(bounds)
+
+    def node_segment(self) -> np.ndarray:
+        """Segment index of every node (requires ``segments``)."""
+        if not self.segments:
+            raise ValueError("topology has no fleet segments")
+        return np.repeat(
+            np.arange(len(self.segments), dtype=np.int32),
+            [seg.n_nodes for seg in self.segments],
+        )
+
     def assign_manufacturers(self, rng=None) -> np.ndarray:
         """Assign a manufacturer index to every DIMM.
 
@@ -105,10 +202,20 @@ class ClusterTopology:
         by a part from a different manufacturer — mirroring the "few
         exceptions" noted in Section 4.5.
 
+        When the topology declares fleet ``segments`` the assignment is
+        instead fully deterministic: each contiguous node block takes its
+        segment's manufacturer and no random numbers are consumed.
+
         Returns
         -------
         numpy.ndarray of shape ``(n_dimms,)`` with manufacturer indices.
         """
+        if self.segments:
+            node_manu = np.repeat(
+                np.asarray([seg.manufacturer for seg in self.segments]),
+                [seg.n_nodes for seg in self.segments],
+            )
+            return np.repeat(node_manu, self.dimms_per_node).astype(np.int8)
         rng = as_generator(rng, "topology")
         shares = np.asarray(self.manufacturer_shares, dtype=float)
         shares = shares / shares.sum()

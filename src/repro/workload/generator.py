@@ -25,7 +25,7 @@ from repro.utils.rng import as_generator
 from repro.utils.timeutils import HOUR
 from repro.utils.validation import check_fraction, check_positive
 from repro.workload.job import JobLog
-from repro.workload.scheduler import ClusterScheduler
+from repro.workload.scheduler import BackfillScheduler, ClusterScheduler
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,18 @@ class WorkloadConfig:
     target_utilization: float = 0.95
     #: Minimum job duration, seconds (very short jobs are not interesting).
     min_job_duration_seconds: float = 5 * 60.0
+    #: Submission-time shape: ``"uniform"`` (stationary backlog, the
+    #: default) or ``"diurnal"`` (sinusoidal day/night arrival rate).  Both
+    #: consume exactly one uniform draw per job, so switching patterns
+    #: never perturbs the other random streams of the generator.
+    submit_pattern: str = "uniform"
+    #: Relative amplitude of the diurnal arrival-rate modulation, in [0, 1].
+    diurnal_amplitude: float = 0.6
+    #: Period of the diurnal cycle, seconds.
+    diurnal_period_seconds: float = 24 * HOUR
+    #: Scheduling discipline: ``"fcfs"`` or ``"backfill"`` (EASY-style
+    #: conservative backfilling, stressing queue-jump job mixes).
+    scheduler: str = "fcfs"
 
     def __post_init__(self) -> None:
         check_positive("max_job_nodes", self.max_job_nodes)
@@ -54,6 +66,17 @@ class WorkloadConfig:
         check_fraction("target_utilization", self.target_utilization)
         if not (0.0 < self.node_count_decay < 1.0):
             raise ValueError("node_count_decay must be in (0, 1)")
+        if self.submit_pattern not in ("uniform", "diurnal"):
+            raise ValueError(
+                f"submit_pattern must be 'uniform' or 'diurnal', "
+                f"got {self.submit_pattern!r}"
+            )
+        check_fraction("diurnal_amplitude", self.diurnal_amplitude)
+        check_positive("diurnal_period_seconds", self.diurnal_period_seconds)
+        if self.scheduler not in ("fcfs", "backfill"):
+            raise ValueError(
+                f"scheduler must be 'fcfs' or 'backfill', got {self.scheduler!r}"
+            )
 
     def to_dict(self) -> dict:
         """Versioned JSON-ready representation (see :mod:`repro.serialization`)."""
@@ -113,6 +136,26 @@ class WorkloadGenerator:
         durations = self._rng.lognormal(mu, sigma, size=size)
         return np.maximum(durations, cfg.min_job_duration_seconds)
 
+    def _sample_submit_times(self, n_jobs: int) -> np.ndarray:
+        """Draw sorted submission times following the configured pattern.
+
+        The diurnal shape is produced by inverse-CDF transforming the very
+        same uniform draw the stationary pattern uses, so both patterns
+        consume an identical number of random values.
+        """
+        cfg = self.config
+        span = 0.9 * self.duration
+        submits = np.sort(self._rng.uniform(0.0, span, n_jobs))
+        if cfg.submit_pattern == "uniform" or cfg.diurnal_amplitude == 0.0:
+            return submits
+        # Arrival rate lambda(t) = 1 + a*sin(2*pi*t/T); invert its CDF on a
+        # fine grid (deterministic, no extra RNG consumption).
+        grid = np.linspace(0.0, span, 4097)
+        omega = 2.0 * np.pi / cfg.diurnal_period_seconds
+        cdf = grid + (cfg.diurnal_amplitude / omega) * (1.0 - np.cos(omega * grid))
+        cdf /= cdf[-1]
+        return np.interp(submits / span, cdf, grid)
+
     def generate(self) -> JobLog:
         """Produce a job log whose execution covers the production period."""
         cfg = self.config
@@ -143,10 +186,13 @@ class WorkloadGenerator:
 
         # Spread submissions over the period with a standing backlog so the
         # scheduler can keep the machine busy from the start.
-        submits = np.sort(self._rng.uniform(0.0, 0.9 * self.duration, n_jobs))
+        submits = self._sample_submit_times(n_jobs)
         submits[: max(1, n_jobs // 20)] = 0.0
 
-        scheduler = ClusterScheduler(self.n_cluster_nodes)
+        if cfg.scheduler == "backfill":
+            scheduler = BackfillScheduler(self.n_cluster_nodes)
+        else:
+            scheduler = ClusterScheduler(self.n_cluster_nodes)
         scheduled = scheduler.schedule_all(submits, node_counts, durations)
         log = ClusterScheduler.to_job_log(scheduled)
         # Keep only jobs that start within the observed period.

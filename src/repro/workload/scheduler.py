@@ -105,3 +105,87 @@ class ClusterScheduler:
     def to_job_log(scheduled: Sequence[ScheduledJob]) -> JobLog:
         """Collect scheduled jobs into a :class:`JobLog`."""
         return JobLog.from_records([s.record for s in scheduled])
+
+
+class BackfillScheduler(ClusterScheduler):
+    """EASY-style conservative backfill over the same node-pool model.
+
+    Jobs are still taken in submission order, but whenever the queue head
+    cannot start immediately a reservation is computed for it, and shorter
+    jobs further down the queue (up to ``backfill_depth`` positions) may
+    jump ahead provided they finish no later than the reserved start — so
+    the head job is never delayed.  Backfilled allocations only raise node
+    availability up to the reservation time, which keeps the guarantee
+    conservative in this earliest-free-node model.
+    """
+
+    def __init__(self, n_nodes: int, backfill_depth: int = 32) -> None:
+        super().__init__(n_nodes)
+        check_positive("backfill_depth", backfill_depth)
+        self.backfill_depth = int(backfill_depth)
+
+    def earliest_start(self, submit: float, n_nodes: int) -> float:
+        """Start time the job would get if scheduled right now."""
+        if n_nodes > self.n_nodes:
+            raise ValueError(
+                f"job requests {n_nodes} nodes but the cluster has {self.n_nodes}"
+            )
+        order = np.argsort(self._free_at, kind="stable")
+        chosen = order[:n_nodes]
+        return max(float(submit), float(self._free_at[chosen].max(initial=0.0)))
+
+    def schedule_all(
+        self,
+        submits: Sequence[float],
+        n_nodes: Sequence[int],
+        durations: Sequence[float],
+    ) -> List[ScheduledJob]:
+        """Schedule a batch with EASY backfilling."""
+        submits = np.asarray(submits, dtype=float)
+        n_nodes_arr = np.asarray(n_nodes, dtype=int)
+        durations = np.asarray(durations, dtype=float)
+        if not (len(submits) == len(n_nodes_arr) == len(durations)):
+            raise ValueError("submits, n_nodes and durations must be equally long")
+        queue = list(np.argsort(submits, kind="stable"))
+        scheduled: List[ScheduledJob] = []
+        job_id = 0
+        while queue:
+            head = queue[0]
+            reservation = self.earliest_start(
+                float(submits[head]), int(n_nodes_arr[head])
+            )
+            if reservation > submits[head]:
+                # Head must wait: try to slide one shorter job in front of
+                # its reservation, then re-evaluate.
+                backfilled = False
+                for pos in range(1, min(len(queue), 1 + self.backfill_depth)):
+                    cand = queue[pos]
+                    cand_start = self.earliest_start(
+                        float(submits[cand]), int(n_nodes_arr[cand])
+                    )
+                    if cand_start + float(durations[cand]) <= reservation:
+                        scheduled.append(
+                            self.schedule(
+                                submit=float(submits[cand]),
+                                n_nodes=int(n_nodes_arr[cand]),
+                                duration=float(durations[cand]),
+                                job_id=job_id,
+                            )
+                        )
+                        job_id += 1
+                        queue.pop(pos)
+                        backfilled = True
+                        break
+                if backfilled:
+                    continue
+            scheduled.append(
+                self.schedule(
+                    submit=float(submits[head]),
+                    n_nodes=int(n_nodes_arr[head]),
+                    duration=float(durations[head]),
+                    job_id=job_id,
+                )
+            )
+            job_id += 1
+            queue.pop(0)
+        return scheduled

@@ -1,0 +1,207 @@
+"""SegmentedFleetPolicy: per-segment routing over a heterogeneous fleet."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.baselines.fleet import (
+    DEFAULT_SEGMENT_POLICY,
+    SEGMENT_POLICY_NAMES,
+    SegmentedFleetPolicy,
+    build_fleet_policy,
+)
+from repro.baselines.static import AlwaysMitigatePolicy, NeverMitigatePolicy
+from repro.config import ScenarioConfig
+from repro.core.policies import DecisionContext, FallbackPolicy
+from repro.telemetry.topology import ClusterTopology, FleetSegment
+
+
+def _topology() -> ClusterTopology:
+    return ClusterTopology(
+        n_nodes=8,
+        dimms_per_node=2,
+        manufacturer_shares=(0.5, 0.5),
+        segments=(
+            FleetSegment(name="hot", n_nodes=4, manufacturer=0, policy="always"),
+            FleetSegment(name="cold", n_nodes=4, manufacturer=1, policy="never"),
+        ),
+    )
+
+
+def _context(node: int) -> DecisionContext:
+    return DecisionContext(
+        time=0.0,
+        node=node,
+        features=np.zeros(4),
+        ue_cost=1.0,
+    )
+
+
+class TestRouting:
+    def test_decide_routes_by_node(self):
+        policy = SegmentedFleetPolicy(
+            _topology(), [AlwaysMitigatePolicy(), NeverMitigatePolicy()]
+        )
+        assert policy.decide(_context(0)) is True
+        assert policy.decide(_context(3)) is True
+        assert policy.decide(_context(4)) is False
+        assert policy.decide(_context(7)) is False
+
+    def test_out_of_range_node_rejected(self):
+        policy = SegmentedFleetPolicy(
+            _topology(), [AlwaysMitigatePolicy(), NeverMitigatePolicy()]
+        )
+        with pytest.raises(ValueError):
+            policy.decide(_context(8))
+
+    def test_decide_nodes_partitions_by_segment(self):
+        policy = SegmentedFleetPolicy(
+            _topology(), [AlwaysMitigatePolicy(), NeverMitigatePolicy()]
+        )
+        nodes = np.array([0, 5, 2, 7, 4])
+        out = policy.decide_nodes(
+            np.zeros((5, 4)), np.ones(5), times=np.zeros(5), nodes=nodes
+        )
+        np.testing.assert_array_equal(
+            out, np.array([True, False, True, False, False])
+        )
+
+    def test_decide_nodes_requires_node_ids(self):
+        policy = SegmentedFleetPolicy(
+            _topology(), [AlwaysMitigatePolicy(), NeverMitigatePolicy()]
+        )
+        with pytest.raises(ValueError, match="nodes"):
+            policy.decide_nodes(np.zeros((2, 4)), np.ones(2))
+
+    def test_decide_batch_routes_whole_trace_by_its_node(self):
+        policy = SegmentedFleetPolicy(
+            _topology(), [AlwaysMitigatePolicy(), NeverMitigatePolicy()]
+        )
+        trace_hot = SimpleNamespace(node=1)
+        trace_cold = SimpleNamespace(node=6)
+        # Static policies answer decide_batch without touching the trace
+        # payload beyond its node, so a stub suffices here.
+        hot = policy.decide_batch(trace_hot, np.ones(3), start=0, stop=3)
+        cold = policy.decide_batch(trace_cold, np.ones(3), start=0, stop=3)
+        assert bool(np.all(hot)) is True
+        assert bool(np.any(cold)) is False
+
+    def test_validation(self):
+        plain = ClusterTopology(
+            n_nodes=8, dimms_per_node=2, manufacturer_shares=(0.5, 0.5)
+        )
+        with pytest.raises(ValueError, match="segments"):
+            SegmentedFleetPolicy(plain, [])
+        with pytest.raises(ValueError, match="2 segments"):
+            SegmentedFleetPolicy(_topology(), [NeverMitigatePolicy()])
+
+    def test_cost_dependent_is_any_of_the_parts(self):
+        static = SegmentedFleetPolicy(
+            _topology(), [AlwaysMitigatePolicy(), NeverMitigatePolicy()]
+        )
+        assert static.cost_dependent is False
+
+
+class TestBuilder:
+    def test_homogeneous_topology_falls_back(self):
+        ctx = SimpleNamespace(scenario=ScenarioConfig.small())
+        policy = build_fleet_policy(ctx)
+        assert isinstance(policy, FallbackPolicy)
+        assert policy.name == "Fleet-mix"
+
+    def test_builds_one_policy_per_segment(self):
+        scenario = ScenarioConfig.small()
+        topology = replace(
+            scenario.topology,
+            segments=(
+                FleetSegment(
+                    name="a", n_nodes=24, manufacturer=0, policy="always"
+                ),
+                FleetSegment(
+                    name="b", n_nodes=24, manufacturer=1, policy="never"
+                ),
+            ),
+        )
+        ctx = SimpleNamespace(
+            scenario=scenario.with_topology(topology),
+            mitigation_cost=2.0 / 60.0,
+            sc20=lambda: None,
+        )
+        policy = build_fleet_policy(ctx)
+        assert isinstance(policy, SegmentedFleetPolicy)
+        assert isinstance(policy.segment_policies[0], AlwaysMitigatePolicy)
+        assert isinstance(policy.segment_policies[1], NeverMitigatePolicy)
+
+    def test_untrained_forest_degrades_to_never(self):
+        scenario = ScenarioConfig.small()
+        topology = replace(
+            scenario.topology,
+            segments=(
+                FleetSegment(name="a", n_nodes=48, manufacturer=0, policy="sc20"),
+            ),
+        )
+        ctx = SimpleNamespace(
+            scenario=scenario.with_topology(topology),
+            mitigation_cost=2.0 / 60.0,
+            sc20=lambda: None,
+        )
+        policy = build_fleet_policy(ctx)
+        assert isinstance(policy.segment_policies[0], NeverMitigatePolicy)
+
+    def test_default_policy_name_is_valid(self):
+        assert DEFAULT_SEGMENT_POLICY in SEGMENT_POLICY_NAMES
+
+    def test_unknown_policy_name_rejected(self):
+        scenario = ScenarioConfig.small()
+        topology = replace(
+            scenario.topology,
+            segments=(
+                FleetSegment(name="a", n_nodes=48, manufacturer=0, policy="llm"),
+            ),
+        )
+        ctx = SimpleNamespace(
+            scenario=scenario.with_topology(topology),
+            mitigation_cost=2.0 / 60.0,
+            sc20=lambda: None,
+        )
+        with pytest.raises(ValueError, match="llm"):
+            build_fleet_policy(ctx)
+
+    def test_shared_policies_are_cached_by_name(self):
+        scenario = ScenarioConfig.small()
+        topology = replace(
+            scenario.topology,
+            segments=(
+                FleetSegment(name="a", n_nodes=24, manufacturer=0, policy="never"),
+                FleetSegment(name="b", n_nodes=24, manufacturer=1, policy="never"),
+            ),
+        )
+        ctx = SimpleNamespace(
+            scenario=scenario.with_topology(topology),
+            mitigation_cost=2.0 / 60.0,
+            sc20=lambda: None,
+        )
+        policy = build_fleet_policy(ctx)
+        assert policy.segment_policies[0] is policy.segment_policies[1]
+
+
+def test_registry_exposes_fleet_mix_behind_the_toggle():
+    from repro.evaluation.pipeline import ExperimentConfig
+    from repro.evaluation.registry import enabled_specs, get_approach
+
+    spec = get_approach("Fleet-mix")
+    assert spec.group == "rf"
+    names_off = [s.name for s in enabled_specs(ExperimentConfig())]
+    assert "Fleet-mix" not in names_off
+    names_on = [
+        s.name
+        for s in enabled_specs(ExperimentConfig(include_fleet_mix=True))
+    ]
+    assert "Fleet-mix" in names_on
+    # Canonical ordering: between Myopic-RF and RL.
+    assert names_on.index("Fleet-mix") > names_on.index("Myopic-RF")
+    assert names_on.index("Fleet-mix") < names_on.index("RL")

@@ -6,7 +6,6 @@ import pytest
 from repro.config import ScenarioConfig
 from repro.evaluation.costs import CostBreakdown
 from repro.evaluation.experiment import (
-    APPROACH_ORDER,
     ApproachResult,
     ExperimentConfig,
     run_experiment,
@@ -60,8 +59,14 @@ class TestApproachResult:
 
 class TestRunExperiment:
     def test_all_approaches_present(self, tiny_result):
-        for name in APPROACH_ORDER:
+        from repro.evaluation.registry import enabled_specs
+
+        enabled = [spec.name for spec in enabled_specs(ExperimentConfig())]
+        for name in enabled:
             assert name in tiny_result.approaches, f"missing approach {name}"
+        # Default-off registrations (Fleet-mix) must not sneak into a
+        # default-config run.
+        assert set(tiny_result.approaches) == set(enabled)
 
     def test_every_approach_covers_every_split(self, tiny_result):
         n_splits = len(tiny_result.splits)

@@ -29,11 +29,15 @@ EXPECTED_NAMES = (
     "Oracle",
 )
 
+# The full registry also carries default-off approaches (Fleet-mix sits
+# between Myopic-RF and RL, enabled via ``include_fleet_mix``).
+ALL_NAMES = EXPECTED_NAMES[:6] + ("Fleet-mix",) + EXPECTED_NAMES[6:]
+
 
 class TestDefaultRegistrations:
-    def test_all_eight_approaches_registered_in_order(self):
-        assert approach_order() == EXPECTED_NAMES
-        assert APPROACH_ORDER == EXPECTED_NAMES
+    def test_all_approaches_registered_in_order(self):
+        assert approach_order() == ALL_NAMES
+        assert APPROACH_ORDER == ALL_NAMES
 
     def test_specs_carry_groups(self):
         groups = {spec.name: spec.group for spec in approach_specs()}

@@ -1,0 +1,159 @@
+"""Heterogeneous fleets: FleetSegment and segmented ClusterTopology."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import ScenarioConfig
+from repro.serialization import SchemaError
+from repro.telemetry.generator import TelemetryGenerator
+from repro.telemetry.topology import ClusterTopology, FleetSegment
+
+
+def _segmented(n_nodes: int = 48) -> ClusterTopology:
+    return ClusterTopology(
+        n_nodes=n_nodes,
+        dimms_per_node=4,
+        manufacturer_shares=(0.26, 0.21, 0.53),
+        segments=(
+            FleetSegment(
+                name="gen1", n_nodes=n_nodes // 2, manufacturer=0,
+                ce_scale=2.0, ue_scale=2.5, policy="always",
+            ),
+            FleetSegment(
+                name="gen2", n_nodes=n_nodes // 2, manufacturer=2,
+                ce_scale=0.6, ue_scale=0.5,
+            ),
+        ),
+    )
+
+
+class TestFleetSegment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetSegment(name="x", n_nodes=0, manufacturer=0)
+        with pytest.raises(ValueError):
+            FleetSegment(name="x", n_nodes=4, manufacturer=-1)
+        with pytest.raises(ValueError):
+            FleetSegment(name="x", n_nodes=4, manufacturer=0, ce_scale=-1.0)
+
+    def test_round_trip(self):
+        segment = FleetSegment(
+            name="old", n_nodes=24, manufacturer=1,
+            ce_scale=1.5, ue_scale=2.0, policy="sc20",
+        )
+        assert FleetSegment.from_dict(segment.to_dict()) == segment
+
+
+class TestSegmentedTopology:
+    def test_segment_node_totals_must_match(self):
+        with pytest.raises(ValueError, match="48"):
+            ClusterTopology(
+                n_nodes=48,
+                dimms_per_node=4,
+                manufacturer_shares=(0.5, 0.5),
+                segments=(
+                    FleetSegment(name="a", n_nodes=10, manufacturer=0),
+                ),
+            )
+
+    def test_segment_names_must_be_unique(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterTopology(
+                n_nodes=48,
+                dimms_per_node=4,
+                manufacturer_shares=(0.5, 0.5),
+                segments=(
+                    FleetSegment(name="a", n_nodes=24, manufacturer=0),
+                    FleetSegment(name="a", n_nodes=24, manufacturer=1),
+                ),
+            )
+
+    def test_manufacturer_assignment_is_deterministic(self):
+        topology = _segmented()
+        dimm_manu = topology.assign_manufacturers(rng=1)
+        # Same assignment for any seed: segments pin the manufacturer.
+        np.testing.assert_array_equal(
+            dimm_manu, topology.assign_manufacturers(rng=999)
+        )
+        per_node = dimm_manu.reshape(topology.n_nodes, topology.dimms_per_node)
+        assert set(per_node[:24].ravel()) == {0}
+        assert set(per_node[24:].ravel()) == {2}
+
+    def test_n_manufacturers_covers_segment_indices(self):
+        topology = ClusterTopology(
+            n_nodes=8,
+            dimms_per_node=2,
+            manufacturer_shares=(1.0,),
+            segments=(FleetSegment(name="a", n_nodes=8, manufacturer=5),),
+        )
+        assert topology.n_manufacturers == 6
+
+    def test_node_segment_and_bounds(self):
+        topology = _segmented()
+        node_segment = topology.node_segment()
+        assert node_segment.shape == (48,)
+        assert list(topology.segment_bounds()) == [(0, 24), (24, 48)]
+        assert set(node_segment[:24]) == {0}
+        assert set(node_segment[24:]) == {1}
+        with pytest.raises(ValueError):
+            ClusterTopology(
+                n_nodes=4, dimms_per_node=1, manufacturer_shares=(1.0,)
+            ).node_segment()
+
+    def test_round_trip(self):
+        topology = _segmented()
+        assert ClusterTopology.from_dict(topology.to_dict()) == topology
+
+    def test_old_payloads_without_segments_still_load(self):
+        plain = ClusterTopology(
+            n_nodes=8, dimms_per_node=2, manufacturer_shares=(0.5, 0.5)
+        )
+        payload = plain.to_dict()
+        del payload["segments"]
+        assert ClusterTopology.from_dict(payload) == plain
+
+    def test_unknown_payload_fields_rejected(self):
+        payload = _segmented().to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(SchemaError, match="bogus"):
+            ClusterTopology.from_dict(payload)
+
+
+class TestSegmentFaultScaling:
+    def test_ce_and_ue_rates_follow_the_segment_scales(self):
+        base = ScenarioConfig.small(seed=4)
+        topology = _segmented(base.topology.n_nodes)
+        log = TelemetryGenerator(
+            topology,
+            base.fault_model,
+            seed=base.seed,
+            duration_seconds=base.duration_seconds,
+        ).generate()
+        boundary = topology.segments[0].n_nodes
+        ce = log.is_ce_mask if hasattr(log, "is_ce_mask") else ~log.is_ue_mask
+        hot = int(np.count_nonzero(ce & (log.node < boundary)))
+        cold = int(np.count_nonzero(ce & (log.node >= boundary)))
+        # gen1 scales CEs 2.0x vs gen2's 0.6x; the ratio must show it.
+        assert hot > cold
+
+    def test_unsegmented_results_unchanged_by_the_feature(self):
+        base = ScenarioConfig.small()
+        log_a = TelemetryGenerator(
+            base.topology,
+            base.fault_model,
+            seed=base.seed,
+            duration_seconds=base.duration_seconds,
+        ).generate()
+        same = replace(base.topology, segments=())
+        log_b = TelemetryGenerator(
+            same,
+            base.fault_model,
+            seed=base.seed,
+            duration_seconds=base.duration_seconds,
+        ).generate()
+        np.testing.assert_array_equal(log_a.time, log_b.time)
+        np.testing.assert_array_equal(log_a.node, log_b.node)
